@@ -1,0 +1,864 @@
+(* Benchmark harness: regenerates the experiment tables E1-E8 indexed
+   in DESIGN.md / EXPERIMENTS.md, plus Bechamel micro-benchmarks of the
+   core kernels.
+
+   The paper (DSN 2016) contains no quantitative tables; E1-E2 are the
+   executable form of its Figures 1-2 and E3-E8 quantify the design
+   claims made in its prose.  See EXPERIMENTS.md for the mapping.
+
+     dune exec bench/main.exe            # all experiments + micro
+     dune exec bench/main.exe -- e3      # one experiment
+     dune exec bench/main.exe -- micro   # micro-benchmarks only *)
+
+let section title =
+  Printf.printf "\n%s\n%s\n%!" title (String.make (String.length title) '-')
+
+let wall f =
+  let t0 = Sys.time () in
+  let r = f () in
+  (r, Sys.time () -. t0)
+
+(* ---------------------------------------------------------------- *)
+(* Shared scenario helpers                                          *)
+(* ---------------------------------------------------------------- *)
+
+let build_scenario ?(clients = 2) ?(seed = 42) ?(polling = Rvaas.Monitor.Randomized 0.05)
+    ?(loss = 0.0) topo =
+  Workload.Scenario.build
+    {
+      (Workload.Scenario.default_spec topo) with
+      clients;
+      seed;
+      polling;
+      rvaas_loss = loss;
+    }
+
+let isolation_outcome scenario ~host =
+  Workload.Scenario.query_and_wait scenario ~host
+    (Rvaas.Query.make Rvaas.Query.Isolation)
+    ~timeout:2.0
+
+(* ---------------------------------------------------------------- *)
+(* E1: Fig. 1+2 — protocol message counts and end-to-end latency     *)
+(* ---------------------------------------------------------------- *)
+
+let e1 () =
+  section "E1: integrity-request protocol (Fig. 1+2) — cost per query";
+  Printf.printf "%-14s %4s %5s | %9s %8s %8s %8s | %10s\n" "topology" "sw" "hosts"
+    "packet_in" "auth_req" "auth_rep" "answers" "e2e (ms)";
+  let p = Workload.Topogen.default_params in
+  let cases =
+    [
+      ("linear-4", Workload.Topogen.linear p 4);
+      ("linear-8", Workload.Topogen.linear p 8);
+      ("ring-8", Workload.Topogen.ring p 8);
+      ("grid-3x3", Workload.Topogen.grid p ~rows:3 ~cols:3);
+      ("fat-tree-k4", Workload.Topogen.fat_tree p ~k:4);
+    ]
+  in
+  List.iter
+    (fun (name, topo) ->
+      let s = build_scenario topo in
+      let packet_ins0 = (Netsim.Net.stats s.net).packet_ins in
+      let svc0 = Rvaas.Service.stats s.service in
+      let auth0 = svc0.auth_requests_sent
+      and rep0 = svc0.auth_replies_accepted
+      and ans0 = svc0.answers_sent in
+      match isolation_outcome s ~host:0 with
+      | None -> Printf.printf "%-14s: no answer\n" name
+      | Some outcome ->
+        let svc = Rvaas.Service.stats s.service in
+        Printf.printf "%-14s %4d %5d | %9d %8d %8d %8d | %10.3f\n" name
+          (Workload.Topogen.switch_count topo)
+          (Workload.Topogen.host_count topo)
+          ((Netsim.Net.stats s.net).packet_ins - packet_ins0)
+          (svc.auth_requests_sent - auth0)
+          (svc.auth_replies_accepted - rep0)
+          (svc.answers_sent - ans0)
+          (1000.0 *. (outcome.answered_at -. outcome.issued_at)))
+    cases
+
+(* ---------------------------------------------------------------- *)
+(* E2: Fig. 1+2 under a join attack — the counting defence at work   *)
+(* ---------------------------------------------------------------- *)
+
+let e2 () =
+  section "E2: isolation query, benign vs. join attack (fat-tree k=4)";
+  Printf.printf "%-12s | %9s %9s %9s | %s\n" "condition" "endpoints" "auth_req"
+    "auth_rep" "alarms";
+  let run ~attack =
+    let topo = Workload.Topogen.fat_tree Workload.Topogen.default_params ~k:4 in
+    let s = build_scenario topo in
+    if attack then begin
+      Sdnctl.Attack.launch s.net s.addressing
+        ~conn:(Sdnctl.Provider.conn s.provider)
+        (Sdnctl.Attack.Join { victim_client = 0; attacker_host = 1 });
+      Workload.Scenario.run s ~until:(Netsim.Sim.now (Netsim.Net.sim s.net) +. 0.1)
+    end;
+    match isolation_outcome s ~host:0 with
+    | None ->
+      Printf.printf "%-12s | no answer\n" (if attack then "join attack" else "benign")
+    | Some outcome ->
+      let answer = outcome.Rvaas.Client_agent.answer in
+      let policy = Workload.Scenario.policy_for s ~client:0 in
+      let alarms = Rvaas.Detector.check_answer policy answer in
+      Printf.printf "%-12s | %9d %9d %9d | %s\n"
+        (if attack then "join attack" else "benign")
+        (List.length answer.endpoints)
+        answer.total_auth_requests answer.auth_replies
+        (if alarms = [] then "none"
+         else String.concat "; " (List.map Rvaas.Detector.describe alarms))
+  in
+  run ~attack:false;
+  run ~attack:true
+
+(* ---------------------------------------------------------------- *)
+(* E3: transient attacks vs. polling strategy                        *)
+(* ---------------------------------------------------------------- *)
+
+let e3_trials = 20
+
+let e3_detected ~polling ~seed ~duration =
+  let poll_period = 0.1 in
+  let topo = Workload.Topogen.linear Workload.Topogen.default_params 3 in
+  let s = build_scenario ~seed ~polling ~loss:0.8 topo in
+  let commission = 5.0 *. poll_period in
+  Workload.Scenario.run s ~until:commission;
+  let baseline = Workload.Scenario.baseline s in
+  (* Phase-aligned attacker: strikes right after a periodic poll. *)
+  let start = (8.0 *. poll_period) +. 0.005 in
+  Sdnctl.Attack.launch s.net s.addressing
+    ~conn:(Sdnctl.Provider.conn s.provider)
+    (Sdnctl.Attack.Transient
+       { attack = Sdnctl.Attack.Blackhole { victim_host = 0 }; start; duration });
+  Workload.Scenario.run s ~until:(start +. (4.0 *. poll_period));
+  let entries =
+    List.filter
+      (fun (e : Rvaas.Monitor.history_entry) -> e.at > commission)
+      (Rvaas.Monitor.history s.monitor)
+  in
+  List.exists
+    (function Rvaas.Detector.Config_drift _ -> true | _ -> false)
+    (Rvaas.Detector.check_history baseline entries)
+
+let e3 () =
+  section
+    "E3: transient reconfiguration attacks — detection probability\n\
+     (phase-aligned attacker, 80% monitor-event loss, poll period / mean 100 ms)";
+  Printf.printf "%-14s | %10s %12s %12s\n" "duration (ms)" "no polling" "periodic"
+    "randomized";
+  let strategies =
+    [
+      Rvaas.Monitor.No_polling;
+      Rvaas.Monitor.Periodic 0.1;
+      Rvaas.Monitor.Randomized 0.1;
+    ]
+  in
+  List.iter
+    (fun duration ->
+      let rates =
+        List.map
+          (fun polling ->
+            let hits = ref 0 in
+            for seed = 1 to e3_trials do
+              if e3_detected ~polling ~seed ~duration then incr hits
+            done;
+            100.0 *. float_of_int !hits /. float_of_int e3_trials)
+          strategies
+      in
+      match rates with
+      | [ none; periodic; randomized ] ->
+        Printf.printf "%-14.0f | %9.0f%% %11.0f%% %11.0f%%\n" (duration *. 1000.0) none
+          periodic randomized
+      | _ -> ())
+    [ 0.01; 0.025; 0.05; 0.1; 0.2 ]
+
+(* ---------------------------------------------------------------- *)
+(* E4: verification latency vs. network size                         *)
+(* ---------------------------------------------------------------- *)
+
+let e4 () =
+  section "E4: logical verification latency vs. network size";
+  Printf.printf "%-14s %4s %5s %6s | %12s %11s | %12s\n" "topology" "sw" "hosts" "rules"
+    "reach (ms)" "rule visits" "isolate (ms)";
+  let p = Workload.Topogen.default_params in
+  let rng = Support.Rng.create 7 in
+  let cases =
+    [
+      ("fat-tree-k4", Workload.Topogen.fat_tree p ~k:4);
+      ("fat-tree-k6", Workload.Topogen.fat_tree p ~k:6);
+      ("waxman-20", Workload.Topogen.waxman p rng ~n:20 ~alpha:0.4 ~beta:0.4);
+      ("waxman-40", Workload.Topogen.waxman p rng ~n:40 ~alpha:0.4 ~beta:0.4);
+      ("waxman-80", Workload.Topogen.waxman p rng ~n:80 ~alpha:0.3 ~beta:0.3);
+    ]
+  in
+  List.iter
+    (fun (name, topo) ->
+      let s = build_scenario ~clients:4 topo in
+      Workload.Scenario.run s ~until:(Netsim.Sim.now (Netsim.Net.sim s.net) +. 0.2);
+      let flows_of sw = Rvaas.Snapshot.flows (Rvaas.Monitor.snapshot s.monitor) ~sw in
+      let rules =
+        List.fold_left
+          (fun acc sw -> acc + List.length (flows_of sw))
+          0
+          (Netsim.Topology.switches topo)
+      in
+      let att = Option.get (Netsim.Topology.host_attachment topo 0) in
+      let src_sw =
+        match att.Netsim.Topology.node with
+        | Netsim.Topology.Switch sw -> sw
+        | _ -> assert false
+      in
+      let result, reach_s =
+        wall (fun () ->
+            Rvaas.Verifier.reach ~flows_of topo ~src_sw
+              ~src_port:att.Netsim.Topology.port
+              ~hs:(Rvaas.Verifier.ip_traffic_hs ()))
+      in
+      let _, isolate_s =
+        wall (fun () ->
+            Rvaas.Service.evaluate s.service ~client:0 ~sw:src_sw
+              ~port:att.Netsim.Topology.port
+              (Rvaas.Query.make Rvaas.Query.Isolation))
+      in
+      Printf.printf "%-14s %4d %5d %6d | %12.3f %11d | %12.2f\n%!" name
+        (Workload.Topogen.switch_count topo)
+        (Workload.Topogen.host_count topo)
+        rules (1000.0 *. reach_s) result.Rvaas.Verifier.rule_visits
+        (1000.0 *. isolate_s))
+    cases
+
+(* ---------------------------------------------------------------- *)
+(* E5: verification cost vs. rule-table size / cube growth           *)
+(* ---------------------------------------------------------------- *)
+
+let e5 () =
+  section "E5: verification cost vs. extra filter rules per switch (linear-3)";
+  Printf.printf "%-12s %6s | %12s %11s\n" "extra rules" "rules" "reach (ms)" "rule visits";
+  List.iter
+    (fun extra ->
+      let topo = Workload.Topogen.linear Workload.Topogen.default_params 3 in
+      let s = build_scenario ~clients:1 topo in
+      (* Inject [extra] drop filters per switch at priority 150 with
+         varied src-prefix x dst-port matches — the pattern that makes
+         rule guards multiply into many cubes. *)
+      let conn = Sdnctl.Provider.conn s.provider in
+      List.iter
+        (fun sw ->
+          for i = 0 to extra - 1 do
+            let m =
+              Ofproto.Match_.any
+              |> fun m ->
+              Ofproto.Match_.with_exact m Hspace.Field.Eth_type Hspace.Header.eth_type_ip
+              |> fun m ->
+              Ofproto.Match_.with_prefix m Hspace.Field.Ip_src
+                ~value:((10 lsl 24) lor (i lsl 8))
+                ~prefix_len:24
+              |> fun m -> Ofproto.Match_.with_exact m Hspace.Field.Tp_dst (5000 + i)
+            in
+            let spec = Ofproto.Flow_entry.make_spec ~cookie:77 ~priority:150 m [] in
+            Netsim.Net.send s.net conn ~sw
+              (Ofproto.Message.Flow_mod (Ofproto.Message.Add_flow spec))
+          done)
+        (Netsim.Topology.switches topo);
+      Workload.Scenario.run s ~until:(Netsim.Sim.now (Netsim.Net.sim s.net) +. 0.3);
+      let flows_of sw = Rvaas.Snapshot.flows (Rvaas.Monitor.snapshot s.monitor) ~sw in
+      let rules =
+        List.fold_left
+          (fun acc sw -> acc + List.length (flows_of sw))
+          0
+          (Netsim.Topology.switches topo)
+      in
+      let att = Option.get (Netsim.Topology.host_attachment topo 0) in
+      let src_sw =
+        match att.Netsim.Topology.node with
+        | Netsim.Topology.Switch sw -> sw
+        | _ -> assert false
+      in
+      let result, reach_s =
+        wall (fun () ->
+            Rvaas.Verifier.reach ~flows_of topo ~src_sw
+              ~src_port:att.Netsim.Topology.port
+              ~hs:(Rvaas.Verifier.ip_traffic_hs ()))
+      in
+      Printf.printf "%-12d %6d | %12.3f %11d\n%!" extra rules (1000.0 *. reach_s)
+        result.Rvaas.Verifier.rule_visits)
+    [ 0; 10; 20; 40; 80 ]
+
+(* ---------------------------------------------------------------- *)
+(* E6: monitoring overhead — passive events vs. active polling       *)
+(* ---------------------------------------------------------------- *)
+
+let e6 () =
+  section "E6: monitoring overhead under configuration churn (linear-4, 2 s window)";
+  Printf.printf "%-12s %-18s | %8s %8s %8s | %10s %9s\n" "churn (/s)" "polling" "rx"
+    "events" "polls" "divergent" "age (ms)";
+  let strategies =
+    [
+      ("none", Rvaas.Monitor.No_polling);
+      ("periodic-100ms", Rvaas.Monitor.Periodic 0.1);
+      ("random-100ms", Rvaas.Monitor.Randomized 0.1);
+    ]
+  in
+  List.iter
+    (fun churn ->
+      List.iter
+        (fun (pname, polling) ->
+          let topo = Workload.Topogen.linear Workload.Topogen.default_params 4 in
+          let s = build_scenario ~clients:1 ~polling topo in
+          let conn = Sdnctl.Provider.conn s.provider in
+          let sim = Netsim.Net.sim s.net in
+          let t0 = Netsim.Sim.now sim in
+          (* Churn: add/remove a dummy rule alternately at [churn] ops/s. *)
+          let gap = 1.0 /. float_of_int churn in
+          let count = int_of_float (2.0 /. gap) in
+          for i = 0 to count - 1 do
+            let m =
+              Ofproto.Match_.with_exact Ofproto.Match_.any Hspace.Field.Tp_src 7777
+            in
+            let msg =
+              if i mod 2 = 0 then
+                Ofproto.Message.Flow_mod
+                  (Ofproto.Message.Add_flow
+                     (Ofproto.Flow_entry.make_spec ~cookie:5 ~priority:60 m []))
+              else
+                Ofproto.Message.Flow_mod
+                  (Ofproto.Message.Delete_flow { match_ = m; priority = Some 60 })
+            in
+            Netsim.Sim.schedule_at sim ~time:(t0 +. (float_of_int i *. gap)) (fun () ->
+                Netsim.Net.send s.net conn ~sw:0 msg)
+          done;
+          Workload.Scenario.run s ~until:(t0 +. 2.0);
+          let snapshot = Rvaas.Monitor.snapshot s.monitor in
+          let divergent =
+            Rvaas.Snapshot.divergence snapshot ~actual:(Workload.Scenario.actual_flows s)
+          in
+          Printf.printf "%-12d %-18s | %8d %8d %8d | %10d %9.1f\n" churn pname
+            (Netsim.Net.conn_rx (Rvaas.Monitor.conn s.monitor))
+            (Rvaas.Monitor.events_seen s.monitor)
+            (Rvaas.Monitor.polls_sent s.monitor)
+            divergent
+            (1000.0 *. Rvaas.Snapshot.age snapshot ~now:(Netsim.Sim.now sim)))
+        strategies)
+    [ 10; 100; 500 ]
+
+(* ---------------------------------------------------------------- *)
+(* E7: detection coverage across the attack taxonomy                 *)
+(* ---------------------------------------------------------------- *)
+
+type e7_row = { attack_name : string; detections : (string * bool) list }
+
+let e7 () =
+  section "E7: detection matrix — attack taxonomy x query type (ring-6, RU on sw5)";
+  let query_names = [ "isolation"; "reach"; "geo"; "path"; "fairness"; "history" ] in
+  let run_attack attack_name make_attack =
+    let topo = Workload.Topogen.ring Workload.Topogen.default_params 6 in
+    (* hosts h0..h5 on sw0..sw5; clients: even hosts -> c0, odd -> c1 *)
+    let s = build_scenario ~clients:2 topo in
+    Geo.Registry.set_switch s.geo_truth ~sw:5
+      (Geo.Location.make ~lat:55.75 ~lon:37.62 ~jurisdiction:"RU");
+    Workload.Scenario.run s ~until:(Netsim.Sim.now (Netsim.Net.sim s.net) +. 0.3);
+    let baseline = Workload.Scenario.baseline s in
+    let t_attack = Netsim.Sim.now (Netsim.Net.sim s.net) in
+    (match make_attack t_attack with
+    | None -> ()
+    | Some attack ->
+      Sdnctl.Attack.launch s.net s.addressing
+        ~conn:(Sdnctl.Provider.conn s.provider)
+        attack);
+    Workload.Scenario.run s ~until:(t_attack +. 0.5);
+    let topo_net = Netsim.Net.topology s.net in
+    let own_points = Sdnctl.Addressing.access_points s.addressing topo_net ~client:0 in
+    let peer_ip = (Option.get (Sdnctl.Addressing.host s.addressing ~host:2)).ip in
+    let policy =
+      {
+        (Workload.Scenario.policy_for s ~client:0) with
+        Rvaas.Detector.forbidden_jurisdictions = [ "RU" ];
+        min_rate_kbps = Some 1000;
+        expected_reachable = own_points;
+      }
+    in
+    let detected_by query =
+      match Workload.Scenario.query_and_wait s ~host:0 query ~timeout:2.0 with
+      | None -> false
+      | Some outcome ->
+        Rvaas.Detector.check_answer policy outcome.Rvaas.Client_agent.answer <> []
+    in
+    let scope = Rvaas.Verifier.dst_ip_hs peer_ip in
+    let detections =
+      [
+        ("isolation", detected_by (Rvaas.Query.make Rvaas.Query.Isolation));
+        ("reach", detected_by (Rvaas.Query.make Rvaas.Query.Reachable_endpoints));
+        ("geo", detected_by (Rvaas.Query.make ~scope Rvaas.Query.Geo));
+        ( "path",
+          detected_by (Rvaas.Query.make (Rvaas.Query.Path_length { dst_ip = peer_ip })) );
+        ("fairness", detected_by (Rvaas.Query.make Rvaas.Query.Fairness));
+        ( "history",
+          let entries =
+            List.filter
+              (fun (e : Rvaas.Monitor.history_entry) -> e.at > t_attack -. 1e-9)
+              (Rvaas.Monitor.history s.monitor)
+          in
+          Rvaas.Detector.check_history baseline entries
+          |> List.exists (function Rvaas.Detector.Config_drift _ -> true | _ -> false) );
+      ]
+    in
+    { attack_name; detections }
+  in
+  let rows =
+    [
+      run_attack "none (benign)" (fun _ -> None);
+      run_attack "join" (fun _ ->
+          Some (Sdnctl.Attack.Join { victim_client = 0; attacker_host = 1 }));
+      run_attack "divert via RU" (fun _ ->
+          (* The long way around the ring: through sw5 (RU) and sw4. *)
+          Some (Sdnctl.Attack.Divert { src_host = 0; dst_host = 2; via_sw = 4 }));
+      run_attack "exfiltrate" (fun _ ->
+          Some (Sdnctl.Attack.Exfiltrate { victim_host = 2; attacker_host = 1 }));
+      run_attack "blackhole" (fun _ -> Some (Sdnctl.Attack.Blackhole { victim_host = 2 }));
+      run_attack "meter squeeze" (fun _ ->
+          Some (Sdnctl.Attack.Meter_squeeze { victim_host = 2; rate_kbps = 50 }));
+      run_attack "transient" (fun now ->
+          Some
+            (Sdnctl.Attack.Transient
+               {
+                 attack = Sdnctl.Attack.Blackhole { victim_host = 2 };
+                 start = now +. 0.05;
+                 duration = 0.05;
+               }));
+    ]
+  in
+  Printf.printf "%-16s |" "attack";
+  List.iter (fun q -> Printf.printf " %-9s" q) query_names;
+  print_newline ();
+  List.iter
+    (fun { attack_name; detections } ->
+      Printf.printf "%-16s |" attack_name;
+      List.iter
+        (fun q ->
+          let hit = List.assoc q detections in
+          Printf.printf " %-9s" (if hit then "DETECT" else "-"))
+        query_names;
+      print_newline ())
+    rows
+
+(* ---------------------------------------------------------------- *)
+(* E8: geo-inference accuracy of the three location modes            *)
+(* ---------------------------------------------------------------- *)
+
+let e8 () =
+  section "E8: switch-location inference accuracy (waxman-30, ground truth known)";
+  let rng = Support.Rng.create 99 in
+  let topo =
+    Workload.Topogen.waxman Workload.Topogen.default_params rng ~n:30 ~alpha:0.4
+      ~beta:0.4
+  in
+  let jurisdictions = [ "EU"; "US"; "CH"; "JP" ] in
+  let switch_locations =
+    List.map
+      (fun sw -> (sw, Geo.Location.random rng ~jurisdictions))
+      (Netsim.Topology.switches topo)
+  in
+  let jitter (l : Geo.Location.t) spread =
+    Geo.Location.make
+      ~lat:
+        (Float.max (-90.)
+           (Float.min 90. (l.lat +. Support.Rng.float rng spread -. (spread /. 2.0))))
+      ~lon:(l.lon +. Support.Rng.float rng spread -. (spread /. 2.0))
+      ~jurisdiction:l.jurisdiction
+  in
+  (* Crowd-sourced reports: each host reports its own (jittered) position;
+     ~70% of switches have at least one attached reporting client. *)
+  let client_reports =
+    List.filter_map
+      (fun host ->
+        match Netsim.Topology.host_attachment topo host with
+        | Some { Netsim.Topology.node = Netsim.Topology.Switch sw; _ } ->
+          if Support.Rng.bernoulli rng 0.7 then
+            Some (jitter (List.assoc sw switch_locations) 0.5, sw)
+          else None
+        | Some _ | None -> None)
+      (Netsim.Topology.hosts topo)
+  in
+  (* Geo-IP: per-switch /24 management prefixes; the public table knows
+     ~80% of them, at city-level (jittered) accuracy. *)
+  let switch_mgmt_ip =
+    List.map
+      (fun (sw, _) -> (sw, (10 lsl 24) lor (255 lsl 16) lor (sw lsl 8) lor 1))
+      switch_locations
+  in
+  let geoip_table =
+    List.filter_map
+      (fun (sw, loc) ->
+        if Support.Rng.bernoulli rng 0.8 then
+          Some ((10 lsl 24) lor (255 lsl 16) lor (sw lsl 8), 24, jitter loc 1.0)
+        else None)
+      switch_locations
+  in
+  let gt = { Geo.Infer.switch_locations; client_reports; switch_mgmt_ip } in
+  let truth = Geo.Infer.disclosed gt in
+  let sws = Netsim.Topology.switches topo in
+  let report name believed =
+    let coverage = Geo.Registry.coverage believed ~sws in
+    let err = Geo.Infer.mean_error_km ~truth ~believed in
+    let acc = Geo.Infer.jurisdiction_accuracy ~truth ~believed in
+    Printf.printf "%-18s | %8.0f%% | %14s | %16s\n" name (100.0 *. coverage)
+      (match err with None -> "n/a" | Some e -> Printf.sprintf "%.1f km" e)
+      (match acc with None -> "n/a" | Some a -> Printf.sprintf "%.0f%%" (100.0 *. a))
+  in
+  Printf.printf "%-18s | %9s | %14s | %16s\n" "mode" "coverage" "mean error"
+    "jurisdiction ok";
+  report "disclosed" (Geo.Infer.disclosed gt);
+  report "crowd-sourced" (Geo.Infer.crowd_sourced gt);
+  report "geo-ip" (Geo.Infer.geo_ip gt ~table:geoip_table)
+
+(* ---------------------------------------------------------------- *)
+(* E9: ablation -- lazy shadow subtraction vs. materialised guards   *)
+(* ---------------------------------------------------------------- *)
+
+let e9 () =
+  section
+    "E9: ablation -- verifier guard representation (linear-3 + overlapping filters)\n\
+     lazy = shadows subtracted per propagated set (Verifier);\n\
+     eager = guards materialised as cube unions (Verifier_ref)";
+  Printf.printf "%-12s | %12s %12s | %9s\n" "extra rules" "lazy (ms)" "eager (ms)"
+    "speedup";
+  List.iter
+    (fun extra ->
+      let topo = Workload.Topogen.linear Workload.Topogen.default_params 3 in
+      let s = build_scenario ~clients:1 topo in
+      let conn = Sdnctl.Provider.conn s.provider in
+      List.iter
+        (fun sw ->
+          for i = 0 to extra - 1 do
+            let m =
+              Ofproto.Match_.any
+              |> fun m ->
+              Ofproto.Match_.with_exact m Hspace.Field.Eth_type Hspace.Header.eth_type_ip
+              |> fun m ->
+              Ofproto.Match_.with_prefix m Hspace.Field.Ip_src
+                ~value:((10 lsl 24) lor (i lsl 8))
+                ~prefix_len:24
+              |> fun m -> Ofproto.Match_.with_exact m Hspace.Field.Tp_dst (5000 + i)
+            in
+            let spec = Ofproto.Flow_entry.make_spec ~cookie:77 ~priority:150 m [] in
+            Netsim.Net.send s.net conn ~sw
+              (Ofproto.Message.Flow_mod (Ofproto.Message.Add_flow spec))
+          done)
+        (Netsim.Topology.switches topo);
+      Workload.Scenario.run s ~until:(Netsim.Sim.now (Netsim.Net.sim s.net) +. 0.3);
+      let flows_of = Workload.Scenario.actual_flows s in
+      let att = Option.get (Netsim.Topology.host_attachment topo 0) in
+      let src_sw =
+        match att.Netsim.Topology.node with
+        | Netsim.Topology.Switch sw -> sw
+        | _ -> assert false
+      in
+      let hs = Rvaas.Verifier.ip_traffic_hs () in
+      let _, lazy_s =
+        wall (fun () ->
+            Rvaas.Verifier.reach ~flows_of topo ~src_sw
+              ~src_port:att.Netsim.Topology.port ~hs)
+      in
+      (* The eager representation is super-exponential in overlapping
+         filters: beyond one extra rule it does not terminate in
+         reasonable time, which is the ablation's finding. *)
+      if extra <= 1 then begin
+        let _, eager_s =
+          wall (fun () ->
+              Rvaas.Verifier_ref.reach ~flows_of topo ~src_sw
+                ~src_port:att.Netsim.Topology.port ~hs)
+        in
+        Printf.printf "%-12d | %12.3f %12.3f | %8.1fx\n%!" extra (1000.0 *. lazy_s)
+          (1000.0 *. eager_s)
+          (eager_s /. Float.max 1e-9 lazy_s)
+      end
+      else
+        Printf.printf "%-12d | %12.3f %12s | %9s\n%!" extra (1000.0 *. lazy_s)
+          "(diverges)" "-")
+    [ 0; 1; 2; 5; 10 ]
+
+(* ---------------------------------------------------------------- *)
+(* E10: federated queries across provider domains (section IV-C.a)   *)
+(* ---------------------------------------------------------------- *)
+
+let e10 () =
+  section "E10: federated reachability across provider domains (linear-12)";
+  Printf.printf "%-10s | %9s %11s %10s | %10s\n" "domains" "endpoints" "sub-queries"
+    "domains hit" "wall (ms)";
+  List.iter
+    (fun domain_count ->
+      let switches = 12 in
+      let topo = Workload.Topogen.linear Workload.Topogen.default_params switches in
+      let s =
+        Workload.Scenario.build
+          { (Workload.Scenario.default_spec topo) with clients = 1; isolation = false }
+      in
+      Workload.Scenario.run s ~until:(Netsim.Sim.now (Netsim.Net.sim s.net) +. 0.3);
+      let rng = Support.Rng.create 12 in
+      let per_domain = switches / domain_count in
+      let domains =
+        List.init domain_count (fun d ->
+            let lo = d * per_domain in
+            let hi = if d = domain_count - 1 then switches - 1 else lo + per_domain - 1 in
+            {
+              Rvaas.Federation.name = Printf.sprintf "provider-%d" d;
+              member = (fun sw -> sw >= lo && sw <= hi);
+              flows_of = Workload.Scenario.actual_flows s;
+              geo = s.geo_truth;
+              keypair =
+                Cryptosim.Keys.generate rng ~owner:(Printf.sprintf "provider-%d" d);
+            })
+      in
+      let fed = Rvaas.Federation.create topo domains in
+      let result, wall_s =
+        wall (fun () ->
+            Rvaas.Federation.reach fed ~start_domain:"provider-0" ~src_sw:0 ~src_port:0
+              ~hs:(Rvaas.Verifier.ip_traffic_hs ()))
+      in
+      Printf.printf "%-10d | %9d %11d %10d | %10.3f\n%!" domain_count
+        (List.length result.Rvaas.Federation.endpoints)
+        result.Rvaas.Federation.sub_queries
+        (List.length result.Rvaas.Federation.domains_traversed)
+        (1000.0 *. wall_s))
+    [ 1; 2; 3; 4; 6 ]
+
+(* ---------------------------------------------------------------- *)
+(* E11: incremental verification context under configuration churn   *)
+(* ---------------------------------------------------------------- *)
+
+let e11 () =
+  section
+    "E11: incremental vs. fresh verification context under churn (waxman-40)\n\
+     isolation-style batches (one reach per access point) interleaved with\n\
+     rule churn on one switch; fresh rebuilds all guards per batch,\n\
+     incremental invalidates only the churned switch";
+  Printf.printf "%-14s | %14s %14s | %9s\n" "batches" "fresh (ms/b)" "incremental"
+    "speedup";
+  List.iter
+    (fun batches ->
+      let rng = Support.Rng.create 7 in
+      let topo =
+        Workload.Topogen.waxman Workload.Topogen.default_params rng ~n:40 ~alpha:0.4
+          ~beta:0.4
+      in
+      let s = build_scenario ~clients:2 topo in
+      Workload.Scenario.run s ~until:(Netsim.Sim.now (Netsim.Net.sim s.net) +. 0.2);
+      let flows_of sw = Rvaas.Snapshot.flows (Rvaas.Monitor.snapshot s.monitor) ~sw in
+      let net_topo = Netsim.Net.topology s.net in
+      let points = Rvaas.Verifier.access_points net_topo in
+      let hs = Rvaas.Verifier.ip_traffic_hs () in
+      let apply_churn i =
+        let m =
+          Ofproto.Match_.with_exact Ofproto.Match_.any Hspace.Field.Tp_src (10000 + i)
+        in
+        Ofproto.Flow_table.add
+          (Netsim.Net.table s.net ~sw:0)
+          (Ofproto.Flow_entry.make_spec ~cookie:9 ~priority:50 m [])
+          ~now:0.0
+      in
+      let batch ctx =
+        List.iter
+          (fun (p : Rvaas.Verifier.endpoint) ->
+            ignore (Rvaas.Verifier.reach_in ctx ~src_sw:p.sw ~src_port:p.port ~hs))
+          points
+      in
+      let run_mode ~incremental =
+        let ctx = ref (Rvaas.Verifier.context ~flows_of net_topo) in
+        let t0 = Sys.time () in
+        for i = 0 to batches - 1 do
+          apply_churn i;
+          if incremental then Rvaas.Verifier.invalidate_switch !ctx ~sw:0
+          else ctx := Rvaas.Verifier.context ~flows_of net_topo;
+          batch !ctx
+        done;
+        (Sys.time () -. t0) /. float_of_int batches
+      in
+      let fresh = run_mode ~incremental:false in
+      let incremental = run_mode ~incremental:true in
+      Printf.printf "%-14d | %14.1f %14.1f | %8.1fx\n%!" batches (1000.0 *. fresh)
+        (1000.0 *. incremental)
+        (fresh /. Float.max 1e-9 incremental))
+    [ 3; 6 ]
+
+(* ---------------------------------------------------------------- *)
+(* E12: configuration vs. behaviour -- meter rate vs. goodput        *)
+(* ---------------------------------------------------------------- *)
+
+let e12 () =
+  section
+    "E12: fairness -- configured meter rate vs. observed goodput (linear-3)\n\
+     offered load 1600 kbps; the Fairness query reads the configuration,\n\
+     the traffic generator observes the data plane";
+  Printf.printf "%-12s | %16s | %14s\n" "meter (kbps)" "fairness answer" "goodput (kbps)";
+  List.iter
+    (fun meter_rate ->
+      let topo = Workload.Topogen.linear Workload.Topogen.default_params 3 in
+      let s = build_scenario ~clients:1 topo in
+      (match meter_rate with
+      | None -> ()
+      | Some rate_kbps ->
+        Sdnctl.Attack.launch s.net s.addressing
+          ~conn:(Sdnctl.Provider.conn s.provider)
+          (Sdnctl.Attack.Meter_squeeze { victim_host = 2; rate_kbps });
+        Workload.Scenario.run s ~until:(Netsim.Sim.now (Netsim.Net.sim s.net) +. 0.2));
+      (* Configuration view via the Fairness query evaluation. *)
+      let att = Option.get (Netsim.Topology.host_attachment (Netsim.Net.topology s.net) 0) in
+      let src_sw =
+        match att.Netsim.Topology.node with
+        | Netsim.Topology.Switch sw -> sw
+        | _ -> assert false
+      in
+      let answer, _ =
+        Rvaas.Service.evaluate s.service ~client:0 ~sw:src_sw
+          ~port:att.Netsim.Topology.port
+          (Rvaas.Query.make Rvaas.Query.Fairness)
+      in
+      let reported =
+        match answer.Rvaas.Query.meters with
+        | [] -> "no meters"
+        | meters ->
+          String.concat ", "
+            (List.map (fun (_, rate) -> string_of_int rate ^ " kbps") meters)
+      in
+      (* Behaviour via the traffic generator. *)
+      let t0 = Netsim.Sim.now (Netsim.Net.sim s.net) in
+      let flow =
+        Workload.Trafficgen.make_flow s ~src_host:0 ~dst_host:2 ~rate_pps:400.0
+          ~size_bytes:500 ~start:(t0 +. 0.01) ~duration:1.0
+      in
+      let goodput =
+        match Workload.Trafficgen.run s [ flow ] ~until:(t0 +. 2.0) with
+        | [ r ] -> Workload.Trafficgen.goodput_kbps r
+        | _ -> 0.0
+      in
+      Printf.printf "%-12s | %16s | %14.0f\n%!"
+        (match meter_rate with None -> "none" | Some r -> string_of_int r)
+        reported goodput)
+    [ None; Some 50; Some 100; Some 500; Some 1000 ]
+
+(* ---------------------------------------------------------------- *)
+(* Micro-benchmarks (Bechamel)                                       *)
+(* ---------------------------------------------------------------- *)
+
+let micro () =
+  section "micro: core kernels (Bechamel OLS, time per call)";
+  let open Bechamel in
+  let rng = Support.Rng.create 4242 in
+  let w = Hspace.Field.total_width in
+  let cube_a = Hspace.Tern.random rng w ~fixed_prob:0.3 in
+  let cube_b = Hspace.Tern.random rng w ~fixed_prob:0.3 in
+  let hs_a =
+    Hspace.Hs.of_cubes w (List.init 8 (fun _ -> Hspace.Tern.random rng w ~fixed_prob:0.3))
+  in
+  let hs_b =
+    Hspace.Hs.of_cubes w (List.init 8 (fun _ -> Hspace.Tern.random rng w ~fixed_prob:0.3))
+  in
+  (* A 100-rule flow table and a header matching only the last rule. *)
+  let table = Ofproto.Flow_table.create () in
+  for i = 0 to 99 do
+    let m = Ofproto.Match_.with_exact Ofproto.Match_.any Hspace.Field.Ip_dst (1000 + i) in
+    Ofproto.Flow_table.add table
+      (Ofproto.Flow_entry.make_spec ~priority:(100 + i) m [ Ofproto.Action.Output 1 ])
+      ~now:0.0
+  done;
+  let header = Hspace.Header.udp ~src_ip:1 ~dst_ip:1099 ~src_port:1 ~dst_port:2 in
+  (* A settled fat-tree scenario for the reachability kernel. *)
+  let topo = Workload.Topogen.fat_tree Workload.Topogen.default_params ~k:4 in
+  let s = build_scenario topo in
+  Workload.Scenario.run s ~until:(Netsim.Sim.now (Netsim.Net.sim s.net) +. 0.2);
+  let flows_of sw = Rvaas.Snapshot.flows (Rvaas.Monitor.snapshot s.monitor) ~sw in
+  let att = Option.get (Netsim.Topology.host_attachment topo 0) in
+  let src_sw =
+    match att.Netsim.Topology.node with
+    | Netsim.Topology.Switch sw -> sw
+    | _ -> assert false
+  in
+  let snapshot = Rvaas.Monitor.snapshot s.monitor in
+  let service_kp = Cryptosim.Keys.generate rng ~owner:"bench" in
+  let empty_answer =
+    {
+      Rvaas.Query.nonce = "n";
+      kind = Rvaas.Query.Isolation;
+      endpoints = [];
+      total_auth_requests = 0;
+      auth_replies = 0;
+      jurisdictions = [];
+      path_hops = None;
+      meters = [];
+      transfer = [];
+      snapshot_age = 0.0;
+    }
+  in
+  let tests =
+    [
+      Test.make ~name:"tern_inter" (Staged.stage (fun () -> Hspace.Tern.inter cube_a cube_b));
+      Test.make ~name:"tern_diff" (Staged.stage (fun () -> Hspace.Tern.diff cube_a cube_b));
+      Test.make ~name:"hs_inter" (Staged.stage (fun () -> Hspace.Hs.inter hs_a hs_b));
+      Test.make ~name:"hs_diff" (Staged.stage (fun () -> Hspace.Hs.diff hs_a hs_b));
+      Test.make ~name:"flow_lookup_100"
+        (Staged.stage (fun () -> Ofproto.Flow_table.lookup table ~in_port:0 header));
+      Test.make ~name:"reach_fattree_k4"
+        (Staged.stage (fun () ->
+             Rvaas.Verifier.reach ~flows_of topo ~src_sw
+               ~src_port:att.Netsim.Topology.port
+               ~hs:(Rvaas.Verifier.dst_ip_hs 0x0A000002)));
+      Test.make ~name:"snapshot_digest"
+        (Staged.stage (fun () -> Rvaas.Snapshot.digest snapshot));
+      Test.make ~name:"answer_codec"
+        (Staged.stage (fun () -> Rvaas.Codec.encode_answer empty_answer ~signer:service_kp));
+    ]
+  in
+  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.25) ~kde:None () in
+  let instance = Toolkit.Instance.monotonic_clock in
+  Printf.printf "%-22s %15s\n" "kernel" "ns/call";
+  List.iter
+    (fun test ->
+      let raw = Benchmark.all cfg [ instance ] test in
+      let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
+      let results = Analyze.all ols instance raw in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some [ ns ] -> Printf.printf "%-22s %15.1f\n" name ns
+          | Some _ | None -> Printf.printf "%-22s %15s\n" name "n/a")
+        results)
+    tests
+
+(* ---------------------------------------------------------------- *)
+
+let experiments =
+  [
+    ("e1", e1);
+    ("e2", e2);
+    ("e3", e3);
+    ("e4", e4);
+    ("e5", e5);
+    ("e6", e6);
+    ("e7", e7);
+    ("e8", e8);
+    ("e9", e9);
+    ("e10", e10);
+    ("e11", e11);
+    ("e12", e12);
+    ("micro", micro);
+  ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let selected =
+    match args with
+    | [] | [ "all" ] -> List.map fst experiments
+    | names -> names
+  in
+  print_endline "RVaaS experiment harness (see EXPERIMENTS.md for the index)";
+  List.iter
+    (fun name ->
+      match List.assoc_opt name experiments with
+      | Some f ->
+        f ();
+        flush stdout
+      | None ->
+        Printf.printf "unknown experiment %S (known: %s)\n" name
+          (String.concat ", " (List.map fst experiments)))
+    selected

@@ -1,0 +1,335 @@
+(* rvaas-cli: run RVaaS deployments, queries and attack scenarios from
+   the command line.
+
+     dune exec bin/rvaas_cli.exe -- query --topo fat-tree --size 4 \
+       --kind isolation --host 0
+     dune exec bin/rvaas_cli.exe -- attack --attack join --kind isolation
+     dune exec bin/rvaas_cli.exe -- topo --topo waxman --size 30
+     dune exec bin/rvaas_cli.exe -- monitor --polling random --loss 0.8 *)
+
+open Cmdliner
+
+(* ---- shared options ---- *)
+
+let topo_conv =
+  Arg.enum
+    [
+      ("linear", `Linear);
+      ("ring", `Ring);
+      ("star", `Star);
+      ("grid", `Grid);
+      ("fat-tree", `Fat_tree);
+      ("waxman", `Waxman);
+      ("isp", `Isp);
+    ]
+
+let topo_arg =
+  Arg.(value & opt topo_conv `Linear & info [ "topo" ] ~docv:"KIND" ~doc:"Topology kind.")
+
+let size_arg =
+  Arg.(
+    value & opt int 4
+    & info [ "size" ] ~docv:"N"
+        ~doc:"Topology size (switch count; k for fat-tree; side for grid).")
+
+let clients_arg =
+  Arg.(value & opt int 2 & info [ "clients" ] ~docv:"N" ~doc:"Number of clients.")
+
+let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let host_arg =
+  Arg.(value & opt int 0 & info [ "host" ] ~docv:"H" ~doc:"Requesting host id.")
+
+let polling_conv =
+  Arg.enum [ ("none", `None); ("periodic", `Periodic); ("random", `Random) ]
+
+let polling_arg =
+  Arg.(
+    value & opt polling_conv `Random
+    & info [ "polling" ] ~docv:"MODE" ~doc:"Configuration polling mode.")
+
+let poll_period_arg =
+  Arg.(
+    value & opt float 0.05
+    & info [ "poll-period" ] ~docv:"SECONDS" ~doc:"Poll period or mean gap.")
+
+let loss_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "loss" ] ~docv:"P" ~doc:"Monitor-event loss probability on the RVaaS channel.")
+
+let make_topo kind size =
+  let p = Workload.Topogen.default_params in
+  match kind with
+  | `Linear -> Workload.Topogen.linear p size
+  | `Ring -> Workload.Topogen.ring p (max 3 size)
+  | `Star -> Workload.Topogen.star p size
+  | `Grid -> Workload.Topogen.grid p ~rows:size ~cols:size
+  | `Fat_tree -> Workload.Topogen.fat_tree p ~k:(if size mod 2 = 0 then size else size + 1)
+  | `Waxman ->
+    Workload.Topogen.waxman p (Support.Rng.create 7) ~n:size ~alpha:0.4 ~beta:0.4
+  | `Isp -> Workload.Topogen.isp p ~core:(max 3 size) ~pops_per_core:2
+
+let make_polling mode period =
+  match mode with
+  | `None -> Rvaas.Monitor.No_polling
+  | `Periodic -> Rvaas.Monitor.Periodic period
+  | `Random -> Rvaas.Monitor.Randomized period
+
+let build kind size clients seed polling period loss =
+  let topo = make_topo kind size in
+  Workload.Scenario.build
+    {
+      (Workload.Scenario.default_spec topo) with
+      clients;
+      seed;
+      polling = make_polling polling period;
+      rvaas_loss = loss;
+    }
+
+(* ---- topo subcommand ---- *)
+
+let topo_cmd =
+  let run kind size =
+    let topo = make_topo kind size in
+    Printf.printf "switches: %d\nhosts: %d\nlinks: %d\n"
+      (Workload.Topogen.switch_count topo)
+      (Workload.Topogen.host_count topo)
+      (List.length (Netsim.Topology.links topo));
+    List.iter
+      (fun (l : Netsim.Topology.link) ->
+        Format.printf "  %a -- %a (%.1f us)@." Netsim.Topology.pp_endpoint l.a
+          Netsim.Topology.pp_endpoint l.b (1e6 *. l.delay))
+      (Netsim.Topology.links topo);
+    0
+  in
+  Cmd.v
+    (Cmd.info "topo" ~doc:"Print a generated topology's wiring plan.")
+    Term.(const run $ topo_arg $ size_arg)
+
+(* ---- query subcommand ---- *)
+
+let kind_conv =
+  Arg.enum
+    [
+      ("isolation", `Isolation);
+      ("reachable", `Reachable);
+      ("sources", `Sources);
+      ("geo", `Geo);
+      ("fairness", `Fairness);
+      ("transfer", `Transfer);
+    ]
+
+let kind_arg =
+  Arg.(
+    value & opt kind_conv `Isolation & info [ "kind" ] ~docv:"KIND" ~doc:"Query kind.")
+
+let to_query = function
+  | `Isolation -> Rvaas.Query.make Rvaas.Query.Isolation
+  | `Reachable -> Rvaas.Query.make Rvaas.Query.Reachable_endpoints
+  | `Sources -> Rvaas.Query.make Rvaas.Query.Sources_reaching_me
+  | `Geo -> Rvaas.Query.make Rvaas.Query.Geo
+  | `Fairness -> Rvaas.Query.make Rvaas.Query.Fairness
+  | `Transfer -> Rvaas.Query.make Rvaas.Query.Transfer_summary
+
+let run_query s ~host query =
+  match Workload.Scenario.query_and_wait s ~host query ~timeout:2.0 with
+  | None ->
+    print_endline "no answer (timeout)";
+    1
+  | Some outcome ->
+    Format.printf "%a@." Rvaas.Query.pp_answer outcome.Rvaas.Client_agent.answer;
+    Printf.printf "round-trip: %.3f ms\n"
+      (1000.0 *. (outcome.answered_at -. outcome.issued_at));
+    let info = Option.get (Sdnctl.Addressing.host s.addressing ~host) in
+    let policy = Workload.Scenario.policy_for s ~client:info.client in
+    (match Rvaas.Detector.check_answer policy outcome.Rvaas.Client_agent.answer with
+    | [] ->
+      print_endline "policy check: clean";
+      0
+    | alarms ->
+      List.iter (fun a -> Printf.printf "ALARM: %s\n" (Rvaas.Detector.describe a)) alarms;
+      2)
+
+let query_cmd =
+  let run kind size clients seed polling period loss host qkind =
+    let s = build kind size clients seed polling period loss in
+    run_query s ~host (to_query qkind)
+  in
+  Cmd.v
+    (Cmd.info "query" ~doc:"Run one client query against a fresh deployment.")
+    Term.(
+      const run $ topo_arg $ size_arg $ clients_arg $ seed_arg $ polling_arg
+      $ poll_period_arg $ loss_arg $ host_arg $ kind_arg)
+
+(* ---- attack subcommand ---- *)
+
+let attack_conv =
+  Arg.enum
+    [
+      ("join", `Join);
+      ("exfiltrate", `Exfiltrate);
+      ("blackhole", `Blackhole);
+      ("meter", `Meter);
+      ("transient-blackhole", `Transient);
+    ]
+
+let attack_arg =
+  Arg.(
+    value & opt attack_conv `Join & info [ "attack" ] ~docv:"ATTACK" ~doc:"Attack to launch.")
+
+let attack_cmd =
+  let run kind size clients seed polling period loss host qkind attack =
+    let s = build kind size clients seed polling period loss in
+    let now () = Netsim.Sim.now (Netsim.Net.sim s.net) in
+    let attack_value =
+      match attack with
+      | `Join -> Sdnctl.Attack.Join { victim_client = 0; attacker_host = 1 }
+      | `Exfiltrate -> Sdnctl.Attack.Exfiltrate { victim_host = 2; attacker_host = 1 }
+      | `Blackhole -> Sdnctl.Attack.Blackhole { victim_host = 2 }
+      | `Meter -> Sdnctl.Attack.Meter_squeeze { victim_host = 2; rate_kbps = 50 }
+      | `Transient ->
+        Sdnctl.Attack.Transient
+          {
+            attack = Sdnctl.Attack.Blackhole { victim_host = 2 };
+            start = now () +. 0.05;
+            duration = 0.05;
+          }
+    in
+    Printf.printf "launching: %s\n" (Sdnctl.Attack.describe attack_value);
+    Sdnctl.Attack.launch s.net s.addressing
+      ~conn:(Sdnctl.Provider.conn s.provider)
+      attack_value;
+    Workload.Scenario.run s ~until:(now () +. 0.3);
+    run_query s ~host (to_query qkind)
+  in
+  Cmd.v
+    (Cmd.info "attack"
+       ~doc:"Launch an attack through the compromised provider, then query.")
+    Term.(
+      const run $ topo_arg $ size_arg $ clients_arg $ seed_arg $ polling_arg
+      $ poll_period_arg $ loss_arg $ host_arg $ kind_arg $ attack_arg)
+
+(* ---- monitor subcommand ---- *)
+
+let monitor_cmd =
+  let run kind size clients seed polling period loss =
+    let s = build kind size clients seed polling period loss in
+    Workload.Scenario.run s ~until:(Netsim.Sim.now (Netsim.Net.sim s.net) +. 1.0) ;
+    let snapshot = Rvaas.Monitor.snapshot s.monitor in
+    Printf.printf "switches monitored: %d\n" (List.length (Rvaas.Snapshot.switches snapshot));
+    Printf.printf "believed rules: %d\n" (Rvaas.Snapshot.total_flows snapshot);
+    Printf.printf "events seen: %d (lost: %d)\n"
+      (Rvaas.Monitor.events_seen s.monitor)
+      (Netsim.Net.conn_lost (Rvaas.Monitor.conn s.monitor));
+    Printf.printf "polls sent: %d\n" (Rvaas.Monitor.polls_sent s.monitor);
+    Printf.printf "divergent switches vs. data plane: %d\n"
+      (Rvaas.Snapshot.divergence snapshot ~actual:(Workload.Scenario.actual_flows s));
+    Printf.printf "snapshot age: %.1f ms\n"
+      (1000.0 *. Rvaas.Snapshot.age snapshot ~now:(Netsim.Sim.now (Netsim.Net.sim s.net)));
+    Printf.printf "history entries: %d\n" (List.length (Rvaas.Monitor.history s.monitor));
+    0
+  in
+  Cmd.v
+    (Cmd.info "monitor" ~doc:"Report configuration-monitoring statistics after 1 s.")
+    Term.(
+      const run $ topo_arg $ size_arg $ clients_arg $ seed_arg $ polling_arg
+      $ poll_period_arg $ loss_arg)
+
+(* ---- wiring subcommand ---- *)
+
+let wiring_cmd =
+  let run kind size clients seed polling period loss =
+    let s = build kind size clients seed polling period loss in
+    let report = ref None in
+    Rvaas.Monitor.verify_wiring s.monitor ~timeout:0.5 ~on_complete:(fun r ->
+        report := Some r);
+    Workload.Scenario.run s ~until:(Netsim.Sim.now (Netsim.Net.sim s.net) +. 1.0);
+    match !report with
+    | None ->
+      print_endline "verification did not complete";
+      1
+    | Some r ->
+      Printf.printf "probes sent: %d\nconfirmed: %d\nmisdelivered: %d\nmissing: %d\n"
+        r.Rvaas.Monitor.probes_sent r.confirmed
+        (List.length r.misdelivered) (List.length r.missing);
+      List.iter
+        (fun (sw, port) -> Printf.printf "  missing: probe out of sw%d port %d\n" sw port)
+        r.missing;
+      if r.misdelivered = [] && r.missing = [] then begin
+        print_endline "wiring matches the trusted plan";
+        0
+      end
+      else 2
+  in
+  Cmd.v
+    (Cmd.info "wiring" ~doc:"Verify the physical wiring with LLDP-like probes.")
+    Term.(
+      const run $ topo_arg $ size_arg $ clients_arg $ seed_arg $ polling_arg
+      $ poll_period_arg $ loss_arg)
+
+(* ---- traceback subcommand ---- *)
+
+let traceback_cmd =
+  let run kind size clients seed polling period loss attack =
+    let s = build kind size clients seed polling period loss in
+    Workload.Scenario.run s ~until:(Netsim.Sim.now (Netsim.Net.sim s.net) +. 0.3);
+    let snapshot = Rvaas.Monitor.snapshot s.monitor in
+    let baseline_flows =
+      List.map
+        (fun sw -> (sw, Rvaas.Snapshot.flows snapshot ~sw))
+        (Rvaas.Snapshot.switches snapshot)
+    in
+    let now () = Netsim.Sim.now (Netsim.Net.sim s.net) in
+    let attack_value =
+      match attack with
+      | `Join -> Sdnctl.Attack.Join { victim_client = 0; attacker_host = 1 }
+      | `Exfiltrate -> Sdnctl.Attack.Exfiltrate { victim_host = 2; attacker_host = 1 }
+      | `Blackhole -> Sdnctl.Attack.Blackhole { victim_host = 2 }
+      | `Meter -> Sdnctl.Attack.Meter_squeeze { victim_host = 2; rate_kbps = 50 }
+      | `Transient ->
+        Sdnctl.Attack.Transient
+          {
+            attack = Sdnctl.Attack.Join { victim_client = 0; attacker_host = 1 };
+            start = now () +. 0.05;
+            duration = 0.1;
+          }
+    in
+    Printf.printf "launching: %s\n" (Sdnctl.Attack.describe attack_value);
+    Sdnctl.Attack.launch s.net s.addressing
+      ~conn:(Sdnctl.Provider.conn s.provider)
+      attack_value;
+    Workload.Scenario.run s ~until:(now () +. 0.5);
+    let topo = Netsim.Net.topology s.net in
+    let victim =
+      List.find
+        (fun (e : Rvaas.Verifier.endpoint) -> e.host = 0)
+        (Rvaas.Verifier.access_points topo)
+    in
+    let incidents =
+      Rvaas.Traceback.investigate ~baseline_flows
+        ~history:(Rvaas.Monitor.history s.monitor) topo ~victim
+    in
+    if incidents = [] then begin
+      print_endline "no foreign rules in the monitored history";
+      0
+    end
+    else begin
+      List.iter (fun i -> Format.printf "%a@." Rvaas.Traceback.pp_incident i) incidents;
+      2
+    end
+  in
+  Cmd.v
+    (Cmd.info "traceback"
+       ~doc:"Launch an attack, then trace its ingress points from the history.")
+    Term.(
+      const run $ topo_arg $ size_arg $ clients_arg $ seed_arg $ polling_arg
+      $ poll_period_arg $ loss_arg $ attack_arg)
+
+let main =
+  Cmd.group
+    (Cmd.info "rvaas-cli" ~version:"1.0.0"
+       ~doc:"Routing-Verification-as-a-Service: deployments, queries and attacks.")
+    [ topo_cmd; query_cmd; attack_cmd; monitor_cmd; wiring_cmd; traceback_cmd ]
+
+let () = exit (Cmd.eval' main)

@@ -1,0 +1,1 @@
+examples/audit.ml: Format List Netsim Printf Rvaas Sdnctl Workload

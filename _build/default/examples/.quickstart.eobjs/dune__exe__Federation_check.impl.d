@@ -1,0 +1,1 @@
+examples/federation_check.ml: Cryptosim Geo List Netsim Printf Rvaas String Support Workload

@@ -1,0 +1,1 @@
+examples/geo_compliance.ml: Geo List Netsim Option Printf Rvaas Sdnctl String Workload

@@ -1,0 +1,1 @@
+examples/isolation_check.ml: List Netsim Ofproto Printf Rvaas Sdnctl Workload

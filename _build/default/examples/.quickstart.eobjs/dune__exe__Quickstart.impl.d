@@ -1,0 +1,1 @@
+examples/quickstart.ml: Cryptosim Format List Printf Rvaas Workload

@@ -1,0 +1,1 @@
+lib/cryptosim/attest.ml: Hash Hmac String

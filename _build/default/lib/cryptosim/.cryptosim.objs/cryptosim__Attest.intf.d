@@ -1,0 +1,1 @@
+lib/cryptosim/attest.mli:

@@ -1,0 +1,1 @@
+lib/cryptosim/box.ml: Buffer Char Hash Int64 Keys String

@@ -1,0 +1,1 @@
+lib/cryptosim/box.mli: Keys

@@ -1,0 +1,1 @@
+lib/cryptosim/hash.ml: Char Int64 Printf String

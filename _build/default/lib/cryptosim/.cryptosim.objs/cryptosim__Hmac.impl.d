@@ -1,0 +1,1 @@
+lib/cryptosim/hmac.ml: Hash String Support

@@ -1,0 +1,1 @@
+lib/cryptosim/keys.ml: Hash Hashtbl Hmac

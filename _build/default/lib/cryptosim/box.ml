@@ -1,0 +1,35 @@
+(* Layout: recipient-digest (16 hex) ^ integrity tag (16 hex) ^ keystream(body). *)
+
+let keystream key len =
+  let buffer = Buffer.create len in
+  let block = ref (Hash.digest ("stream:" ^ key)) in
+  while Buffer.length buffer < len do
+    block := Hash.combine !block 0x5DEECE66DL;
+    for i = 0 to 7 do
+      if Buffer.length buffer < len then
+        Buffer.add_char buffer
+          (Char.chr (Int64.to_int (Int64.shift_right_logical !block (8 * i)) land 0xFF))
+    done
+  done;
+  Buffer.contents buffer
+
+let xor_with key s =
+  let ks = keystream key (String.length s) in
+  String.mapi (fun i c -> Char.chr (Char.code c lxor Char.code ks.[i])) s
+
+let seal ~recipient plaintext =
+  let tag = Hash.digest_hex (recipient ^ ":" ^ plaintext) in
+  Hash.digest_hex recipient ^ tag ^ xor_with recipient plaintext
+
+let open_ ~keypair ciphertext =
+  let public = Keys.public keypair in
+  if String.length ciphertext < 32 then None
+  else
+    let addressed_to = String.sub ciphertext 0 16 in
+    if not (String.equal addressed_to (Hash.digest_hex public)) then None
+    else
+      let tag = String.sub ciphertext 16 16 in
+      let body = String.sub ciphertext 32 (String.length ciphertext - 32) in
+      let plaintext = xor_with public body in
+      if String.equal tag (Hash.digest_hex (public ^ ":" ^ plaintext)) then Some plaintext
+      else None

@@ -1,0 +1,15 @@
+(** Sealed boxes (simulated public-key encryption).
+
+    Clients seal their queries to the RVaaS controller's public key so
+    the provider cannot read query contents (the paper's client-privacy
+    requirement, §III).  The "ciphertext" is an XOR keystream derived
+    from the recipient key — opaque to honest-but-curious inspection in
+    the simulation, not actually secure. *)
+
+(** [seal ~recipient plaintext] encrypts to a {!Keys.public}. *)
+val seal : recipient:Keys.public -> string -> string
+
+(** [open_ ~keypair ciphertext] decrypts a box sealed to [keypair]'s
+    public key.  Returns [None] when the box was sealed to a different
+    key or is malformed. *)
+val open_ : keypair:Keys.keypair -> string -> string option

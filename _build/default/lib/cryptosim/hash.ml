@@ -1,0 +1,19 @@
+let fnv_offset = 0xCBF29CE484222325L
+
+let fnv_prime = 0x100000001B3L
+
+let digest s =
+  let h = ref fnv_offset in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h fnv_prime)
+    s;
+  !h
+
+let digest_hex s = Printf.sprintf "%016Lx" (digest s)
+
+let int64_to_bytes v =
+  String.init 8 (fun i -> Char.chr (Int64.to_int (Int64.shift_right_logical v (8 * i)) land 0xFF))
+
+let combine a b = digest (int64_to_bytes a ^ int64_to_bytes b)

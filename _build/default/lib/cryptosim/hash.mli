@@ -1,0 +1,17 @@
+(** 64-bit non-cryptographic hash (FNV-1a).
+
+    This is the primitive under all of {!Hmac}, {!Keys} and {!Box}.  It
+    is deliberately NOT cryptographically secure: the repository
+    simulates the *protocol roles* of crypto (authenticate, verify,
+    seal) in a sealed offline environment, as documented in DESIGN.md
+    §3.  Determinism is a feature here — tests and benchmarks are
+    reproducible. *)
+
+(** [digest s] hashes a string to 64 bits. *)
+val digest : string -> int64
+
+(** [digest_hex s] renders {!digest} as 16 hex characters. *)
+val digest_hex : string -> string
+
+(** [combine a b] hashes the concatenation of two digests. *)
+val combine : int64 -> int64 -> int64

@@ -1,0 +1,11 @@
+type key = string
+
+let key_of_string s = "k:" ^ Hash.digest_hex s
+
+let random_key rng = key_of_string (string_of_int (Support.Rng.bits rng))
+
+let mac key msg = Hash.digest_hex (key ^ "|" ^ msg ^ "|" ^ key)
+
+let verify key msg tag = String.equal (mac key msg) tag
+
+let key_to_string key = key

@@ -1,0 +1,24 @@
+type public = string
+
+type keypair = { public : public; secret : Hmac.key }
+
+(* Process-local registry standing in for a PKI: verification needs the
+   secret because our "signature" is an HMAC. *)
+let registry : (public, Hmac.key) Hashtbl.t = Hashtbl.create 16
+
+let generate rng ~owner =
+  let secret = Hmac.random_key rng in
+  let public = "pub:" ^ owner ^ ":" ^ Hash.digest_hex (Hmac.key_to_string secret) in
+  Hashtbl.replace registry public secret;
+  { public; secret }
+
+let public kp = kp.public
+
+let sign kp msg = Hmac.mac kp.secret (kp.public ^ "/" ^ msg)
+
+let verify ~public msg ~signature =
+  match Hashtbl.find_opt registry public with
+  | None -> false
+  | Some secret -> Hmac.verify secret (public ^ "/" ^ msg) signature
+
+let forge_signature msg = Hash.digest_hex ("forged:" ^ msg)

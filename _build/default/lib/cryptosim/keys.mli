@@ -1,0 +1,28 @@
+(** Toy public-key signatures (simulated).
+
+    A keypair is a (public identifier, secret) pair; signing is an HMAC
+    with the secret, and verification consults a process-local registry
+    mapping public identifiers to verification material.  This mirrors
+    how the paper distributes the RVaaS controller's public key to
+    clients out of band. *)
+
+type public = string
+
+type keypair
+
+(** [generate rng ~owner] creates and registers a keypair. *)
+val generate : Support.Rng.t -> owner:string -> keypair
+
+(** [public keypair] is the shareable identifier. *)
+val public : keypair -> public
+
+(** [sign keypair msg] produces a signature over [msg]. *)
+val sign : keypair -> string -> string
+
+(** [verify ~public msg ~signature] checks a signature against the
+    registered key for [public]; unknown keys never verify. *)
+val verify : public:public -> string -> signature:string -> bool
+
+(** [forge_signature msg] produces a plausible-looking but invalid
+    signature — used by attack scenarios and negative tests. *)
+val forge_signature : string -> string

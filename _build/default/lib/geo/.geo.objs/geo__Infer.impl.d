@@ -1,0 +1,1 @@
+lib/geo/infer.ml: Hashtbl List Location Option Registry String

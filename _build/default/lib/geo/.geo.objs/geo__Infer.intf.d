@@ -1,0 +1,1 @@
+lib/geo/infer.mli: Location Registry

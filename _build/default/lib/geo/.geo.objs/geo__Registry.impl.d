@@ -1,0 +1,1 @@
+lib/geo/registry.ml: Hashtbl List Location String

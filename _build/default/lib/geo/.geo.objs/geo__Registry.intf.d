@@ -1,0 +1,1 @@
+lib/geo/registry.mli: Location

@@ -1,0 +1,76 @@
+type ground_truth = {
+  switch_locations : (int * Location.t) list;
+  client_reports : (Location.t * int) list;
+  switch_mgmt_ip : (int * int) list;
+}
+
+let disclosed gt =
+  let reg = Registry.create () in
+  List.iter (fun (sw, loc) -> Registry.set_switch reg ~sw loc) gt.switch_locations;
+  reg
+
+let crowd_sourced gt =
+  let reg = Registry.create () in
+  let by_switch = Hashtbl.create 16 in
+  List.iter
+    (fun (loc, sw) ->
+      let existing = Option.value ~default:[] (Hashtbl.find_opt by_switch sw) in
+      Hashtbl.replace by_switch sw (loc :: existing))
+    gt.client_reports;
+  Hashtbl.iter
+    (fun sw reports -> Registry.set_switch reg ~sw (Location.centroid reports))
+    by_switch;
+  reg
+
+let geo_ip gt ~table =
+  let reg = Registry.create () in
+  let lookup ip =
+    let matches (value, len, _) =
+      len >= 0 && len <= 32
+      && (len = 0 || ip lsr (32 - len) = value lsr (32 - len))
+    in
+    let candidates = List.filter matches table in
+    List.fold_left
+      (fun best ((_, len, _) as entry) ->
+        match best with
+        | None -> Some entry
+        | Some (_, best_len, _) -> if len > best_len then Some entry else best)
+      None candidates
+  in
+  List.iter
+    (fun (sw, ip) ->
+      match lookup ip with
+      | Some (_, _, loc) -> Registry.set_switch reg ~sw loc
+      | None -> ())
+    gt.switch_mgmt_ip;
+  reg
+
+let comparable ~truth ~believed =
+  List.filter_map
+    (fun (sw, true_loc) ->
+      match Registry.switch believed ~sw with
+      | Some believed_loc -> Some (true_loc, believed_loc)
+      | None -> None)
+    (Registry.switches truth)
+
+let mean_error_km ~truth ~believed =
+  match comparable ~truth ~believed with
+  | [] -> None
+  | pairs ->
+    let total =
+      List.fold_left (fun acc (a, b) -> acc +. Location.distance_km a b) 0.0 pairs
+    in
+    Some (total /. float_of_int (List.length pairs))
+
+let jurisdiction_accuracy ~truth ~believed =
+  match comparable ~truth ~believed with
+  | [] -> None
+  | pairs ->
+    let agree =
+      List.length
+        (List.filter
+           (fun (a, b) ->
+             String.equal a.Location.jurisdiction b.Location.jurisdiction)
+           pairs)
+    in
+    Some (float_of_int agree /. float_of_int (List.length pairs))

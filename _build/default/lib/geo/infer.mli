@@ -1,0 +1,43 @@
+(** The paper's three switch-location inference modes (§IV-B.2):
+
+    1. provider-disclosed: the infrastructure provider hands RVaaS the
+       exact locations;
+    2. crowd-sourced: clients report their own locations and RVaaS
+       estimates each switch as the centroid of the clients attached to
+       it (falling back to reports from nearby switches);
+    3. geo-IP: a prefix → location table (as built from public geo-IP
+       data), looked up by the switch's management IP.
+
+    Each mode produces a {!Registry.t}; the E8 experiment measures the
+    positional error and the jurisdiction mislabel rate of modes 2 and
+    3 against ground truth. *)
+
+(** Ground truth: switch id → location, plus client attachment
+    (client's location, switch it attaches to). *)
+type ground_truth = {
+  switch_locations : (int * Location.t) list;
+  client_reports : (Location.t * int) list;
+      (** (client location, switch the client attaches to) *)
+  switch_mgmt_ip : (int * int) list;  (** switch id → management IPv4 *)
+}
+
+(** [disclosed gt] — mode 1: copies ground truth. *)
+val disclosed : ground_truth -> Registry.t
+
+(** [crowd_sourced gt] — mode 2: centroid of attached client reports;
+    switches without attached clients stay unknown. *)
+val crowd_sourced : ground_truth -> Registry.t
+
+(** [geo_ip gt ~table] — mode 3: looks each switch's management IP up
+    in a (prefix value, prefix length, location) table; longest prefix
+    wins. *)
+val geo_ip : ground_truth -> table:(int * int * Location.t) list -> Registry.t
+
+(** [mean_error_km ~truth ~believed] averages the positional error over
+    switches known to both registries; [None] when no switch is
+    comparable. *)
+val mean_error_km : truth:Registry.t -> believed:Registry.t -> float option
+
+(** [jurisdiction_accuracy ~truth ~believed] is the fraction of
+    switches known to both whose jurisdiction labels agree. *)
+val jurisdiction_accuracy : truth:Registry.t -> believed:Registry.t -> float option

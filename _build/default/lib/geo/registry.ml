@@ -1,0 +1,29 @@
+type t = { switches : (int, Location.t) Hashtbl.t }
+
+let create () = { switches = Hashtbl.create 32 }
+
+let set_switch t ~sw loc = Hashtbl.replace t.switches sw loc
+
+let switch t ~sw = Hashtbl.find_opt t.switches sw
+
+let switches t =
+  Hashtbl.fold (fun sw loc acc -> (sw, loc) :: acc) t.switches []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let jurisdictions_of t ~sws =
+  let named =
+    List.map
+      (fun sw ->
+        match switch t ~sw with
+        | Some loc -> loc.Location.jurisdiction
+        | None -> "unknown")
+      sws
+  in
+  List.sort_uniq String.compare named
+
+let coverage t ~sws =
+  match sws with
+  | [] -> 1.0
+  | _ ->
+    let known = List.length (List.filter (fun sw -> Hashtbl.mem t.switches sw) sws) in
+    float_of_int known /. float_of_int (List.length sws)

@@ -1,0 +1,26 @@
+(** Location registry: what the RVaaS controller knows about where
+    switches and links sit.
+
+    The registry distinguishes *ground truth* (used by simulations and
+    accuracy experiments) from *believed* locations obtained through
+    one of the paper's three inference modes ({!Infer}). *)
+
+type t
+
+val create : unit -> t
+
+(** [set_switch t ~sw loc] records the believed location of switch [sw]. *)
+val set_switch : t -> sw:int -> Location.t -> unit
+
+(** [switch t ~sw] is the believed location, if known. *)
+val switch : t -> sw:int -> Location.t option
+
+(** [switches t] lists all (switch, location) pairs. *)
+val switches : t -> (int * Location.t) list
+
+(** [jurisdictions_of t ~sws] is the deduplicated jurisdiction set of
+    the given switches (unknown switches are reported as ["unknown"]). *)
+val jurisdictions_of : t -> sws:int list -> Location.jurisdiction list
+
+(** [coverage t ~sws] is the fraction of [sws] with a known location. *)
+val coverage : t -> sws:int list -> float

@@ -1,0 +1,1 @@
+lib/hspace/field.ml: Format Hashtbl List Tern

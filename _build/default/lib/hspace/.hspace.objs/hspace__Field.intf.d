@@ -1,0 +1,1 @@
+lib/hspace/field.mli: Format Tern

@@ -1,0 +1,1 @@
+lib/hspace/header.ml: Field Format List Support Tern

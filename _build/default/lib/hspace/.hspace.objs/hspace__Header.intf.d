@@ -1,0 +1,1 @@
+lib/hspace/header.mli: Field Format Support Tern

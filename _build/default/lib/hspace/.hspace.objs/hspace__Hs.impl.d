@@ -1,0 +1,1 @@
+lib/hspace/hs.ml: Format List Support Tern

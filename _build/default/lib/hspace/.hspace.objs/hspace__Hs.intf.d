@@ -1,0 +1,1 @@
+lib/hspace/hs.mli: Format Support Tern

@@ -1,0 +1,1 @@
+lib/hspace/tern.ml: Array Format List Stdlib String Support

@@ -1,0 +1,1 @@
+lib/hspace/tern.mli: Format Support

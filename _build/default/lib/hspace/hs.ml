@@ -1,0 +1,100 @@
+type t = { width : int; cubes : Tern.t list }
+
+let width t = t.width
+
+(* Drop empty cubes and cubes subsumed by another cube.  When two cubes
+   subsume each other (equal), keep the first. *)
+let normalise width cubes =
+  let nonempty = List.filter (fun c -> not (Tern.is_empty c)) cubes in
+  let rec keep acc = function
+    | [] -> List.rev acc
+    | c :: rest ->
+      let subsumed_later = List.exists (fun d -> Tern.subset c d) rest in
+      let subsumed_earlier = List.exists (fun d -> Tern.subset c d) acc in
+      if subsumed_later || subsumed_earlier then keep acc rest
+      else keep (c :: acc) rest
+  in
+  { width; cubes = keep [] nonempty }
+
+let empty width = { width; cubes = [] }
+
+let full width = { width; cubes = [ Tern.all_x width ] }
+
+let of_cube c = normalise (Tern.width c) [ c ]
+
+let of_cubes width cs =
+  List.iter
+    (fun c ->
+      if Tern.width c <> width then invalid_arg "Hs.of_cubes: width mismatch")
+    cs;
+  normalise width cs
+
+let cubes t = t.cubes
+
+let cube_count t = List.length t.cubes
+
+let is_empty t = t.cubes = []
+
+let check_width name a b =
+  if a.width <> b.width then invalid_arg (name ^ ": width mismatch")
+
+let union a b =
+  check_width "Hs.union" a b;
+  normalise a.width (a.cubes @ b.cubes)
+
+let inter a b =
+  check_width "Hs.inter" a b;
+  let pairs =
+    List.concat_map (fun ca -> List.map (fun cb -> Tern.inter ca cb) b.cubes) a.cubes
+  in
+  normalise a.width pairs
+
+let diff_cube_list cubes c =
+  List.concat_map (fun cube -> Tern.diff cube c) cubes
+
+let diff a b =
+  check_width "Hs.diff" a b;
+  let remaining = List.fold_left diff_cube_list a.cubes b.cubes in
+  normalise a.width remaining
+
+let inter_cube t c =
+  if Tern.width c <> t.width then invalid_arg "Hs.inter_cube: width mismatch";
+  normalise t.width (List.map (fun cube -> Tern.inter cube c) t.cubes)
+
+let diff_cube t c =
+  if Tern.width c <> t.width then invalid_arg "Hs.diff_cube: width mismatch";
+  normalise t.width (diff_cube_list t.cubes c)
+
+let complement t = diff (full t.width) t
+
+let mem concrete t = List.exists (fun c -> Tern.mem concrete c) t.cubes
+
+let subset a b = is_empty (diff a b)
+
+let equal a b = subset a b && subset b a
+
+let overlaps a b = not (is_empty (inter a b))
+
+let sample rng t =
+  match t.cubes with
+  | [] -> None
+  | cubes ->
+    let cube = Support.Rng.pick rng cubes in
+    let concrete = ref cube in
+    for i = 0 to Tern.width cube - 1 do
+      match Tern.get cube i with
+      | Tern.Any ->
+        concrete :=
+          Tern.set !concrete i (if Support.Rng.bool rng then Tern.One else Tern.Zero)
+      | Tern.Zero | Tern.One -> ()
+      | Tern.Empty -> assert false
+    done;
+    Some !concrete
+
+let pp fmt t =
+  match t.cubes with
+  | [] -> Format.fprintf fmt "(empty/%d)" t.width
+  | cubes ->
+    Format.fprintf fmt "@[<v>%a@]"
+      (Format.pp_print_list ~pp_sep:Format.pp_print_cut Tern.pp)
+      cubes

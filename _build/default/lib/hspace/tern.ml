@@ -1,0 +1,194 @@
+(* Packed ternary bit-vectors: 31 header bits per word, 2 encoding bits
+   per header bit (01 = 0, 10 = 1, 11 = *, 00 = z).  The pairs beyond
+   [width] in the last word are kept at 11 so that word-wise [land]
+   (intersection) and pair-wise subset tests need no special casing. *)
+
+type t = { width : int; words : int array }
+
+type bit = Zero | One | Any | Empty
+
+let bits_per_word = 31
+
+let evens_mask = 0x1555555555555555 (* 01 repeated over 62 bits *)
+
+let full_word = 0x3FFFFFFFFFFFFFFF (* all 31 pairs = 11 *)
+
+let word_count width = (width + bits_per_word - 1) / bits_per_word
+
+(* Mask with 11 on the pairs that encode valid header bits of word [k]. *)
+let valid_mask width k =
+  let used = min bits_per_word (width - (k * bits_per_word)) in
+  if used >= bits_per_word then full_word else (1 lsl (2 * used)) - 1
+
+let all_x width =
+  if width <= 0 then invalid_arg "Tern.all_x: width must be positive";
+  { width; words = Array.make (word_count width) full_word }
+
+let width t = t.width
+
+let encode = function Empty -> 0 | Zero -> 1 | One -> 2 | Any -> 3
+
+let decode = function 0 -> Empty | 1 -> Zero | 2 -> One | _ -> Any
+
+let get t i =
+  if i < 0 || i >= t.width then invalid_arg "Tern.get: index out of range";
+  let w = t.words.(i / bits_per_word) in
+  decode ((w lsr (2 * (i mod bits_per_word))) land 3)
+
+let set t i b =
+  if i < 0 || i >= t.width then invalid_arg "Tern.set: index out of range";
+  let words = Array.copy t.words in
+  let k = i / bits_per_word and pos = 2 * (i mod bits_per_word) in
+  words.(k) <- (words.(k) land lnot (3 lsl pos)) lor (encode b lsl pos);
+  { t with words }
+
+let is_empty t =
+  let n = Array.length t.words in
+  let rec go k =
+    if k >= n then false
+    else
+      let w = t.words.(k) in
+      let valid = valid_mask t.width k in
+      (* A pair is 00 iff neither of its bits is set. *)
+      let occupied = (w lor (w lsr 1)) land evens_mask land valid in
+      if occupied <> evens_mask land valid then true else go (k + 1)
+  in
+  go 0
+
+let is_full t = Array.for_all (fun w -> w = full_word) t.words
+
+let is_concrete t =
+  let n = Array.length t.words in
+  let rec go k =
+    if k >= n then true
+    else
+      let w = t.words.(k) in
+      let valid = valid_mask t.width k in
+      (* Concrete: every valid pair is 01 or 10, i.e. exactly one bit set. *)
+      let lo = w land evens_mask and hi = (w lsr 1) land evens_mask in
+      let both = lo land hi land valid and none = lnot (lo lor hi) land evens_mask land valid in
+      if both <> 0 || none <> 0 then false else go (k + 1)
+  in
+  go 0
+
+let check_width name a b =
+  if a.width <> b.width then invalid_arg (name ^ ": width mismatch")
+
+let inter a b =
+  check_width "Tern.inter" a b;
+  { width = a.width; words = Array.map2 ( land ) a.words b.words }
+
+let subset a b =
+  check_width "Tern.subset" a b;
+  if is_empty a then true
+  else
+    let n = Array.length a.words in
+    let rec go k =
+      if k >= n then true
+      else if a.words.(k) land b.words.(k) <> a.words.(k) then false
+      else go (k + 1)
+    in
+    go 0
+
+let overlaps a b = not (is_empty (inter a b))
+
+let equal a b = a.width = b.width && a.words = b.words
+
+let compare a b = Stdlib.compare (a.width, a.words) (b.width, b.words)
+
+(* Iterate [f] over the positions of [t] holding a fixed (0/1) value,
+   without scanning wildcard positions: enumerate set bits of the
+   per-word "exactly one encoding bit" mask. *)
+let iter_fixed_bits t f =
+  let n = Array.length t.words in
+  for k = 0 to n - 1 do
+    let w = t.words.(k) in
+    let lo = w land evens_mask and hi = (w lsr 1) land evens_mask in
+    let fixed = ref ((lo lxor hi) land valid_mask t.width k land evens_mask) in
+    while !fixed <> 0 do
+      let lowest = !fixed land - !fixed in
+      fixed := !fixed lxor lowest;
+      (* [lowest] is a single even bit 2*j; recover j by bit count. *)
+      let rec log2 v acc = if v = 1 then acc else log2 (v lsr 1) (acc + 1) in
+      let pair = log2 lowest 0 / 2 in
+      let i = (k * bits_per_word) + pair in
+      f i (decode ((w lsr (2 * pair)) land 3))
+    done
+  done
+
+let complement t =
+  if is_empty t then [ all_x t.width ]
+  else begin
+    let cubes = ref [] in
+    iter_fixed_bits t (fun i b ->
+        match b with
+        | Zero -> cubes := set (all_x t.width) i One :: !cubes
+        | One -> cubes := set (all_x t.width) i Zero :: !cubes
+        | Any | Empty -> assert false);
+    List.rev !cubes
+  end
+
+let diff a b =
+  check_width "Tern.diff" a b;
+  if not (overlaps a b) then (if is_empty a then [] else [ a ])
+  else begin
+    (* a \ b = union over constrained bits i of b of
+       { h in a : h_i <> b_i }. *)
+    let cubes = ref [] in
+    iter_fixed_bits b (fun i bi ->
+        let flipped = match bi with Zero -> One | One -> Zero | Any | Empty -> assert false in
+        match get a i with
+        | Any -> cubes := set a i flipped :: !cubes
+        | v when v = flipped -> cubes := a :: !cubes
+        | Zero | One | Empty -> ());
+    List.rev !cubes
+  end
+
+let mem concrete t =
+  if not (is_concrete concrete) then invalid_arg "Tern.mem: vector is not concrete";
+  subset concrete t
+
+let count_fixed t =
+  let count = ref 0 in
+  for i = 0 to t.width - 1 do
+    match get t i with Zero | One -> incr count | Any | Empty -> ()
+  done;
+  !count
+
+let random rng w ~fixed_prob =
+  let t = ref (all_x w) in
+  for i = 0 to w - 1 do
+    if Support.Rng.bernoulli rng fixed_prob then
+      t := set !t i (if Support.Rng.bool rng then One else Zero)
+  done;
+  !t
+
+let random_concrete rng w =
+  let t = ref (all_x w) in
+  for i = 0 to w - 1 do
+    t := set !t i (if Support.Rng.bool rng then One else Zero)
+  done;
+  !t
+
+let of_string s =
+  let w = String.length s in
+  let t = ref (all_x w) in
+  String.iteri
+    (fun i c ->
+      let b =
+        match c with
+        | '0' -> Zero
+        | '1' -> One
+        | 'x' | 'X' | '*' -> Any
+        | 'z' | 'Z' -> Empty
+        | _ -> invalid_arg "Tern.of_string: bad character"
+      in
+      t := set !t i b)
+    s;
+  !t
+
+let to_string t =
+  String.init t.width (fun i ->
+      match get t i with Zero -> '0' | One -> '1' | Any -> 'x' | Empty -> 'z')
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

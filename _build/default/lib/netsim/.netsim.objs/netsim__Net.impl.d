@@ -1,0 +1,1 @@
+lib/netsim/net.ml: Hashtbl List Ofproto Option Packet Sim Support Topology

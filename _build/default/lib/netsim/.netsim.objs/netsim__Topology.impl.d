@@ -1,0 +1,1 @@
+lib/netsim/topology.ml: Format Hashtbl List Option Queue

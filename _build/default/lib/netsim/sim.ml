@@ -1,0 +1,49 @@
+type t = {
+  queue : (unit -> unit) Support.Pqueue.t;
+  mutable clock : float;
+  mutable executed : int;
+  rng : Support.Rng.t;
+}
+
+let create ~seed () =
+  { queue = Support.Pqueue.create (); clock = 0.0; executed = 0; rng = Support.Rng.create seed }
+
+let now t = t.clock
+
+let rng t = t.rng
+
+let schedule t ~delay f =
+  if delay < 0.0 then invalid_arg "Sim.schedule: negative delay";
+  Support.Pqueue.push t.queue (t.clock +. delay) f
+
+let schedule_at t ~time f =
+  Support.Pqueue.push t.queue (Float.max time t.clock) f
+
+let step t =
+  match Support.Pqueue.pop t.queue with
+  | None -> false
+  | Some (time, f) ->
+    t.clock <- Float.max t.clock time;
+    t.executed <- t.executed + 1;
+    f ();
+    true
+
+let run ?until t =
+  let count = ref 0 in
+  let continue = ref true in
+  while !continue do
+    match Support.Pqueue.peek t.queue with
+    | None -> continue := false
+    | Some (time, _) ->
+      (match until with
+      | Some limit when time > limit -> continue := false
+      | Some _ | None ->
+        ignore (step t);
+        incr count)
+  done;
+  (match until with Some limit when limit > t.clock -> t.clock <- limit | _ -> ());
+  !count
+
+let pending t = Support.Pqueue.length t.queue
+
+let executed t = t.executed

@@ -1,0 +1,167 @@
+type node = Switch of int | Host of int
+
+type endpoint = { node : node; port : int }
+
+type link = { a : endpoint; b : endpoint; delay : float }
+
+type t = {
+  mutable switch_ids : int list; (* descending insertion; sorted on read *)
+  mutable host_ids : int list;
+  mutable link_list : link list; (* reverse insertion order *)
+  wiring : (endpoint, endpoint * float) Hashtbl.t;
+}
+
+let create () =
+  { switch_ids = []; host_ids = []; link_list = []; wiring = Hashtbl.create 64 }
+
+let add_switch t id =
+  if List.mem id t.switch_ids then invalid_arg "Topology.add_switch: duplicate id";
+  t.switch_ids <- id :: t.switch_ids
+
+let add_host t id =
+  if List.mem id t.host_ids then invalid_arg "Topology.add_host: duplicate id";
+  t.host_ids <- id :: t.host_ids
+
+let declared t = function
+  | Switch id -> List.mem id t.switch_ids
+  | Host id -> List.mem id t.host_ids
+
+let connect t a b ~delay =
+  if not (declared t a.node) then invalid_arg "Topology.connect: undeclared node";
+  if not (declared t b.node) then invalid_arg "Topology.connect: undeclared node";
+  if Hashtbl.mem t.wiring a || Hashtbl.mem t.wiring b then
+    invalid_arg "Topology.connect: endpoint already wired";
+  if delay < 0.0 then invalid_arg "Topology.connect: negative delay";
+  Hashtbl.replace t.wiring a (b, delay);
+  Hashtbl.replace t.wiring b (a, delay);
+  t.link_list <- { a; b; delay } :: t.link_list
+
+let peer t e = Option.map fst (Hashtbl.find_opt t.wiring e)
+
+let link_delay t e = Option.map snd (Hashtbl.find_opt t.wiring e)
+
+let switches t = List.sort compare t.switch_ids
+
+let hosts t = List.sort compare t.host_ids
+
+let links t = List.rev t.link_list
+
+let switch_ports t sw =
+  Hashtbl.fold
+    (fun e _ acc -> match e.node with Switch id when id = sw -> e.port :: acc | _ -> acc)
+    t.wiring []
+  |> List.sort compare
+
+let host_attachment t host =
+  let candidates =
+    Hashtbl.fold
+      (fun e (far, _) acc ->
+        match e.node, far.node with
+        | Host id, Switch _ when id = host -> far :: acc
+        | _ -> acc)
+      t.wiring []
+  in
+  match candidates with [ e ] -> Some e | [] | _ :: _ -> None
+
+let hosts_on_switch t sw =
+  Hashtbl.fold
+    (fun e (far, _) acc ->
+      match e.node, far.node with
+      | Switch id, Host h when id = sw -> (h, e.port) :: acc
+      | _ -> acc)
+    t.wiring []
+  |> List.sort compare
+
+let neighbor_switches t sw =
+  Hashtbl.fold
+    (fun e (far, _) acc ->
+      match e.node, far.node with
+      | Switch id, Switch remote when id = sw -> (e.port, remote, far.port) :: acc
+      | _ -> acc)
+    t.wiring []
+  |> List.sort compare
+
+let shortest_paths t ~from_sw =
+  let dist = Hashtbl.create 32 and via = Hashtbl.create 32 in
+  Hashtbl.replace dist from_sw 0;
+  let queue = Queue.create () in
+  Queue.add from_sw queue;
+  while not (Queue.is_empty queue) do
+    let sw = Queue.pop queue in
+    let d = Hashtbl.find dist sw in
+    List.iter
+      (fun (out_port, remote, _remote_port) ->
+        if not (Hashtbl.mem dist remote) then begin
+          Hashtbl.replace dist remote (d + 1);
+          Hashtbl.replace via remote (out_port, sw);
+          Queue.add remote queue
+        end)
+      (neighbor_switches t sw)
+  done;
+  (dist, via)
+
+let next_hop_port t ~from_sw ~to_sw =
+  if from_sw = to_sw then None
+  else
+    let _dist, via = shortest_paths t ~from_sw in
+    (* Walk back from to_sw to from_sw, remembering the first hop. *)
+    let rec back sw =
+      match Hashtbl.find_opt via sw with
+      | None -> None
+      | Some (port, prev) -> if prev = from_sw then Some port else back prev
+    in
+    back to_sw
+
+let shortest_switch_path t ~from_sw ~to_sw =
+  if from_sw = to_sw then Some [ from_sw ]
+  else
+    let _dist, via = shortest_paths t ~from_sw in
+    let rec back sw acc =
+      if sw = from_sw then Some (from_sw :: acc)
+      else
+        match Hashtbl.find_opt via sw with
+        | None -> None
+        | Some (_port, prev) -> back prev (sw :: acc)
+    in
+    back to_sw []
+
+let shortest_switch_path_avoiding t ~from_sw ~to_sw ~avoid =
+  if from_sw = to_sw then Some [ from_sw ]
+  else begin
+    let blocked sw = sw <> from_sw && sw <> to_sw && List.mem sw avoid in
+    let via = Hashtbl.create 32 in
+    let visited = Hashtbl.create 32 in
+    Hashtbl.replace visited from_sw ();
+    let queue = Queue.create () in
+    Queue.add from_sw queue;
+    while not (Queue.is_empty queue) do
+      let sw = Queue.pop queue in
+      List.iter
+        (fun (_port, remote, _) ->
+          if not (Hashtbl.mem visited remote) && not (blocked remote) then begin
+            Hashtbl.replace visited remote ();
+            Hashtbl.replace via remote sw;
+            Queue.add remote queue
+          end)
+        (neighbor_switches t sw)
+    done;
+    let rec back sw acc =
+      if sw = from_sw then Some (from_sw :: acc)
+      else
+        match Hashtbl.find_opt via sw with
+        | None -> None
+        | Some prev -> back prev (sw :: acc)
+    in
+    back to_sw []
+  end
+
+let port_towards t ~sw ~neighbor =
+  List.find_map
+    (fun (port, remote, _) -> if remote = neighbor then Some port else None)
+    (neighbor_switches t sw)
+
+let pp_node fmt = function
+  | Switch id -> Format.fprintf fmt "s%d" id
+  | Host id -> Format.fprintf fmt "h%d" id
+
+let pp_endpoint fmt e = Format.fprintf fmt "%a:%d" pp_node e.node e.port

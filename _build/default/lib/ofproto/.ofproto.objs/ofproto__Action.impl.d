@@ -1,0 +1,1 @@
+lib/ofproto/action.ml: Format Hspace List

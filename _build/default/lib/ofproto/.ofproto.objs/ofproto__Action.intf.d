@@ -1,0 +1,1 @@
+lib/ofproto/action.mli: Format Hspace

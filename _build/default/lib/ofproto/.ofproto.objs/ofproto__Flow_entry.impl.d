@@ -1,0 +1,1 @@
+lib/ofproto/flow_entry.ml: Action Format List Match_

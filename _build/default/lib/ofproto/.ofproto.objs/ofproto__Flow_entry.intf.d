@@ -1,0 +1,1 @@
+lib/ofproto/flow_entry.mli: Action Format Match_

@@ -1,0 +1,1 @@
+lib/ofproto/flow_table.ml: Flow_entry Format List Match_

@@ -1,0 +1,1 @@
+lib/ofproto/flow_table.mli: Flow_entry Format Hspace Match_

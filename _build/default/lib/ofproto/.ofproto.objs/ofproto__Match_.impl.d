@@ -1,0 +1,1 @@
+lib/ofproto/match_.ml: Format Hspace List

@@ -1,0 +1,1 @@
+lib/ofproto/message.ml: Flow_entry Format Hspace List Match_ Meter

@@ -1,0 +1,1 @@
+lib/ofproto/message.mli: Flow_entry Format Hspace Match_ Meter

@@ -1,0 +1,1 @@
+lib/ofproto/meter.ml: Float Hashtbl List Option

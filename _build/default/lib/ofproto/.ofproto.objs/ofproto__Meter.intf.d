@@ -1,0 +1,1 @@
+lib/ofproto/meter.mli:

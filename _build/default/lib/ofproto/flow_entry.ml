@@ -1,0 +1,43 @@
+type spec = {
+  priority : int;
+  match_ : Match_.t;
+  actions : Action.t list;
+  cookie : int;
+  meter : int option;
+  hard_timeout : float option;
+}
+
+type t = {
+  spec : spec;
+  installed_at : float;
+  mutable packets : int;
+  mutable bytes : int;
+}
+
+let make_spec ?(cookie = 0) ?meter ?hard_timeout ~priority match_ actions =
+  { priority; match_; actions; cookie; meter; hard_timeout }
+
+let install spec ~now = { spec; installed_at = now; packets = 0; bytes = 0 }
+
+let spec_equal a b =
+  a.priority = b.priority
+  && Match_.equal a.match_ b.match_
+  && List.length a.actions = List.length b.actions
+  && List.for_all2 Action.equal a.actions b.actions
+  && a.cookie = b.cookie
+  && a.meter = b.meter
+
+let account t ~bytes =
+  t.packets <- t.packets + 1;
+  t.bytes <- t.bytes + bytes
+
+let pp_spec fmt s =
+  Format.fprintf fmt "@[prio=%d cookie=%d %a -> %a%a@]" s.priority s.cookie
+    Match_.pp s.match_ Action.pp_list s.actions
+    (fun fmt -> function
+      | None -> ()
+      | Some m -> Format.fprintf fmt " meter:%d" m)
+    s.meter
+
+let pp fmt t =
+  Format.fprintf fmt "%a (pkts=%d bytes=%d)" pp_spec t.spec t.packets t.bytes

@@ -1,0 +1,85 @@
+type change =
+  | Added of Flow_entry.spec
+  | Removed of Flow_entry.spec * [ `Delete | `Hard_timeout ]
+  | Modified of Flow_entry.spec
+
+type t = {
+  mutable entries : Flow_entry.t list; (* priority desc, FIFO within priority *)
+  mutable version : int;
+  mutable observers : (change -> unit) list;
+}
+
+let create () = { entries = []; version = 0; observers = [] }
+
+let version t = t.version
+
+let on_change t f = t.observers <- f :: t.observers
+
+let notify t change =
+  t.version <- t.version + 1;
+  List.iter (fun f -> f change) t.observers
+
+(* Insert keeping priority-descending order; within a priority the new
+   entry goes last (FIFO). *)
+let rec insert entry = function
+  | [] -> [ entry ]
+  | e :: rest when e.Flow_entry.spec.priority >= entry.Flow_entry.spec.priority ->
+    e :: insert entry rest
+  | rest -> entry :: rest
+
+let add t (spec : Flow_entry.spec) ~now =
+  let same_slot (e : Flow_entry.t) =
+    e.spec.priority = spec.priority && Match_.equal e.spec.match_ spec.match_
+  in
+  let replaced = List.exists same_slot t.entries in
+  let remaining = List.filter (fun e -> not (same_slot e)) t.entries in
+  t.entries <- insert (Flow_entry.install spec ~now) remaining;
+  notify t (if replaced then Modified spec else Added spec)
+
+let remove_matching t ~reason pred =
+  let removed, kept = List.partition pred t.entries in
+  t.entries <- kept;
+  List.iter (fun (e : Flow_entry.t) -> notify t (Removed (e.spec, reason))) removed;
+  List.length removed
+
+let delete t ~match_ ?priority () =
+  let pred (e : Flow_entry.t) =
+    (match priority with None -> true | Some p -> e.spec.priority = p)
+    && Match_.subset e.spec.match_ match_
+  in
+  remove_matching t ~reason:`Delete pred
+
+let delete_by_cookie t cookie =
+  remove_matching t ~reason:`Delete (fun e -> e.Flow_entry.spec.cookie = cookie)
+
+let expire t ~now =
+  let expired (e : Flow_entry.t) =
+    match e.spec.hard_timeout with
+    | None -> false
+    | Some timeout -> now >= e.installed_at +. timeout
+  in
+  let specs =
+    List.filter_map
+      (fun (e : Flow_entry.t) -> if expired e then Some e.spec else None)
+      t.entries
+  in
+  let _count = remove_matching t ~reason:`Hard_timeout expired in
+  specs
+
+let lookup t ~in_port header =
+  List.find_opt
+    (fun (e : Flow_entry.t) -> Match_.matches e.spec.match_ ~in_port header)
+    t.entries
+
+let entries t = t.entries
+
+let specs t = List.map (fun (e : Flow_entry.t) -> e.spec) t.entries
+
+let size t = List.length t.entries
+
+let clear t = t.entries <- []
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>%a@]"
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut Flow_entry.pp)
+    t.entries

@@ -1,0 +1,82 @@
+type field_match = { value : int; mask : int }
+
+type t = { in_port : int option; fields : (Hspace.Field.name * field_match) list }
+
+let any = { in_port = None; fields = [] }
+
+let with_in_port t p = { t with in_port = Some p }
+
+let field_order f =
+  let rec idx i = function
+    | [] -> assert false
+    | g :: rest -> if g = f then i else idx (i + 1) rest
+  in
+  idx 0 Hspace.Field.all
+
+let normalise_fields fields =
+  List.sort (fun (a, _) (b, _) -> compare (field_order a) (field_order b)) fields
+
+let with_field t f ~value ~mask =
+  let w = Hspace.Field.bit_width f in
+  let full = if w >= 63 then -1 else (1 lsl w) - 1 in
+  let mask = mask land full in
+  let value = value land mask in
+  if mask = 0 then { t with fields = List.remove_assoc f t.fields }
+  else
+    let fields = (f, { value; mask }) :: List.remove_assoc f t.fields in
+    { t with fields = normalise_fields fields }
+
+let with_exact t f v =
+  let w = Hspace.Field.bit_width f in
+  let full = if w >= 63 then -1 else (1 lsl w) - 1 in
+  with_field t f ~value:v ~mask:full
+
+let with_prefix t f ~value ~prefix_len =
+  with_field t f ~value ~mask:(Hspace.Field.prefix_mask f prefix_len)
+
+let in_port t = t.in_port
+
+let fields t = t.fields
+
+let matches t ~in_port header =
+  (match t.in_port with None -> true | Some p -> p = in_port)
+  && List.for_all
+       (fun (f, { value; mask }) ->
+         Hspace.Header.get header f land mask = value)
+       t.fields
+
+let to_tern t =
+  List.fold_left
+    (fun cube (f, { value; mask }) -> Hspace.Field.set_masked cube f ~value ~mask)
+    (Hspace.Tern.all_x Hspace.Field.total_width)
+    t.fields
+
+let port_subset a b =
+  match a, b with
+  | _, None -> true
+  | Some pa, Some pb -> pa = pb
+  | None, Some _ -> false
+
+let subset a b = port_subset a.in_port b.in_port && Hspace.Tern.subset (to_tern a) (to_tern b)
+
+let port_overlap a b =
+  match a, b with
+  | None, _ | _, None -> true
+  | Some pa, Some pb -> pa = pb
+
+let overlaps a b =
+  port_overlap a.in_port b.in_port && Hspace.Tern.overlaps (to_tern a) (to_tern b)
+
+let equal a b = subset a b && subset b a
+
+let pp fmt t =
+  let pp_port fmt = function
+    | None -> ()
+    | Some p -> Format.fprintf fmt "in_port=%d " p
+  in
+  let pp_field fmt (f, { value; mask }) =
+    Format.fprintf fmt "%a=%x/%x" Hspace.Field.pp_name f value mask
+  in
+  Format.fprintf fmt "{%a%a}" pp_port t.in_port
+    (Format.pp_print_list ~pp_sep:(fun fmt () -> Format.fprintf fmt " ") pp_field)
+    t.fields

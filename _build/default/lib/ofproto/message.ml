@@ -1,0 +1,80 @@
+type packet_in_reason = No_match | Action_to_controller
+
+type flow_mod =
+  | Add_flow of Flow_entry.spec
+  | Delete_flow of { match_ : Match_.t; priority : int option }
+  | Delete_by_cookie of int
+
+type monitor_event =
+  | Flow_added of Flow_entry.spec
+  | Flow_deleted of Flow_entry.spec
+  | Flow_modified of Flow_entry.spec
+
+type to_controller =
+  | Packet_in of {
+      sw : int;
+      in_port : int;
+      reason : packet_in_reason;
+      header : Hspace.Header.t;
+      payload : string;
+    }
+  | Flow_removed of { sw : int; spec : Flow_entry.spec; reason : [ `Delete | `Hard_timeout ] }
+  | Monitor of { sw : int; event : monitor_event }
+  | Flow_stats_reply of { sw : int; xid : int; flows : Flow_entry.spec list }
+  | Meter_stats_reply of { sw : int; xid : int; meters : (int * Meter.band) list }
+  | Echo_reply of { sw : int; xid : int }
+  | Barrier_reply of { sw : int; xid : int }
+  | Error of { sw : int; code : string }
+
+type to_switch =
+  | Flow_mod of flow_mod
+  | Meter_mod of { id : int; band : Meter.band option }
+  | Packet_out of { port : int; header : Hspace.Header.t; payload : string }
+  | Flow_stats_request of { xid : int }
+  | Meter_stats_request of { xid : int }
+  | Echo_request of { xid : int }
+  | Barrier_request of { xid : int }
+
+let pp_to_controller fmt = function
+  | Packet_in { sw; in_port; reason; header; _ } ->
+    Format.fprintf fmt "packet_in sw=%d port=%d reason=%s %a" sw in_port
+      (match reason with No_match -> "no_match" | Action_to_controller -> "action")
+      Hspace.Header.pp header
+  | Flow_removed { sw; spec; _ } ->
+    Format.fprintf fmt "flow_removed sw=%d %a" sw Flow_entry.pp_spec spec
+  | Monitor { sw; event } ->
+    let kind, spec =
+      match event with
+      | Flow_added s -> ("add", s)
+      | Flow_deleted s -> ("del", s)
+      | Flow_modified s -> ("mod", s)
+    in
+    Format.fprintf fmt "monitor sw=%d %s %a" sw kind Flow_entry.pp_spec spec
+  | Flow_stats_reply { sw; xid; flows } ->
+    Format.fprintf fmt "flow_stats_reply sw=%d xid=%d (%d flows)" sw xid
+      (List.length flows)
+  | Meter_stats_reply { sw; xid; meters } ->
+    Format.fprintf fmt "meter_stats_reply sw=%d xid=%d (%d meters)" sw xid
+      (List.length meters)
+  | Echo_reply { sw; xid } -> Format.fprintf fmt "echo_reply sw=%d xid=%d" sw xid
+  | Barrier_reply { sw; xid } -> Format.fprintf fmt "barrier_reply sw=%d xid=%d" sw xid
+  | Error { sw; code } -> Format.fprintf fmt "error sw=%d %s" sw code
+
+let pp_to_switch fmt = function
+  | Flow_mod (Add_flow spec) -> Format.fprintf fmt "flow_mod add %a" Flow_entry.pp_spec spec
+  | Flow_mod (Delete_flow { match_; priority }) ->
+    Format.fprintf fmt "flow_mod del %a%a" Match_.pp match_
+      (fun fmt -> function
+        | None -> ()
+        | Some p -> Format.fprintf fmt " prio=%d" p)
+      priority
+  | Flow_mod (Delete_by_cookie c) -> Format.fprintf fmt "flow_mod del cookie=%d" c
+  | Meter_mod { id; band } ->
+    Format.fprintf fmt "meter_mod id=%d %s" id
+      (match band with None -> "remove" | Some b -> string_of_int b.Meter.rate_kbps ^ "kbps")
+  | Packet_out { port; header; _ } ->
+    Format.fprintf fmt "packet_out port=%d %a" port Hspace.Header.pp header
+  | Flow_stats_request { xid } -> Format.fprintf fmt "flow_stats_request xid=%d" xid
+  | Meter_stats_request { xid } -> Format.fprintf fmt "meter_stats_request xid=%d" xid
+  | Echo_request { xid } -> Format.fprintf fmt "echo_request xid=%d" xid
+  | Barrier_request { xid } -> Format.fprintf fmt "barrier_request xid=%d" xid

@@ -1,0 +1,1 @@
+lib/rvaas/client_agent.ml: Codec Cryptosim Hashtbl Hspace List Netsim Printf Query Support Wire

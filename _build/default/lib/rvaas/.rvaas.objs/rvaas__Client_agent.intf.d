@@ -1,0 +1,1 @@
+lib/rvaas/client_agent.mli: Cryptosim Netsim Query

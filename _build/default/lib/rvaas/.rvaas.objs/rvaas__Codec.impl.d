@@ -1,0 +1,1 @@
+lib/rvaas/codec.ml: Cryptosim Hspace List Option Printf Query Result String

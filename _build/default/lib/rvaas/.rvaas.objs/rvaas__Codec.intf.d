@@ -1,0 +1,1 @@
+lib/rvaas/codec.mli: Cryptosim Query

@@ -1,0 +1,1 @@
+lib/rvaas/detector.ml: Cryptosim Format Hashtbl Int64 List Monitor Ofproto Printf Query String

@@ -1,0 +1,1 @@
+lib/rvaas/detector.mli: Format Monitor Ofproto Query

@@ -1,0 +1,1 @@
+lib/rvaas/directory.ml: Cryptosim Hashtbl List Netsim Option

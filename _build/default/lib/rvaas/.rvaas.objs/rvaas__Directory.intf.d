@@ -1,0 +1,1 @@
+lib/rvaas/directory.mli: Cryptosim Netsim

@@ -1,0 +1,1 @@
+lib/rvaas/federation.ml: Cryptosim Geo Hashtbl Hspace List Netsim Ofproto Option Printf Queue String Verifier

@@ -1,0 +1,1 @@
+lib/rvaas/federation.mli: Cryptosim Geo Hspace Netsim Ofproto Verifier

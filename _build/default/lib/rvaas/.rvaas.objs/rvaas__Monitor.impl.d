@@ -1,0 +1,1 @@
+lib/rvaas/monitor.ml: Hashtbl Hspace List Netsim Ofproto Printf Snapshot String Support Wire

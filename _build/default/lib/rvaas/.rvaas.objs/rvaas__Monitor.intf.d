@@ -1,0 +1,1 @@
+lib/rvaas/monitor.mli: Hspace Netsim Ofproto Snapshot

@@ -1,0 +1,1 @@
+lib/rvaas/query.ml: Format Hspace String

@@ -1,0 +1,1 @@
+lib/rvaas/query.mli: Format Hspace

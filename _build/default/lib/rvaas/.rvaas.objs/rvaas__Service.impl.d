@@ -1,0 +1,1 @@
+lib/rvaas/service.ml: Codec Cryptosim Directory Geo Hashtbl Hspace List Monitor Netsim Ofproto Option Printf Query Snapshot String Support Verifier Wire

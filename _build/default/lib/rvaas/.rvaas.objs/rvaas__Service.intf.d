@@ -1,0 +1,1 @@
+lib/rvaas/service.mli: Cryptosim Directory Geo Monitor Netsim Query Verifier

@@ -1,0 +1,1 @@
+lib/rvaas/snapshot.ml: Cryptosim Float Format Hashtbl List Ofproto String

@@ -1,0 +1,1 @@
+lib/rvaas/snapshot.mli: Ofproto

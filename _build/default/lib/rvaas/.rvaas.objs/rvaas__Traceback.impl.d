@@ -1,0 +1,1 @@
+lib/rvaas/traceback.ml: Format Hashtbl List Monitor Ofproto Option Printf Verifier

@@ -1,0 +1,1 @@
+lib/rvaas/traceback.mli: Format Monitor Netsim Ofproto Verifier

@@ -1,0 +1,1 @@
+lib/rvaas/verifier.ml: Hashtbl Hspace List Netsim Ofproto Option Queue

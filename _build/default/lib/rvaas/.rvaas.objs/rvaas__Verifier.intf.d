@@ -1,0 +1,1 @@
+lib/rvaas/verifier.mli: Hspace Netsim Ofproto

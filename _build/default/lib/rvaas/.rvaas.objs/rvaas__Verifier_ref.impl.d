@@ -1,0 +1,1 @@
+lib/rvaas/verifier_ref.ml: Hashtbl Hspace List Netsim Ofproto Option Queue Verifier

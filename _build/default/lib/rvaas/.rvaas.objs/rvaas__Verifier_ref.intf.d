@@ -1,0 +1,1 @@
+lib/rvaas/verifier_ref.mli: Hspace Netsim Ofproto Verifier

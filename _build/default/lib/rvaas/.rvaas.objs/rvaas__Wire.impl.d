@@ -1,0 +1,1 @@
+lib/rvaas/wire.ml: Hspace List Ofproto

@@ -1,0 +1,1 @@
+lib/rvaas/wire.mli: Ofproto

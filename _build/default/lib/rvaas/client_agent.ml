@@ -1,0 +1,103 @@
+type outcome = {
+  answer : Query.answer;
+  issued_at : float;
+  answered_at : float;
+  signature_ok : bool;
+}
+
+type t = {
+  net : Netsim.Net.t;
+  host : int;
+  client : int;
+  ip : int;
+  key : Cryptosim.Hmac.key;
+  service_public : Cryptosim.Keys.public;
+  rng : Support.Rng.t;
+  issued : (string, float) Hashtbl.t; (* nonce -> time *)
+  mutable done_ : outcome list; (* newest first *)
+  mutable answer_callback : outcome -> unit;
+  mutable auth_answered : int;
+  mutable muted : bool;
+}
+
+let now t = Netsim.Sim.now (Netsim.Net.sim t.net)
+
+let handle_auth_request t payload =
+  if not t.muted then
+    match Codec.decode_auth_request payload ~service_public:t.service_public with
+    | Error _ -> ()
+    | Ok challenge ->
+      t.auth_answered <- t.auth_answered + 1;
+      let reply =
+        Codec.encode_auth_reply ~client:t.client ~challenge ~key:t.key
+      in
+      let header =
+        Hspace.Header.udp ~src_ip:t.ip ~dst_ip:Wire.service_ip ~src_port:0
+          ~dst_port:Wire.auth_reply_port
+      in
+      Netsim.Net.host_send t.net ~host:t.host (Netsim.Packet.make ~header reply)
+
+let handle_answer t payload =
+  match Codec.decode_answer payload ~service_public:t.service_public with
+  | Error _ -> ()
+  | Ok answer -> (
+    match Hashtbl.find_opt t.issued answer.Query.nonce with
+    | None -> ()
+    | Some issued_at ->
+      Hashtbl.remove t.issued answer.Query.nonce;
+      let outcome = { answer; issued_at; answered_at = now t; signature_ok = true } in
+      t.done_ <- outcome :: t.done_;
+      t.answer_callback outcome)
+
+let receive t (packet : Netsim.Packet.t) =
+  let dst_port = Hspace.Header.get packet.header Hspace.Field.Tp_dst in
+  if dst_port = Wire.auth_request_port then handle_auth_request t packet.payload
+  else if dst_port = Wire.answer_port then handle_answer t packet.payload
+
+let create net ~host ~client ~ip ~key ~service_public () =
+  let t =
+    {
+      net;
+      host;
+      client;
+      ip;
+      key;
+      service_public;
+      rng = Support.Rng.split (Netsim.Sim.rng (Netsim.Net.sim net));
+      issued = Hashtbl.create 8;
+      done_ = [];
+      answer_callback = (fun _ -> ());
+      auth_answered = 0;
+      muted = false;
+    }
+  in
+  Netsim.Net.set_host_receiver net ~host (receive t);
+  t
+
+let set_answer_callback t f = t.answer_callback <- f
+
+let send_query t query =
+  let nonce = Printf.sprintf "%015x" (Support.Rng.bits t.rng) in
+  let payload =
+    Codec.encode_request
+      { Codec.client = t.client; nonce; query }
+      ~key:t.key ~recipient:t.service_public
+  in
+  let header =
+    Hspace.Header.udp ~src_ip:t.ip ~dst_ip:Wire.service_ip ~src_port:0
+      ~dst_port:Wire.request_port
+  in
+  Hashtbl.replace t.issued nonce (now t);
+  Netsim.Net.host_send t.net ~host:t.host (Netsim.Packet.make ~header payload);
+  nonce
+
+let outcomes t = List.rev t.done_
+
+let outstanding t = Hashtbl.length t.issued
+
+let auth_requests_answered t = t.auth_answered
+
+let verify_service _t ~quote ~nonce ~expected =
+  Cryptosim.Attest.verify quote ~expected ~nonce
+
+let set_mute t muted = t.muted <- muted

@@ -1,0 +1,58 @@
+(** Client-side software (paper §IV-A.3).
+
+    Runs in user space on each client host.  It (a) attests and then
+    queries the RVaaS service through the in-band magic-header channel,
+    and (b) answers authentication requests by publishing itself with a
+    tagged UDP packet that the network intercepts and traces back to
+    its true ingress port. *)
+
+type t
+
+(** Outcome of a query as observed by the client. *)
+type outcome = {
+  answer : Query.answer;
+  issued_at : float;
+  answered_at : float;
+  signature_ok : bool;
+}
+
+(** [create net ~host ~client ~ip ~key ~service_public ()] installs the
+    agent as host [host]'s receiver.  The agent answers auth requests
+    automatically from then on. *)
+val create :
+  Netsim.Net.t ->
+  host:int ->
+  client:int ->
+  ip:int ->
+  key:Cryptosim.Hmac.key ->
+  service_public:Cryptosim.Keys.public ->
+  unit ->
+  t
+
+(** [set_answer_callback t f] invokes [f] whenever a (signature-valid)
+    answer for one of this agent's outstanding queries arrives. *)
+val set_answer_callback : t -> (outcome -> unit) -> unit
+
+(** [send_query t query] seals and transmits a query; returns the nonce
+    used, so callers can correlate outcomes. *)
+val send_query : t -> Query.t -> string
+
+(** [outcomes t] lists completed queries, oldest first. *)
+val outcomes : t -> outcome list
+
+(** [outstanding t] counts queries still awaiting an answer. *)
+val outstanding : t -> int
+
+(** [auth_requests_answered t] counts auth requests this agent
+    responded to. *)
+val auth_requests_answered : t -> int
+
+(** [verify_service t ~quote ~nonce ~expected] checks an attestation
+    quote for the expected service measurement (done once before
+    trusting [service_public] in a real deployment). *)
+val verify_service :
+  t -> quote:Cryptosim.Attest.quote -> nonce:string -> expected:Cryptosim.Attest.measurement -> bool
+
+(** [set_mute t muted] makes the agent ignore auth requests — models an
+    uncooperative (untrusted) client, §III. *)
+val set_mute : t -> bool -> unit

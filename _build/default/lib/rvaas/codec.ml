@@ -1,0 +1,254 @@
+type request = { client : int; nonce : string; query : Query.t }
+
+type auth_reply = { reply_client : int; challenge : string }
+
+(* ---- line-format helpers ---- *)
+
+let join_lines = String.concat "\n"
+
+let split_lines s = String.split_on_char '\n' s
+
+let kv key value = key ^ "=" ^ value
+
+let parse_kv line =
+  match String.index_opt line '=' with
+  | None -> None
+  | Some i ->
+    Some (String.sub line 0 i, String.sub line (i + 1) (String.length line - i - 1))
+
+let lookup key pairs = List.assoc_opt key pairs
+
+let lookup_all key pairs =
+  List.filter_map (fun (k, v) -> if String.equal k key then Some v else None) pairs
+
+let parse_all s = List.filter_map parse_kv (split_lines s)
+
+let int_field key pairs =
+  Option.bind (lookup key pairs) int_of_string_opt
+
+(* ---- requests ---- *)
+
+let query_lines (q : Query.t) =
+  let scope_lines =
+    match q.scope with
+    | None -> []
+    | Some hs -> List.map (fun c -> kv "scope" (Hspace.Tern.to_string c)) (Hspace.Hs.cubes hs)
+  in
+  kv "kind" (Query.kind_to_string q.kind) :: scope_lines
+
+let parse_query pairs =
+  match Option.bind (lookup "kind" pairs) Query.kind_of_string with
+  | None -> Error "bad or missing query kind"
+  | Some kind ->
+    let cubes =
+      List.filter_map
+        (fun s -> try Some (Hspace.Tern.of_string s) with Invalid_argument _ -> None)
+        (lookup_all "scope" pairs)
+    in
+    let scope =
+      match cubes with
+      | [] -> None
+      | _ -> Some (Hspace.Hs.of_cubes Hspace.Field.total_width cubes)
+    in
+    Ok { Query.kind; scope }
+
+let encode_request r ~key ~recipient =
+  let body =
+    join_lines
+      (kv "client" (string_of_int r.client)
+      :: kv "nonce" r.nonce
+      :: query_lines r.query)
+  in
+  let tagged = body ^ "\n" ^ kv "mac" (Cryptosim.Hmac.mac key body) in
+  Cryptosim.Box.seal ~recipient tagged
+
+let decode_request payload ~keypair ~lookup_key =
+  match Cryptosim.Box.open_ ~keypair payload with
+  | None -> Error "request not sealed to this service"
+  | Some tagged -> (
+    match String.rindex_opt tagged '\n' with
+    | None -> Error "malformed request"
+    | Some i -> (
+      let body = String.sub tagged 0 i
+      and mac_line = String.sub tagged (i + 1) (String.length tagged - i - 1) in
+      let pairs = parse_all body in
+      match int_field "client" pairs, lookup "nonce" pairs, parse_kv mac_line with
+      | Some client, Some nonce, Some ("mac", mac) -> (
+        match lookup_key client with
+        | None -> Error "unknown client"
+        | Some key ->
+          if not (Cryptosim.Hmac.verify key body mac) then Error "bad client mac"
+          else
+            Result.map (fun query -> { client; nonce; query }) (parse_query pairs))
+      | _ -> Error "malformed request"))
+
+(* ---- auth requests ---- *)
+
+let encode_auth_request ~challenge ~signer =
+  let body = kv "challenge" challenge in
+  join_lines [ body; kv "sig" (Cryptosim.Keys.sign signer body) ]
+
+let decode_auth_request payload ~service_public =
+  match split_lines payload with
+  | [ body; sig_line ] -> (
+    match parse_kv body, parse_kv sig_line with
+    | Some ("challenge", challenge), Some ("sig", signature) ->
+      if Cryptosim.Keys.verify ~public:service_public body ~signature then Ok challenge
+      else Error "bad service signature"
+    | _ -> Error "malformed auth request")
+  | _ -> Error "malformed auth request"
+
+(* ---- auth replies ---- *)
+
+let encode_auth_reply ~client ~challenge ~key =
+  let body = join_lines [ kv "client" (string_of_int client); kv "challenge" challenge ] in
+  body ^ "\n" ^ kv "mac" (Cryptosim.Hmac.mac key body)
+
+let decode_auth_reply payload ~lookup_key =
+  match String.rindex_opt payload '\n' with
+  | None -> Error "malformed auth reply"
+  | Some i -> (
+    let body = String.sub payload 0 i
+    and mac_line = String.sub payload (i + 1) (String.length payload - i - 1) in
+    let pairs = parse_all body in
+    match int_field "client" pairs, lookup "challenge" pairs, parse_kv mac_line with
+    | Some reply_client, Some challenge, Some ("mac", mac) -> (
+      match lookup_key reply_client with
+      | None -> Error "unknown client in auth reply"
+      | Some key ->
+        if Cryptosim.Hmac.verify key body mac then Ok { reply_client; challenge }
+        else Error "bad auth reply mac")
+    | _ -> Error "malformed auth reply")
+
+(* ---- answers ---- *)
+
+let opt_int_to_string = function None -> "-" | Some v -> string_of_int v
+
+let opt_int_of_string = function "-" -> None | s -> int_of_string_opt s
+
+let endpoint_line (e : Query.endpoint_report) =
+  Printf.sprintf "%d,%d,%s,%d,%s" e.sw e.port (opt_int_to_string e.ip)
+    (if e.authenticated then 1 else 0)
+    (opt_int_to_string e.client)
+
+let parse_endpoint s =
+  match String.split_on_char ',' s with
+  | [ sw; port; ip; auth; client ] -> (
+    match int_of_string_opt sw, int_of_string_opt port, int_of_string_opt auth with
+    | Some sw, Some port, Some auth ->
+      Some
+        {
+          Query.sw;
+          port;
+          ip = opt_int_of_string ip;
+          authenticated = auth = 1;
+          client = opt_int_of_string client;
+        }
+    | _ -> None)
+  | _ -> None
+
+let answer_body (a : Query.answer) =
+  let lines =
+    [ kv "nonce" a.nonce; kv "kind" (Query.kind_to_string a.kind) ]
+    @ List.map (fun e -> kv "endpoint" (endpoint_line e)) a.endpoints
+    @ [
+        kv "total_auth" (string_of_int a.total_auth_requests);
+        kv "replies" (string_of_int a.auth_replies);
+      ]
+    @ List.map (fun j -> kv "jur" j) a.jurisdictions
+    @ (match a.path_hops with
+      | None -> []
+      | Some (observed, optimal) ->
+        [ kv "path" (string_of_int observed ^ "," ^ string_of_int optimal) ])
+    @ List.map
+        (fun (id, rate) -> kv "meter" (string_of_int id ^ "," ^ string_of_int rate))
+        a.meters
+    @ List.concat_map
+        (fun (sw, port, hs) ->
+          List.map
+            (fun cube ->
+              kv "tf"
+                (Printf.sprintf "%d,%d,%s" sw port (Hspace.Tern.to_string cube)))
+            (Hspace.Hs.cubes hs))
+        a.transfer
+    @ [ kv "age" (Printf.sprintf "%.9f" a.snapshot_age) ]
+  in
+  join_lines lines
+
+let encode_answer a ~signer =
+  let body = answer_body a in
+  body ^ "\n" ^ kv "sig" (Cryptosim.Keys.sign signer body)
+
+let decode_answer payload ~service_public =
+  match String.rindex_opt payload '\n' with
+  | None -> Error "malformed answer"
+  | Some i -> (
+    let body = String.sub payload 0 i
+    and sig_line = String.sub payload (i + 1) (String.length payload - i - 1) in
+    match parse_kv sig_line with
+    | Some ("sig", signature) ->
+      if not (Cryptosim.Keys.verify ~public:service_public body ~signature) then
+        Error "bad service signature"
+      else begin
+        let pairs = parse_all body in
+        let parse_pair s =
+          match String.split_on_char ',' s with
+          | [ a; b ] -> (
+            match int_of_string_opt a, int_of_string_opt b with
+            | Some a, Some b -> Some (a, b)
+            | _ -> None)
+          | _ -> None
+        in
+        match
+          ( lookup "nonce" pairs,
+            Option.bind (lookup "kind" pairs) Query.kind_of_string,
+            int_field "total_auth" pairs,
+            int_field "replies" pairs )
+        with
+        | Some nonce, Some kind, Some total_auth_requests, Some auth_replies ->
+          Ok
+            {
+              Query.nonce;
+              kind;
+              endpoints = List.filter_map parse_endpoint (lookup_all "endpoint" pairs);
+              total_auth_requests;
+              auth_replies;
+              jurisdictions = lookup_all "jur" pairs;
+              path_hops = Option.bind (lookup "path" pairs) parse_pair;
+              meters = List.filter_map parse_pair (lookup_all "meter" pairs);
+              transfer =
+                (let cells =
+                   List.filter_map
+                     (fun line ->
+                       match String.split_on_char ',' line with
+                       | [ sw; port; cube ] -> (
+                         match
+                           ( int_of_string_opt sw,
+                             int_of_string_opt port,
+                             try Some (Hspace.Tern.of_string cube)
+                             with Invalid_argument _ -> None )
+                         with
+                         | Some sw, Some port, Some cube -> Some ((sw, port), cube)
+                         | _ -> None)
+                       | _ -> None)
+                     (lookup_all "tf" pairs)
+                 in
+                 let keys = List.sort_uniq compare (List.map fst cells) in
+                 List.map
+                   (fun key ->
+                     let cubes =
+                       List.filter_map
+                         (fun (k, cube) -> if k = key then Some cube else None)
+                         cells
+                     in
+                     ( fst key,
+                       snd key,
+                       Hspace.Hs.of_cubes Hspace.Field.total_width cubes ))
+                   keys);
+              snapshot_age =
+                Option.value ~default:0.0
+                  (Option.bind (lookup "age" pairs) float_of_string_opt);
+            }
+        | _ -> Error "malformed answer"
+      end
+    | _ -> Error "malformed answer")

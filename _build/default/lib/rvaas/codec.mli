@@ -1,0 +1,58 @@
+(** Wire codec for the in-band protocol payloads.
+
+    Four payload kinds travel inside the UDP packets of {!Wire}:
+
+    - {b request} (client → service): sealed to the service's public
+      key so the provider cannot read query contents, and HMAC-tagged
+      with the client's registered key so the service can authenticate
+      the requester.
+    - {b auth request} (service → endpoint host): a fresh challenge,
+      signed by the service so hosts only answer the genuine RVaaS.
+    - {b auth reply} (endpoint host → service): echoes the challenge
+      under the host's client key.
+    - {b answer} (service → client): the query answer, signed by the
+      service.
+
+    The format is line-oriented [key=value] text — easy to inspect in
+    tests and logs. *)
+
+type request = { client : int; nonce : string; query : Query.t }
+
+(** [encode_request r ~key ~recipient] authenticates with the client
+    [key] and seals to the service public key. *)
+val encode_request : request -> key:Cryptosim.Hmac.key -> recipient:Cryptosim.Keys.public -> string
+
+(** [decode_request payload ~keypair ~lookup_key] opens the box with
+    the service [keypair], parses, and verifies the client tag using
+    [lookup_key client]. *)
+val decode_request :
+  string ->
+  keypair:Cryptosim.Keys.keypair ->
+  lookup_key:(int -> Cryptosim.Hmac.key option) ->
+  (request, string) result
+
+(** [encode_auth_request ~challenge ~signer] signs a challenge. *)
+val encode_auth_request : challenge:string -> signer:Cryptosim.Keys.keypair -> string
+
+(** [decode_auth_request payload ~service_public] verifies and returns
+    the challenge. *)
+val decode_auth_request :
+  string -> service_public:Cryptosim.Keys.public -> (string, string) result
+
+type auth_reply = { reply_client : int; challenge : string }
+
+(** [encode_auth_reply ~client ~challenge ~key] tags the echo with the
+    client key. *)
+val encode_auth_reply : client:int -> challenge:string -> key:Cryptosim.Hmac.key -> string
+
+(** [decode_auth_reply payload ~lookup_key] parses and verifies. *)
+val decode_auth_reply :
+  string -> lookup_key:(int -> Cryptosim.Hmac.key option) -> (auth_reply, string) result
+
+(** [encode_answer a ~signer] signs the serialised answer. *)
+val encode_answer : Query.answer -> signer:Cryptosim.Keys.keypair -> string
+
+(** [decode_answer payload ~service_public] verifies the service
+    signature and parses. *)
+val decode_answer :
+  string -> service_public:Cryptosim.Keys.public -> (Query.answer, string) result

@@ -1,0 +1,217 @@
+type polling =
+  | No_polling
+  | Periodic of float
+  | Randomized of float
+
+type observation =
+  | Event of Ofproto.Message.monitor_event
+  | Poll of { flows : int; digest : int64 }
+  | Removed of Ofproto.Flow_entry.spec
+
+type history_entry = { at : float; sw : int; what : observation }
+
+type probe_report = {
+  probes_sent : int;
+  confirmed : int;
+  misdelivered : (int * int * int * int) list;
+  missing : (int * int) list;
+}
+
+(* One in-flight wiring verification. *)
+type wiring_run = {
+  pending : (string, int * int) Hashtbl.t; (* nonce -> origin (sw, port) *)
+  mutable run_confirmed : int;
+  mutable run_misdelivered : (int * int * int * int) list;
+  probes_sent : int;
+}
+
+type t = {
+  net : Netsim.Net.t;
+  conn : Netsim.Net.conn;
+  snapshot : Snapshot.t;
+  history : history_entry Support.Ring.t;
+  polling : polling;
+  rng : Support.Rng.t;
+  mutable packet_in_handler :
+    sw:int -> in_port:int -> header:Hspace.Header.t -> payload:string -> unit;
+  mutable polls_sent : int;
+  mutable events_seen : int;
+  mutable polling_active : bool;
+  mutable wiring : wiring_run option;
+  mutable snapshot_change_hooks : (sw:int -> unit) list;
+}
+
+let now t = Netsim.Sim.now (Netsim.Net.sim t.net)
+
+let record t ~sw what =
+  Support.Ring.push t.history { at = now t; sw; what }
+
+let snapshot_changed t ~sw = List.iter (fun f -> f ~sw) t.snapshot_change_hooks
+
+(* A wiring probe surfaced at (sw, in_port): check it against the plan. *)
+let handle_probe t ~sw ~in_port ~payload =
+  match t.wiring with
+  | None -> ()
+  | Some run -> (
+    match String.split_on_char ':' payload with
+    | [ "lldp"; nonce ] -> (
+      match Hashtbl.find_opt run.pending nonce with
+      | None -> ()
+      | Some (origin_sw, origin_port) ->
+        Hashtbl.remove run.pending nonce;
+        let expected =
+          Netsim.Topology.peer
+            (Netsim.Net.topology t.net)
+            { Netsim.Topology.node = Netsim.Topology.Switch origin_sw; port = origin_port }
+        in
+        let matches =
+          match expected with
+          | Some { Netsim.Topology.node = Netsim.Topology.Switch esw; port = eport } ->
+            esw = sw && eport = in_port
+          | Some _ | None -> false
+        in
+        if matches then run.run_confirmed <- run.run_confirmed + 1
+        else
+          run.run_misdelivered <-
+            (origin_sw, origin_port, sw, in_port) :: run.run_misdelivered)
+    | _ -> ())
+
+let handle_message t (msg : Ofproto.Message.to_controller) =
+  match msg with
+  | Ofproto.Message.Monitor { sw; event } ->
+    t.events_seen <- t.events_seen + 1;
+    Snapshot.apply_event t.snapshot ~sw ~now:(now t) event;
+    record t ~sw (Event event);
+    snapshot_changed t ~sw
+  | Ofproto.Message.Flow_removed { sw; spec; _ } ->
+    Snapshot.apply_flow_removed t.snapshot ~sw ~now:(now t) spec;
+    record t ~sw (Removed spec);
+    snapshot_changed t ~sw
+  | Ofproto.Message.Flow_stats_reply { sw; flows; _ } ->
+    Snapshot.replace_flows t.snapshot ~sw ~now:(now t) flows;
+    record t ~sw (Poll { flows = List.length flows; digest = Snapshot.digest t.snapshot });
+    snapshot_changed t ~sw
+  | Ofproto.Message.Meter_stats_reply { sw; meters; _ } ->
+    Snapshot.replace_meters t.snapshot ~sw meters
+  | Ofproto.Message.Packet_in { sw; in_port; header; payload; _ } ->
+    let dst_port = Hspace.Header.get header Hspace.Field.Tp_dst in
+    if dst_port = Wire.lldp_port then handle_probe t ~sw ~in_port ~payload
+    else t.packet_in_handler ~sw ~in_port ~header ~payload
+  | Ofproto.Message.Echo_reply _ | Ofproto.Message.Barrier_reply _
+  | Ofproto.Message.Error _ ->
+    ()
+
+let poll_all t =
+  List.iter
+    (fun sw ->
+      t.polls_sent <- t.polls_sent + 1;
+      Netsim.Net.send t.net t.conn ~sw (Ofproto.Message.Flow_stats_request { xid = t.polls_sent });
+      Netsim.Net.send t.net t.conn ~sw (Ofproto.Message.Meter_stats_request { xid = t.polls_sent }))
+    (Netsim.Topology.switches (Netsim.Net.topology t.net))
+
+let next_gap t =
+  match t.polling with
+  | No_polling -> None
+  | Periodic period -> Some period
+  | Randomized mean -> Some (Support.Rng.exponential t.rng ~mean)
+
+let rec schedule_poll t =
+  match next_gap t with
+  | None -> ()
+  | Some gap ->
+    Netsim.Sim.schedule (Netsim.Net.sim t.net) ~delay:gap (fun () ->
+        if t.polling_active then begin
+          poll_all t;
+          schedule_poll t
+        end)
+
+let create net ~conn_delay ?(loss_prob = 0.0) ?(history_capacity = 4096) ~polling () =
+  let conn =
+    Netsim.Net.register_controller net ~name:"rvaas" ~delay:conn_delay ~loss_prob ()
+  in
+  let t =
+    {
+      net;
+      conn;
+      snapshot = Snapshot.create ();
+      history = Support.Ring.create history_capacity;
+      polling;
+      rng = Support.Rng.split (Netsim.Sim.rng (Netsim.Net.sim net));
+      packet_in_handler = (fun ~sw:_ ~in_port:_ ~header:_ ~payload:_ -> ());
+      polls_sent = 0;
+      events_seen = 0;
+      polling_active = true;
+      wiring = None;
+      snapshot_change_hooks = [];
+    }
+  in
+  Netsim.Net.set_handler conn (handle_message t);
+  List.iter
+    (fun sw -> Netsim.Net.attach net conn ~sw ~monitor:true)
+    (Netsim.Topology.switches (Netsim.Net.topology net));
+  schedule_poll t;
+  t
+
+let verify_wiring t ~timeout ~on_complete =
+  let topo = Netsim.Net.topology t.net in
+  (* Interception entry for probes, on every switch. *)
+  List.iter
+    (fun sw ->
+      Netsim.Net.send t.net t.conn ~sw
+        (Ofproto.Message.Flow_mod (Ofproto.Message.Add_flow (Wire.lldp_intercept_spec ()))))
+    (Netsim.Topology.switches topo);
+  let pending = Hashtbl.create 32 in
+  let nonce_counter = ref 0 in
+  let probes =
+    List.concat_map
+      (fun sw ->
+        List.map (fun (port, _, _) -> (sw, port)) (Netsim.Topology.neighbor_switches topo sw))
+      (Netsim.Topology.switches topo)
+  in
+  let run =
+    { pending; run_confirmed = 0; run_misdelivered = []; probes_sent = List.length probes }
+  in
+  t.wiring <- Some run;
+  (* Let the interception entries land before probing. *)
+  Netsim.Sim.schedule (Netsim.Net.sim t.net) ~delay:(2.0 *. 1e-2) (fun () ->
+      List.iter
+        (fun (sw, port) ->
+          incr nonce_counter;
+          let nonce = Printf.sprintf "%d-%d-%d" sw port !nonce_counter in
+          Hashtbl.replace pending nonce (sw, port);
+          let header =
+            Hspace.Header.udp ~src_ip:Wire.service_ip ~dst_ip:0 ~src_port:0
+              ~dst_port:Wire.lldp_port
+          in
+          Netsim.Net.send t.net t.conn ~sw
+            (Ofproto.Message.Packet_out { port; header; payload = "lldp:" ^ nonce }))
+        probes);
+  Netsim.Sim.schedule (Netsim.Net.sim t.net) ~delay:timeout (fun () ->
+      t.wiring <- None;
+      let missing =
+        Hashtbl.fold (fun _ origin acc -> origin :: acc) pending []
+        |> List.sort compare
+      in
+      on_complete
+        {
+          probes_sent = run.probes_sent;
+          confirmed = run.run_confirmed;
+          misdelivered = List.rev run.run_misdelivered;
+          missing;
+        })
+
+let snapshot t = t.snapshot
+
+let conn t = t.conn
+
+let set_packet_in_handler t f = t.packet_in_handler <- f
+
+let on_snapshot_change t f = t.snapshot_change_hooks <- f :: t.snapshot_change_hooks
+
+let history t = Support.Ring.to_list t.history
+
+let polls_sent t = t.polls_sent
+
+let events_seen t = t.events_seen
+
+let stop_polling t = t.polling_active <- false

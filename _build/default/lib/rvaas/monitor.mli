@@ -1,0 +1,94 @@
+(** Configuration monitoring (paper §IV-A.1).
+
+    Owns the RVaaS controller connection — a secured, authenticated
+    OpenFlow session to every switch — and maintains the {!Snapshot}
+    two ways:
+
+    - {b passively}: flow-monitor events and Flow-Removed messages are
+      folded in as they arrive (modulo control-channel delay/loss);
+    - {b actively}: flow-stats polls on a {!polling} schedule.  The
+      paper argues polls must fire at times "hard to guess for the
+      adversary"; [Randomized] draws exponential gaps (memoryless),
+      [Periodic] is the evadable baseline used in experiment E3.
+
+    Every observation is appended to a bounded history ring so that
+    short-lived reconfiguration attacks remain detectable after the
+    attacker restores the original rules. *)
+
+type polling =
+  | No_polling
+  | Periodic of float  (** fixed poll period in seconds *)
+  | Randomized of float  (** mean poll gap, exponentially distributed *)
+
+type observation =
+  | Event of Ofproto.Message.monitor_event  (** passive, per switch *)
+  | Poll of { flows : int; digest : int64 }
+      (** active: polled rule count and snapshot digest *)
+  | Removed of Ofproto.Flow_entry.spec
+
+type history_entry = { at : float; sw : int; what : observation }
+
+type t
+
+(** [create net ~conn_delay ?loss_prob ?history_capacity ~polling ()]
+    registers the "rvaas" controller connection, attaches to every
+    switch with monitor subscription, and starts the polling schedule.
+    [loss_prob] models a degraded switch→controller channel. *)
+val create :
+  Netsim.Net.t ->
+  conn_delay:float ->
+  ?loss_prob:float ->
+  ?history_capacity:int ->
+  polling:polling ->
+  unit ->
+  t
+
+val snapshot : t -> Snapshot.t
+
+val conn : t -> Netsim.Net.conn
+
+(** [set_packet_in_handler t f] routes Packet-In messages to the
+    service layer. *)
+val set_packet_in_handler :
+  t -> (sw:int -> in_port:int -> header:Hspace.Header.t -> payload:string -> unit) -> unit
+
+(** [on_snapshot_change t f] registers [f] to run whenever switch
+    [sw]'s believed configuration changes — used by the service to
+    invalidate its incremental verification context. *)
+val on_snapshot_change : t -> (sw:int -> unit) -> unit
+
+(** [history t] returns observations, oldest first. *)
+val history : t -> history_entry list
+
+(** [polls_sent t] counts flow-stats requests issued so far. *)
+val polls_sent : t -> int
+
+(** [events_seen t] counts monitor events received. *)
+val events_seen : t -> int
+
+(** [stop_polling t] cancels future polls (the schedule checks this
+    flag; already-queued simulator events become no-ops). *)
+val stop_polling : t -> unit
+
+(** {1 Active wiring verification (paper §IV-A.1)}
+
+    RVaaS may "issue and later intercept LLDP like packets through all
+    internal ports" to confirm the physical wiring matches the trusted
+    plan. *)
+
+type probe_report = {
+  probes_sent : int;
+  confirmed : int;  (** probes observed at the expected far endpoint *)
+  misdelivered : (int * int * int * int) list;
+      (** (origin sw, origin port, observed sw, observed port) for
+          probes that surfaced somewhere unexpected *)
+  missing : (int * int) list;
+      (** (origin sw, origin port) of probes never observed — a dead or
+          rewired link, or a lost Packet-In *)
+}
+
+(** [verify_wiring t ~timeout ~on_complete] installs the LLDP
+    interception entry on every switch, emits one probe out of every
+    switch-to-switch port, and calls [on_complete] with the report
+    after [timeout] simulated seconds. *)
+val verify_wiring : t -> timeout:float -> on_complete:(probe_report -> unit) -> unit

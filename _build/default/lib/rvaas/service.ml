@@ -1,0 +1,362 @@
+type stats = {
+  mutable queries_received : int;
+  mutable queries_rejected : int;
+  mutable auth_requests_sent : int;
+  mutable auth_replies_accepted : int;
+  mutable auth_replies_rejected : int;
+  mutable answers_sent : int;
+}
+
+type probe = {
+  target : Verifier.endpoint;
+  challenge : string;
+  mutable seen_authenticated : bool;
+  mutable seen_ip : int option;
+  mutable seen_client : int option;
+}
+
+type pending = {
+  nonce : string;
+  kind : Query.kind;
+  requester_client : int;
+  requester_sw : int;
+  requester_port : int;
+  requester_ip : int;
+  base : Query.answer;  (** logical part, endpoints filled at finalize *)
+  probes : probe list;
+}
+
+type t = {
+  net : Netsim.Net.t;
+  monitor : Monitor.t;
+  directory : Directory.t;
+  geo : Geo.Registry.t;
+  keypair : Cryptosim.Keys.keypair;
+  auth_timeout : float;
+  stats : stats;
+  rng : Support.Rng.t;
+  pending : (string, pending) Hashtbl.t; (* keyed by challenge *)
+  measurement : Cryptosim.Attest.measurement;
+  mutable ctx : Verifier.ctx;
+      (* incremental verification context: guards cached across queries,
+         invalidated per switch when the monitored snapshot changes *)
+}
+
+let code_identity = "rvaas-service-v1"
+
+let public t = Cryptosim.Keys.public t.keypair
+
+let stats t = t.stats
+
+let measurement t = t.measurement
+
+let attest t ~nonce = Cryptosim.Attest.quote ~measurement:t.measurement ~nonce
+
+let now t = Netsim.Sim.now (Netsim.Net.sim t.net)
+
+let fresh_hex t = Printf.sprintf "%015x" (Support.Rng.bits t.rng)
+
+let topo t = Netsim.Net.topology t.net
+
+let reach t ~src_sw ~src_port ~hs = Verifier.reach_in t.ctx ~src_sw ~src_port ~hs
+
+(* Restrict a client scope to IP traffic; queries never see non-IP
+   control frames. *)
+let effective_scope scope =
+  let ip = Verifier.ip_traffic_hs () in
+  match scope with None -> ip | Some hs -> Hspace.Hs.inter hs ip
+
+let empty_answer t ~nonce ~kind =
+  {
+    Query.nonce;
+    kind;
+    endpoints = [];
+    total_auth_requests = 0;
+    auth_replies = 0;
+    jurisdictions = [];
+    path_hops = None;
+    meters = [];
+    transfer = [];
+    snapshot_age = Snapshot.age (Monitor.snapshot t.monitor) ~now:(now t);
+  }
+
+(* Meters whose owning rule can touch the client's traffic: any rule
+   with a meter whose match overlaps the client's subnet (either
+   direction). *)
+let fairness_meters t ~client =
+  match Directory.find t.directory ~client with
+  | None | Some { subnet = None; _ } -> []
+  | Some { subnet = Some (value, prefix_len); _ } ->
+    let width = Hspace.Field.total_width in
+    let subnet_dst =
+      Hspace.Field.set_prefix (Hspace.Tern.all_x width) Hspace.Field.Ip_dst ~value
+        ~prefix_len
+    and subnet_src =
+      Hspace.Field.set_prefix (Hspace.Tern.all_x width) Hspace.Field.Ip_src ~value
+        ~prefix_len
+    in
+    let snapshot = Monitor.snapshot t.monitor in
+    List.concat_map
+      (fun sw ->
+        let meters = Snapshot.meters snapshot ~sw in
+        List.filter_map
+          (fun (spec : Ofproto.Flow_entry.spec) ->
+            match spec.meter with
+            | None -> None
+            | Some id ->
+              let cube = Ofproto.Match_.to_tern spec.match_ in
+              if Hspace.Tern.overlaps cube subnet_dst || Hspace.Tern.overlaps cube subnet_src
+              then
+                Option.map
+                  (fun band -> (id, band.Ofproto.Meter.rate_kbps))
+                  (List.assoc_opt id meters)
+              else None)
+          (Snapshot.flows snapshot ~sw))
+      (Snapshot.switches snapshot)
+    |> List.sort_uniq compare
+
+let jurisdictions_of t sws = Geo.Registry.jurisdictions_of t.geo ~sws
+
+(* The logical evaluation shared by the in-band path and by direct
+   calls from tests/benchmarks. *)
+let evaluate t ~client ~sw ~port (query : Query.t) =
+  let nonce = fresh_hex t in
+  let answer = empty_answer t ~nonce ~kind:query.kind in
+  let scope = effective_scope query.scope in
+  match query.kind with
+  | Query.Reachable_endpoints ->
+    let r = reach t ~src_sw:sw ~src_port:port ~hs:scope in
+    (answer, List.map fst r.endpoints)
+  | Query.Sources_reaching_me | Query.Isolation ->
+    (* Isolation ignores any client-narrowed scope: the question is
+       whether *any* traffic can enter the client's domain. *)
+    let hs =
+      match query.kind with Query.Isolation -> Verifier.ip_traffic_hs () | _ -> scope
+    in
+    let points = Verifier.access_points (topo t) in
+    let targets =
+      List.filter
+        (fun (ep : Verifier.endpoint) ->
+          Directory.client_of_host t.directory ~host:ep.host = Some client)
+        points
+    in
+    (* One forward reachability pass per candidate access point (over
+       the shared incremental guard cache); a point is a source when
+       its traffic can arrive at any of the client's own points. *)
+    let sources =
+      List.filter
+        (fun (src : Verifier.endpoint) ->
+          (not (List.mem src targets))
+          &&
+          let r = reach t ~src_sw:src.sw ~src_port:src.port ~hs in
+          List.exists (fun (ep, _) -> List.mem ep targets) r.endpoints)
+        points
+    in
+    (* The client's own points always belong in the report (they can
+       reach the client by definition of its isolation domain). *)
+    (answer, targets @ sources)
+  | Query.Geo ->
+    let r = reach t ~src_sw:sw ~src_port:port ~hs:scope in
+    ({ answer with jurisdictions = jurisdictions_of t r.traversed }, [])
+  | Query.Path_length { dst_ip } ->
+    let hs = Hspace.Hs.inter scope (Verifier.dst_ip_hs dst_ip) in
+    let r = reach t ~src_sw:sw ~src_port:port ~hs in
+    let observed =
+      List.fold_left
+        (fun acc ((_ : Verifier.endpoint), path) -> max acc (List.length path))
+        0 r.sample_paths
+    in
+    let optimal =
+      List.fold_left
+        (fun acc ((ep : Verifier.endpoint), _) ->
+          let dist, _ = Netsim.Topology.shortest_paths (topo t) ~from_sw:sw in
+          match Hashtbl.find_opt dist ep.sw with
+          | Some d -> min acc (d + 1)
+          | None -> acc)
+        max_int r.sample_paths
+    in
+    let path_hops = if observed = 0 then None else Some (observed, min observed optimal) in
+    ({ answer with path_hops }, [])
+  | Query.Fairness -> ({ answer with meters = fairness_meters t ~client }, [])
+  | Query.Transfer_summary ->
+    let r = reach t ~src_sw:sw ~src_port:port ~hs:scope in
+    let transfer =
+      List.map
+        (fun ((ep : Verifier.endpoint), arriving) -> (ep.sw, ep.port, arriving))
+        r.endpoints
+    in
+    ({ answer with transfer }, [])
+
+(* ---- in-band protocol ---- *)
+
+let packet_out t ~sw ~port header payload =
+  Netsim.Net.send t.net (Monitor.conn t.monitor) ~sw
+    (Ofproto.Message.Packet_out { port; header; payload })
+
+let send_answer t (p : pending) =
+  let endpoints =
+    List.map
+      (fun probe ->
+        {
+          Query.sw = probe.target.Verifier.sw;
+          port = probe.target.Verifier.port;
+          ip = probe.seen_ip;
+          authenticated = probe.seen_authenticated;
+          client = probe.seen_client;
+        })
+      p.probes
+  in
+  let replies = List.length (List.filter (fun pr -> pr.seen_authenticated) p.probes) in
+  let answer =
+    {
+      p.base with
+      Query.endpoints;
+      total_auth_requests = List.length p.probes;
+      auth_replies = replies;
+    }
+  in
+  let payload = Codec.encode_answer answer ~signer:t.keypair in
+  let header =
+    Hspace.Header.udp ~src_ip:Wire.service_ip ~dst_ip:p.requester_ip ~src_port:0
+      ~dst_port:Wire.answer_port
+  in
+  t.stats.answers_sent <- t.stats.answers_sent + 1;
+  packet_out t ~sw:p.requester_sw ~port:p.requester_port header payload
+
+let dispatch_probes t (p : pending) =
+  List.iter
+    (fun probe ->
+      let dst_ip =
+        Option.value ~default:0
+          (Directory.host_ip t.directory ~host:probe.target.Verifier.host)
+      in
+      let payload = Codec.encode_auth_request ~challenge:probe.challenge ~signer:t.keypair in
+      let header =
+        Hspace.Header.udp ~src_ip:Wire.service_ip ~dst_ip ~src_port:0
+          ~dst_port:Wire.auth_request_port
+      in
+      t.stats.auth_requests_sent <- t.stats.auth_requests_sent + 1;
+      packet_out t ~sw:probe.target.Verifier.sw ~port:probe.target.Verifier.port header
+        payload)
+    p.probes;
+  Netsim.Sim.schedule (Netsim.Net.sim t.net) ~delay:t.auth_timeout (fun () ->
+      List.iter (fun probe -> Hashtbl.remove t.pending probe.challenge) p.probes;
+      send_answer t p)
+
+let handle_request t ~sw ~in_port ~header ~payload =
+  t.stats.queries_received <- t.stats.queries_received + 1;
+  match
+    Codec.decode_request payload ~keypair:t.keypair
+      ~lookup_key:(fun client -> Directory.key t.directory ~client)
+  with
+  | Error _ -> t.stats.queries_rejected <- t.stats.queries_rejected + 1
+  | Ok request ->
+    let requester_ip = Hspace.Header.get header Hspace.Field.Ip_src in
+    let base, targets =
+      evaluate t ~client:request.client ~sw ~port:in_port request.query
+    in
+    let base = { base with Query.nonce = request.nonce } in
+    let probes =
+      List.map
+        (fun target ->
+          {
+            target;
+            challenge = fresh_hex t;
+            seen_authenticated = false;
+            seen_ip = None;
+            seen_client = None;
+          })
+        targets
+    in
+    let p =
+      {
+        nonce = request.nonce;
+        kind = request.query.kind;
+        requester_client = request.client;
+        requester_sw = sw;
+        requester_port = in_port;
+        requester_ip;
+        base;
+        probes;
+      }
+    in
+    if probes = [] then send_answer t p
+    else begin
+      List.iter (fun probe -> Hashtbl.replace t.pending probe.challenge p) probes;
+      dispatch_probes t p
+    end
+
+let handle_auth_reply t ~sw ~in_port ~header ~payload =
+  match
+    Codec.decode_auth_reply payload ~lookup_key:(fun client ->
+        Directory.key t.directory ~client)
+  with
+  | Error _ -> t.stats.auth_replies_rejected <- t.stats.auth_replies_rejected + 1
+  | Ok { reply_client; challenge } -> (
+    match Hashtbl.find_opt t.pending challenge with
+    | None -> t.stats.auth_replies_rejected <- t.stats.auth_replies_rejected + 1
+    | Some p -> (
+      match
+        List.find_opt (fun probe -> String.equal probe.challenge challenge) p.probes
+      with
+      | None -> t.stats.auth_replies_rejected <- t.stats.auth_replies_rejected + 1
+      | Some probe ->
+        (* The Packet-In ingress point is the authoritative access
+           point: a reply is only accepted from the probed port. *)
+        if probe.target.Verifier.sw = sw && probe.target.Verifier.port = in_port then begin
+          t.stats.auth_replies_accepted <- t.stats.auth_replies_accepted + 1;
+          probe.seen_authenticated <- true;
+          probe.seen_ip <- Some (Hspace.Header.get header Hspace.Field.Ip_src);
+          probe.seen_client <- Some reply_client
+        end
+        else t.stats.auth_replies_rejected <- t.stats.auth_replies_rejected + 1))
+
+let handle_packet_in t ~sw ~in_port ~header ~payload =
+  let dst_port = Hspace.Header.get header Hspace.Field.Tp_dst in
+  if dst_port = Wire.request_port then handle_request t ~sw ~in_port ~header ~payload
+  else if dst_port = Wire.auth_reply_port then
+    handle_auth_reply t ~sw ~in_port ~header ~payload
+
+let install_intercepts t =
+  let conn = Monitor.conn t.monitor in
+  List.iter
+    (fun sw ->
+      List.iter
+        (fun spec ->
+          Netsim.Net.send t.net conn ~sw
+            (Ofproto.Message.Flow_mod (Ofproto.Message.Add_flow spec)))
+        (Wire.intercept_specs ()))
+    (Netsim.Topology.switches (topo t))
+
+let create net monitor ~directory ~geo ~keypair ~auth_timeout () =
+  let t =
+    {
+      net;
+      monitor;
+      directory;
+      geo;
+      keypair;
+      auth_timeout;
+      stats =
+        {
+          queries_received = 0;
+          queries_rejected = 0;
+          auth_requests_sent = 0;
+          auth_replies_accepted = 0;
+          auth_replies_rejected = 0;
+          answers_sent = 0;
+        };
+      rng = Support.Rng.split (Netsim.Sim.rng (Netsim.Net.sim net));
+      pending = Hashtbl.create 16;
+      measurement = Cryptosim.Attest.measure ~code_identity;
+      ctx =
+        Verifier.context
+          ~flows_of:(fun sw -> Snapshot.flows (Monitor.snapshot monitor) ~sw)
+          (Netsim.Net.topology net);
+    }
+  in
+  Monitor.on_snapshot_change monitor (fun ~sw -> Verifier.invalidate_switch t.ctx ~sw);
+  Monitor.set_packet_in_handler monitor (fun ~sw ~in_port ~header ~payload ->
+      handle_packet_in t ~sw ~in_port ~header ~payload);
+  install_intercepts t;
+  t

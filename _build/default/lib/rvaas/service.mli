@@ -1,0 +1,76 @@
+(** The RVaaS controller (paper §IV).
+
+    Combines the three functions of the paper in one stand-alone,
+    attested controller:
+
+    + {b configuration monitoring} — delegated to {!Monitor};
+    + {b logical verification} — {!Verifier} reachability over the
+      monitored {!Snapshot} and the trusted wiring plan;
+    + {b in-band testing & client interaction} — interception of
+      magic-header client requests (Packet-In), dispatch of signed
+      authentication requests to relevant endpoints (Packet-Out),
+      collection of authenticated replies, and a signed answer back to
+      the requesting client, including the total number of auth
+      requests issued so silent endpoints are detectable (the counting
+      defence, §IV-B.1).
+
+    Confidentiality: answers never contain internal paths or topology,
+    only endpoint access points, jurisdiction sets, hop counts and
+    meter rates — preserving the provider's autonomy (§III). *)
+
+type stats = {
+  mutable queries_received : int;
+  mutable queries_rejected : int;
+  mutable auth_requests_sent : int;
+  mutable auth_replies_accepted : int;
+  mutable auth_replies_rejected : int;
+  mutable answers_sent : int;
+}
+
+type t
+
+(** [create net monitor ~directory ~geo ~keypair ~auth_timeout ()]
+    wires the service into [monitor]'s connection, installs the
+    interception flow entries on every switch, and begins serving.
+    [auth_timeout] is how long the service waits for auth replies
+    before answering (seconds). *)
+val create :
+  Netsim.Net.t ->
+  Monitor.t ->
+  directory:Directory.t ->
+  geo:Geo.Registry.t ->
+  keypair:Cryptosim.Keys.keypair ->
+  auth_timeout:float ->
+  unit ->
+  t
+
+(** [public t] is the service's public key (distributed to clients out
+    of band). *)
+val public : t -> Cryptosim.Keys.public
+
+(** [stats t] exposes serving counters. *)
+val stats : t -> stats
+
+(** [measurement t] is the enclave measurement of the service code. *)
+val measurement : t -> Cryptosim.Attest.measurement
+
+(** [attest t ~nonce] produces an attestation quote — used both by
+    clients (is this the genuine RVaaS?) and by the provider (does the
+    server run the agreed, non-leaking application?). *)
+val attest : t -> nonce:string -> Cryptosim.Attest.quote
+
+(** The code identity string measured into attestation quotes. *)
+val code_identity : string
+
+(** [evaluate t ~client ~sw ~port query] runs the logical part of a
+    query directly (no in-band round) — the building block the in-band
+    path shares; exposed for tests and benchmarks.  Returns the answer
+    with all [endpoints] unauthenticated and the probe list the in-band
+    path would test. *)
+val evaluate :
+  t ->
+  client:int ->
+  sw:int ->
+  port:int ->
+  Query.t ->
+  Query.answer * Verifier.endpoint list

@@ -1,0 +1,82 @@
+type view = {
+  table : Ofproto.Flow_table.t;
+  mutable meter_list : (int * Ofproto.Meter.band) list;
+  mutable refreshed : float;
+}
+
+type t = { views : (int, view) Hashtbl.t }
+
+let create () = { views = Hashtbl.create 32 }
+
+let view t sw =
+  match Hashtbl.find_opt t.views sw with
+  | Some v -> v
+  | None ->
+    let v = { table = Ofproto.Flow_table.create (); meter_list = []; refreshed = 0.0 } in
+    Hashtbl.replace t.views sw v;
+    v
+
+let apply_event t ~sw ~now event =
+  let v = view t sw in
+  v.refreshed <- now;
+  match event with
+  | Ofproto.Message.Flow_added spec | Ofproto.Message.Flow_modified spec ->
+    Ofproto.Flow_table.add v.table spec ~now
+  | Ofproto.Message.Flow_deleted spec ->
+    ignore
+      (Ofproto.Flow_table.delete v.table ~match_:spec.Ofproto.Flow_entry.match_
+         ~priority:spec.Ofproto.Flow_entry.priority ())
+
+let apply_flow_removed t ~sw ~now spec =
+  apply_event t ~sw ~now (Ofproto.Message.Flow_deleted spec)
+
+let replace_flows t ~sw ~now specs =
+  let v = view t sw in
+  v.refreshed <- now;
+  Ofproto.Flow_table.clear v.table;
+  List.iter (fun spec -> Ofproto.Flow_table.add v.table spec ~now) specs
+
+let replace_meters t ~sw meters =
+  let v = view t sw in
+  v.meter_list <- meters
+
+let flows t ~sw =
+  match Hashtbl.find_opt t.views sw with
+  | None -> []
+  | Some v -> Ofproto.Flow_table.specs v.table
+
+let meters t ~sw =
+  match Hashtbl.find_opt t.views sw with None -> [] | Some v -> v.meter_list
+
+let switches t =
+  Hashtbl.fold (fun sw _ acc -> sw :: acc) t.views [] |> List.sort compare
+
+let total_flows t =
+  Hashtbl.fold (fun _ v acc -> acc + Ofproto.Flow_table.size v.table) t.views 0
+
+let last_refresh t ~sw =
+  match Hashtbl.find_opt t.views sw with None -> 0.0 | Some v -> v.refreshed
+
+let age t ~now =
+  Hashtbl.fold (fun _ v acc -> Float.max acc (now -. v.refreshed)) t.views 0.0
+
+let spec_fingerprint spec = Format.asprintf "%a" Ofproto.Flow_entry.pp_spec spec
+
+let digest t =
+  let lines =
+    List.concat_map
+      (fun sw ->
+        List.map
+          (fun spec -> string_of_int sw ^ "|" ^ spec_fingerprint spec)
+          (flows t ~sw))
+      (switches t)
+  in
+  Cryptosim.Hash.digest (String.concat "\n" (List.sort String.compare lines))
+
+let multiset specs = List.sort String.compare (List.map spec_fingerprint specs)
+
+let divergence t ~actual =
+  List.fold_left
+    (fun acc sw ->
+      if multiset (flows t ~sw) = multiset (actual sw) then acc else acc + 1)
+    0 (switches t)

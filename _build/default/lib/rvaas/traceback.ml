@@ -1,0 +1,100 @@
+type incident = {
+  sw : int;
+  spec : Ofproto.Flow_entry.spec;
+  first_seen : float;
+  retracted : float option;
+  suspect_sources : Verifier.endpoint list;
+  reaches_victim : bool;
+}
+
+let fingerprint spec = Format.asprintf "%a" Ofproto.Flow_entry.pp_spec spec
+
+let in_baseline baseline_flows sw spec =
+  match List.assoc_opt sw baseline_flows with
+  | None -> false
+  | Some specs -> List.exists (fun s -> fingerprint s = fingerprint spec) specs
+
+(* Foreign rule lifetimes: pair every non-baseline Flow_added with the
+   next observed deletion of the same spec on the same switch. *)
+let lifetimes baseline_flows history =
+  let open_incidents : (string * int, float * Ofproto.Flow_entry.spec) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  let closed = ref [] in
+  List.iter
+    (fun { Monitor.at; sw; what } ->
+      match what with
+      | Monitor.Event (Ofproto.Message.Flow_added spec)
+      | Monitor.Event (Ofproto.Message.Flow_modified spec) ->
+        if not (in_baseline baseline_flows sw spec) then begin
+          let key = (fingerprint spec, sw) in
+          if not (Hashtbl.mem open_incidents key) then
+            Hashtbl.replace open_incidents key (at, spec)
+        end
+      | Monitor.Event (Ofproto.Message.Flow_deleted spec) | Monitor.Removed spec ->
+        let key = (fingerprint spec, sw) in
+        (match Hashtbl.find_opt open_incidents key with
+        | Some (first_seen, spec) ->
+          Hashtbl.remove open_incidents key;
+          closed := (sw, spec, first_seen, Some at) :: !closed
+        | None -> ())
+      | Monitor.Poll _ -> ())
+    history;
+  let still_open =
+    Hashtbl.fold
+      (fun (_fp, sw) (first_seen, spec) acc -> (sw, spec, first_seen, None) :: acc)
+      open_incidents []
+  in
+  List.sort
+    (fun (_, _, a, _) (_, _, b, _) -> compare a b)
+    (List.rev_append !closed still_open)
+
+let sources_reaching_with topo flows_of ~victim =
+  Verifier.sources_reaching ~flows_of topo ~dst:victim ~hs:(Verifier.ip_traffic_hs ())
+  |> List.map fst
+
+let investigate ~baseline_flows ~history topo ~victim =
+  let baseline_of sw = Option.value ~default:[] (List.assoc_opt sw baseline_flows) in
+  let baseline_sources = sources_reaching_with topo baseline_of ~victim in
+  List.map
+    (fun (sw, spec, first_seen, retracted) ->
+      (* Hypothetical configuration: baseline plus the foreign rule,
+         inserted in priority position. *)
+      let flows_of sw' =
+        let base = baseline_of sw' in
+        if sw' <> sw then base
+        else
+          let rec insert = function
+            | [] -> [ spec ]
+            | (s : Ofproto.Flow_entry.spec) :: rest
+              when s.priority >= spec.Ofproto.Flow_entry.priority ->
+              s :: insert rest
+            | rest -> spec :: rest
+          in
+          insert base
+      in
+      let with_rule = sources_reaching_with topo flows_of ~victim in
+      let suspect_sources =
+        List.filter (fun src -> not (List.mem src baseline_sources)) with_rule
+      in
+      {
+        sw;
+        spec;
+        first_seen;
+        retracted;
+        suspect_sources;
+        reaches_victim = suspect_sources <> [] || with_rule <> baseline_sources;
+      })
+    (lifetimes baseline_flows history)
+
+let pp_incident fmt i =
+  Format.fprintf fmt "@[<v2>sw%d at t=%.6f%s: %a@ suspects: %a@]" i.sw i.first_seen
+    (match i.retracted with
+    | None -> " (still live)"
+    | Some t -> Printf.sprintf " (retracted t=%.6f)" t)
+    Ofproto.Flow_entry.pp_spec i.spec
+    (Format.pp_print_list
+       ~pp_sep:(fun fmt () -> Format.fprintf fmt ", ")
+       (fun fmt (e : Verifier.endpoint) ->
+         Format.fprintf fmt "h%d@@sw%d:%d" e.host e.sw e.port))
+    i.suspect_sources

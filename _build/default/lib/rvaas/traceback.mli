@@ -1,0 +1,37 @@
+(** Attack traceback from the monitoring history (paper §IV-C.b).
+
+    "A slightly more complex service may also maintain some history of
+    the recent past, allowing RVaaS for example to traceback the
+    ingress port of an attack."
+
+    Given a baseline configuration, the monitoring history and a victim
+    access point, {!investigate} reconstructs each foreign rule's
+    lifetime and attributes it: which access points could reach the
+    victim while the rule was installed *that could not under the
+    baseline alone* — the candidate ingress ports of the attack. *)
+
+type incident = {
+  sw : int;  (** switch the foreign rule appeared on *)
+  spec : Ofproto.Flow_entry.spec;
+  first_seen : float;
+  retracted : float option;
+      (** when its deletion was observed; [None] if still live *)
+  suspect_sources : Verifier.endpoint list;
+      (** access points gaining reachability to the victim through the
+          rule (empty when the rule does not affect the victim) *)
+  reaches_victim : bool;
+      (** whether the rule changes what can reach the victim at all *)
+}
+
+(** [investigate ~baseline_flows ~history topo ~victim] returns
+    incidents ordered by [first_seen].  [baseline_flows] is the
+    commissioned configuration as (switch, rules) pairs; [history] the
+    monitor's observation log. *)
+val investigate :
+  baseline_flows:(int * Ofproto.Flow_entry.spec list) list ->
+  history:Monitor.history_entry list ->
+  Netsim.Topology.t ->
+  victim:Verifier.endpoint ->
+  incident list
+
+val pp_incident : Format.formatter -> incident -> unit

@@ -1,0 +1,107 @@
+(** Logical data-plane verification: Header Space Analysis reachability
+    over a configuration view and the trusted wiring plan (paper
+    §IV-A.2).
+
+    The engine propagates header-space sets through switch transfer
+    functions derived from (believed) flow tables.  Rule guards are the
+    rule's match cube minus every strictly-higher-priority cube
+    applicable on the same ingress port, so overlapping priorities are
+    resolved exactly as the data plane resolves them.  Loop termination
+    uses per-(switch, port) header-space accumulation: a packet set is
+    only propagated where it has not been seen before, which is both
+    sound and complete for reachability and traversal questions
+    (forwarding is a function of (port, header)).
+
+    The engine is deliberately independent of {!Snapshot}: any
+    [flows_of] function works, so tests can verify the *actual* tables
+    and compare against simulation — the repository's central
+    correctness property. *)
+
+type endpoint = { host : int; sw : int; port : int }
+
+type reach_result = {
+  endpoints : (endpoint * Hspace.Hs.t) list;
+      (** hosts reachable, with the headers arriving there (as rewritten
+          in flight), merged per host *)
+  controller_hits : (int * Hspace.Hs.t) list;
+      (** switches that send part of the space to the controller *)
+  traversed : int list;
+      (** every switch some packet of the query space can visit *)
+  sample_paths : (endpoint * int list) list;
+      (** one witness switch-path per reached endpoint *)
+  handoffs : (int * int * Hspace.Hs.t) list;
+      (** (switch, ingress port, headers) arriving at switches outside
+          the query boundary — the cross-provider egress points used by
+          {!Federation} (empty without a [boundary]) *)
+  rule_visits : int;  (** work counter for benchmarks *)
+}
+
+(** A verification context caches per-(switch, ingress-port) rule
+    guards, which are expensive to derive and shared by every query
+    against the same configuration view.  Create a fresh context
+    whenever the configuration may have changed. *)
+type ctx
+
+(** [context ~flows_of topo] builds a context (guards are derived
+    lazily on first use). *)
+val context :
+  flows_of:(int -> Ofproto.Flow_entry.spec list) -> Netsim.Topology.t -> ctx
+
+(** [invalidate_switch ctx ~sw] drops cached guards for [sw] — call
+    when that switch's configuration view changed.  Other switches'
+    caches stay valid, making long-lived contexts cheap to keep current
+    under churn. *)
+val invalidate_switch : ctx -> sw:int -> unit
+
+(** [cached_ports ctx] counts cached (switch, port) guard entries —
+    instrumentation for the incremental-verification benchmark. *)
+val cached_ports : ctx -> int
+
+(** [reach_in ctx ?boundary ~src_sw ~src_port ~hs] computes forward
+    reachability of the header space [hs] injected at the given ingress
+    port.  When [boundary] is given, switches for which it returns
+    [false] are not expanded: arrivals there are reported as
+    [handoffs] instead (a provider's verifier only reasons about its
+    own domain, paper §IV-C.a). *)
+val reach_in :
+  ?boundary:(int -> bool) ->
+  ctx ->
+  src_sw:int ->
+  src_port:int ->
+  hs:Hspace.Hs.t ->
+  reach_result
+
+(** [reach ~flows_of topo ~src_sw ~src_port ~hs] is [reach_in] over a
+    one-shot context. *)
+val reach :
+  flows_of:(int -> Ofproto.Flow_entry.spec list) ->
+  Netsim.Topology.t ->
+  src_sw:int ->
+  src_port:int ->
+  hs:Hspace.Hs.t ->
+  reach_result
+
+(** [access_points topo] lists every client-facing attachment
+    (host, sw, port) in the wiring plan. *)
+val access_points : Netsim.Topology.t -> endpoint list
+
+(** [sources_reaching ~flows_of topo ~dst ~hs] runs {!reach} from every
+    access point except [dst] itself and returns those whose traffic
+    (within [hs]) can arrive at [dst]. *)
+val sources_reaching :
+  flows_of:(int -> Ofproto.Flow_entry.spec list) ->
+  Netsim.Topology.t ->
+  dst:endpoint ->
+  hs:Hspace.Hs.t ->
+  (endpoint * Hspace.Hs.t) list
+
+(** [ip_traffic_hs ()] is the header space of all IPv4 traffic — the
+    default query scope. *)
+val ip_traffic_hs : unit -> Hspace.Hs.t
+
+(** [dst_ip_hs ip] is IPv4 traffic addressed to [ip]. *)
+val dst_ip_hs : int -> Hspace.Hs.t
+
+(** [dst_prefix_hs ~value ~prefix_len] is IPv4 traffic addressed into a
+    prefix. *)
+val dst_prefix_hs : value:int -> prefix_len:int -> Hspace.Hs.t

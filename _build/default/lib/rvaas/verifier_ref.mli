@@ -1,0 +1,24 @@
+(** Reference reachability implementation (naive, obviously correct).
+
+    Materialises every rule's guard as an explicit header-space value
+    (match cube minus the union of all strictly-higher-priority
+    applicable cubes) and intersects propagated sets against it — the
+    textbook HSA formulation.  Exponentially slower than
+    {!Verifier.reach_in}'s lazy shadow subtraction on overlapping rule
+    sets, but a direct transcription of the semantics.
+
+    Used by differential tests (optimised verifier ≡ reference on small
+    networks) and by the ablation benchmark that justifies the
+    optimisation in DESIGN.md. *)
+
+(** [reach ~flows_of topo ~src_sw ~src_port ~hs] mirrors
+    {!Verifier.reach}; results are comparable field by field
+    ([handoffs] is always empty — the reference supports no
+    boundaries). *)
+val reach :
+  flows_of:(int -> Ofproto.Flow_entry.spec list) ->
+  Netsim.Topology.t ->
+  src_sw:int ->
+  src_port:int ->
+  hs:Hspace.Hs.t ->
+  Verifier.reach_result

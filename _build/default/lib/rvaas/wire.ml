@@ -1,0 +1,40 @@
+let request_port = 0x5256 (* "RV" *)
+
+let auth_request_port = 0x5257
+
+let auth_reply_port = 0x5258
+
+let answer_port = 0x5259
+
+let lldp_port = 0x525A
+
+let service_ip = 0x0A00FFFE (* 10.0.255.254 *)
+
+let intercept_priority = 1000
+
+let intercept_cookie = 0x57A5
+
+let udp_dst_match port =
+  Ofproto.Match_.any
+  |> fun m ->
+  Ofproto.Match_.with_exact m Hspace.Field.Eth_type Hspace.Header.eth_type_ip
+  |> fun m ->
+  Ofproto.Match_.with_exact m Hspace.Field.Ip_proto Hspace.Header.proto_udp
+  |> fun m -> Ofproto.Match_.with_exact m Hspace.Field.Tp_dst port
+
+let intercept_specs () =
+  List.map
+    (fun port ->
+      Ofproto.Flow_entry.make_spec ~cookie:intercept_cookie
+        ~priority:intercept_priority (udp_dst_match port)
+        [ Ofproto.Action.To_controller ])
+    [ request_port; auth_reply_port ]
+
+let lldp_intercept_spec () =
+  Ofproto.Flow_entry.make_spec ~cookie:intercept_cookie ~priority:intercept_priority
+    (udp_dst_match lldp_port)
+    [ Ofproto.Action.To_controller ]
+
+let is_magic_port p =
+  p = request_port || p = auth_request_port || p = auth_reply_port || p = answer_port
+  || p = lldp_port

@@ -1,0 +1,45 @@
+(** In-band protocol constants.
+
+    RVaaS is reachable only indirectly: client messages carry a "magic"
+    UDP destination port that a high-priority flow entry reports to the
+    controller as a Packet-In (paper §IV-A.3).  Responses are injected
+    with Packet-Outs. *)
+
+(** UDP destination port of client query requests. *)
+val request_port : int
+
+(** UDP destination port of authentication requests (service → host). *)
+val auth_request_port : int
+
+(** UDP destination port of authentication replies (host → service,
+    intercepted in-band). *)
+val auth_reply_port : int
+
+(** UDP destination port of the final answer (service → client). *)
+val answer_port : int
+
+(** UDP destination port of LLDP-like wiring probes (service → service,
+    out one internal port and intercepted at the far switch). *)
+val lldp_port : int
+
+(** [lldp_intercept_spec ()] is the interception entry for wiring
+    probes (installed by {!Monitor.verify_wiring}). *)
+val lldp_intercept_spec : unit -> Ofproto.Flow_entry.spec
+
+(** Source IPv4 address the service uses on injected packets. *)
+val service_ip : int
+
+(** Priority of the interception flow entries — above every provider
+    and attacker rule, reflecting that switches are trusted and
+    initially configured correctly (paper §III). *)
+val intercept_priority : int
+
+(** Cookie tagging the interception entries. *)
+val intercept_cookie : int
+
+(** [intercept_specs ()] are the two flow entries every switch needs:
+    match UDP on {!request_port} / {!auth_reply_port} → controller. *)
+val intercept_specs : unit -> Ofproto.Flow_entry.spec list
+
+(** [is_magic_port p] is true for any of the four protocol ports. *)
+val is_magic_port : int -> bool

@@ -1,0 +1,1 @@
+lib/sdnctl/addressing.ml: Format Hashtbl List Netsim Option

@@ -1,0 +1,1 @@
+lib/sdnctl/addressing.mli: Format Netsim

@@ -1,0 +1,1 @@
+lib/sdnctl/attack.ml: Addressing Format Hspace List Netsim Ofproto Printf

@@ -1,0 +1,1 @@
+lib/sdnctl/attack.mli: Addressing Format Netsim

@@ -1,0 +1,1 @@
+lib/sdnctl/provider.ml: Addressing Hspace List Netsim Ofproto Option

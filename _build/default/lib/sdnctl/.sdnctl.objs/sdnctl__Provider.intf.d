@@ -1,0 +1,1 @@
+lib/sdnctl/provider.mli: Addressing Netsim

@@ -1,0 +1,78 @@
+type host_info = { host : int; client : int; ip : int; mac : int }
+
+type client_state = { name : string; mutable next_host_index : int; mutable members : int list }
+
+type t = {
+  client_table : (int, client_state) Hashtbl.t;
+  host_table : (int, host_info) Hashtbl.t;
+  ip_table : (int, host_info) Hashtbl.t;
+}
+
+let create () =
+  {
+    client_table = Hashtbl.create 8;
+    host_table = Hashtbl.create 32;
+    ip_table = Hashtbl.create 32;
+  }
+
+let base_prefix = 10 lsl 24 (* 10.0.0.0 *)
+
+let add_client t ~client ~name =
+  if client < 0 || client > 255 then invalid_arg "Addressing.add_client: id out of range";
+  if Hashtbl.mem t.client_table client then
+    invalid_arg "Addressing.add_client: duplicate client";
+  Hashtbl.replace t.client_table client { name; next_host_index = 1; members = [] }
+
+let add_host t ~host ~client =
+  if Hashtbl.mem t.host_table host then invalid_arg "Addressing.add_host: duplicate host";
+  match Hashtbl.find_opt t.client_table client with
+  | None -> invalid_arg "Addressing.add_host: unknown client"
+  | Some state ->
+    let index = state.next_host_index in
+    if index > 0xFFFF then invalid_arg "Addressing.add_host: client subnet exhausted";
+    state.next_host_index <- index + 1;
+    state.members <- host :: state.members;
+    let ip = base_prefix lor (client lsl 16) lor index in
+    let info = { host; client; ip; mac = 0x020000000000 lor host } in
+    Hashtbl.replace t.host_table host info;
+    Hashtbl.replace t.ip_table ip info;
+    info
+
+let client_name t ~client =
+  Option.map (fun s -> s.name) (Hashtbl.find_opt t.client_table client)
+
+let clients t =
+  Hashtbl.fold (fun id _ acc -> id :: acc) t.client_table [] |> List.sort compare
+
+let host t ~host = Hashtbl.find_opt t.host_table host
+
+let host_by_ip t ~ip = Hashtbl.find_opt t.ip_table ip
+
+let hosts_of_client t ~client =
+  match Hashtbl.find_opt t.client_table client with
+  | None -> []
+  | Some state ->
+    List.sort compare state.members
+    |> List.filter_map (fun h -> Hashtbl.find_opt t.host_table h)
+
+let all_hosts t =
+  Hashtbl.fold (fun _ info acc -> info :: acc) t.host_table []
+  |> List.sort (fun a b -> compare a.host b.host)
+
+let subnet _t ~client = (base_prefix lor (client lsl 16), 16)
+
+let client_of_ip t ~ip =
+  let client = (ip lsr 16) land 0xFF in
+  if ip lsr 24 = 10 && Hashtbl.mem t.client_table client then Some client else None
+
+let access_points t topo ~client =
+  hosts_of_client t ~client
+  |> List.filter_map (fun info ->
+         match Netsim.Topology.host_attachment topo info.host with
+         | Some { Netsim.Topology.node = Netsim.Topology.Switch sw; port } -> Some (sw, port)
+         | Some _ | None -> None)
+  |> List.sort_uniq compare
+
+let pp_ip fmt ip =
+  Format.fprintf fmt "%d.%d.%d.%d" ((ip lsr 24) land 0xFF) ((ip lsr 16) land 0xFF)
+    ((ip lsr 8) land 0xFF) (ip land 0xFF)

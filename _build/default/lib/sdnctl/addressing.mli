@@ -1,0 +1,54 @@
+(** Client and host addressing.
+
+    Each client owns an IPv4 /16 subnet (10.c.0.0/16); its hosts get
+    sequential addresses within it.  The registry also records which
+    access points (switch, port) belong to which client — the ground
+    truth against which RVaaS isolation answers are judged. *)
+
+type host_info = { host : int; client : int; ip : int; mac : int }
+
+type t
+
+val create : unit -> t
+
+(** [add_client t ~client ~name] declares a client.
+    @raise Invalid_argument on duplicates or ids outside [0, 255]. *)
+val add_client : t -> client:int -> name:string -> unit
+
+(** [add_host t ~host ~client] registers a host under a client and
+    assigns its address.  @raise Invalid_argument when the host is
+    already registered or the client unknown. *)
+val add_host : t -> host:int -> client:int -> host_info
+
+(** [client_name t ~client] looks a client's name up. *)
+val client_name : t -> client:int -> string option
+
+(** [clients t] lists client ids, ascending. *)
+val clients : t -> int list
+
+(** [host t ~host] looks a host's addressing up. *)
+val host : t -> host:int -> host_info option
+
+(** [host_by_ip t ~ip] reverse-resolves an address. *)
+val host_by_ip : t -> ip:int -> host_info option
+
+(** [hosts_of_client t ~client] lists a client's hosts, ascending by
+    host id. *)
+val hosts_of_client : t -> client:int -> host_info list
+
+(** [all_hosts t] lists all registered hosts, ascending by host id. *)
+val all_hosts : t -> host_info list
+
+(** [subnet t ~client] is the client's (prefix value, prefix length).
+    The prefix value is the full 32-bit address of the subnet base. *)
+val subnet : t -> client:int -> int * int
+
+(** [client_of_ip t ~ip] derives the owning client from an address
+    inside a registered client subnet. *)
+val client_of_ip : t -> ip:int -> int option
+
+(** [access_points t net_topo ~client] lists the (switch, port)
+    attachment points of the client's hosts. *)
+val access_points : t -> Netsim.Topology.t -> client:int -> (int * int) list
+
+val pp_ip : Format.formatter -> int -> unit

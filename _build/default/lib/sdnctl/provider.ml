@@ -1,0 +1,147 @@
+type policy = {
+  isolation : bool;
+  whitelist : (int * int) list;
+}
+
+type t = {
+  net : Netsim.Net.t;
+  addressing : Addressing.t;
+  policy : policy;
+  conn : Netsim.Net.conn;
+}
+
+let routing_priority = 100
+
+let acl_priority = 200
+
+let whitelist_priority = 300
+
+let cookie = 0x9407 (* "provider" tag *)
+
+let create net addressing ~policy ~conn_delay =
+  let conn =
+    Netsim.Net.register_controller net ~name:"provider" ~delay:conn_delay ()
+  in
+  List.iter
+    (fun sw -> Netsim.Net.attach net conn ~sw ~monitor:false)
+    (Netsim.Topology.switches (Netsim.Net.topology net));
+  { net; addressing; policy; conn }
+
+let conn t = t.conn
+
+(* Egress action at switch [sw] for traffic addressed to [info]:
+   directly to the host when attached here, otherwise towards the next
+   hop on a shortest path. *)
+let route_action t sw (info : Addressing.host_info) =
+  let topo = Netsim.Net.topology t.net in
+  match Netsim.Topology.host_attachment topo info.host with
+  | None -> None
+  | Some { Netsim.Topology.node = Netsim.Topology.Switch dst_sw; port = dst_port } ->
+    if sw = dst_sw then Some (Ofproto.Action.Output dst_port)
+    else
+      Option.map
+        (fun port -> Ofproto.Action.Output port)
+        (Netsim.Topology.next_hop_port topo ~from_sw:sw ~to_sw:dst_sw)
+  | Some _ -> None
+
+let routing_mods t =
+  let topo = Netsim.Net.topology t.net in
+  let switches = Netsim.Topology.switches topo in
+  List.concat_map
+    (fun (info : Addressing.host_info) ->
+      List.filter_map
+        (fun sw ->
+          match route_action t sw info with
+          | None -> None
+          | Some action ->
+            let match_ =
+              Ofproto.Match_.any
+              |> fun m ->
+              Ofproto.Match_.with_exact m Hspace.Field.Eth_type Hspace.Header.eth_type_ip
+              |> fun m -> Ofproto.Match_.with_exact m Hspace.Field.Ip_dst info.ip
+            in
+            let spec =
+              Ofproto.Flow_entry.make_spec ~cookie ~priority:routing_priority match_
+                [ action ]
+            in
+            Some (sw, Ofproto.Message.Flow_mod (Ofproto.Message.Add_flow spec)))
+        switches)
+    (Addressing.all_hosts t.addressing)
+
+(* Ingress isolation: at each client-facing port, drop IP traffic
+   addressed into any *other* client's subnet unless whitelisted. *)
+let acl_mods t =
+  if not t.policy.isolation then []
+  else
+    let topo = Netsim.Net.topology t.net in
+    let clients = Addressing.clients t.addressing in
+    List.concat_map
+      (fun src_client ->
+        let allowed dst_client =
+          dst_client = src_client
+          || List.mem (src_client, dst_client) t.policy.whitelist
+        in
+        let points = Addressing.access_points t.addressing topo ~client:src_client in
+        List.concat_map
+          (fun (sw, port) ->
+            List.filter_map
+              (fun dst_client ->
+                if allowed dst_client then None
+                else
+                  let value, prefix_len = Addressing.subnet t.addressing ~client:dst_client in
+                  let match_ =
+                    Ofproto.Match_.any
+                    |> fun m ->
+                    Ofproto.Match_.with_in_port m port
+                    |> fun m ->
+                    Ofproto.Match_.with_exact m Hspace.Field.Eth_type
+                      Hspace.Header.eth_type_ip
+                    |> fun m ->
+                    Ofproto.Match_.with_prefix m Hspace.Field.Ip_dst ~value ~prefix_len
+                  in
+                  let spec =
+                    Ofproto.Flow_entry.make_spec ~cookie ~priority:acl_priority match_ []
+                  in
+                  Some (sw, Ofproto.Message.Flow_mod (Ofproto.Message.Add_flow spec)))
+              clients)
+          points)
+      clients
+
+(* Whitelisted cross-client pairs get explicit allow rules above the
+   ACLs, replicating the routing action at the source's ingress. *)
+let whitelist_mods t =
+  let topo = Netsim.Net.topology t.net in
+  List.concat_map
+    (fun (src_client, dst_client) ->
+      let points = Addressing.access_points t.addressing topo ~client:src_client in
+      List.concat_map
+        (fun (sw, port) ->
+          List.filter_map
+            (fun (info : Addressing.host_info) ->
+              match route_action t sw info with
+              | None -> None
+              | Some action ->
+                let match_ =
+                  Ofproto.Match_.any
+                  |> fun m ->
+                  Ofproto.Match_.with_in_port m port
+                  |> fun m ->
+                  Ofproto.Match_.with_exact m Hspace.Field.Eth_type
+                    Hspace.Header.eth_type_ip
+                  |> fun m -> Ofproto.Match_.with_exact m Hspace.Field.Ip_dst info.ip
+                in
+                let spec =
+                  Ofproto.Flow_entry.make_spec ~cookie ~priority:whitelist_priority
+                    match_ [ action ]
+                in
+                Some (sw, Ofproto.Message.Flow_mod (Ofproto.Message.Add_flow spec)))
+            (Addressing.hosts_of_client t.addressing ~client:dst_client))
+        points)
+    t.policy.whitelist
+
+let all_mods t = routing_mods t @ acl_mods t @ whitelist_mods t
+
+let install_all t =
+  List.iter (fun (sw, msg) -> Netsim.Net.send t.net t.conn ~sw msg) (all_mods t)
+
+let rule_count t = List.length (all_mods t)

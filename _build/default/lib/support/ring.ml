@@ -1,0 +1,52 @@
+type 'a t = {
+  items : 'a option array;
+  mutable start : int; (* index of oldest item *)
+  mutable len : int;
+}
+
+let create capacity =
+  if capacity <= 0 then invalid_arg "Ring.create: capacity must be positive";
+  { items = Array.make capacity None; start = 0; len = 0 }
+
+let capacity b = Array.length b.items
+
+let length b = b.len
+
+let push b x =
+  let cap = capacity b in
+  if b.len < cap then begin
+    b.items.((b.start + b.len) mod cap) <- Some x;
+    b.len <- b.len + 1
+  end
+  else begin
+    b.items.(b.start) <- Some x;
+    b.start <- (b.start + 1) mod cap
+  end
+
+let nth_exn b i =
+  match b.items.((b.start + i) mod capacity b) with
+  | Some x -> x
+  | None -> assert false
+
+let to_list b = List.init b.len (nth_exn b)
+
+let fold b ~init ~f =
+  let acc = ref init in
+  for i = 0 to b.len - 1 do
+    acc := f !acc (nth_exn b i)
+  done;
+  !acc
+
+let latest b = if b.len = 0 then None else Some (nth_exn b (b.len - 1))
+
+let find b ~f =
+  let rec go i = if i < 0 then None else
+    let x = nth_exn b i in
+    if f x then Some x else go (i - 1)
+  in
+  go (b.len - 1)
+
+let clear b =
+  Array.fill b.items 0 (capacity b) None;
+  b.start <- 0;
+  b.len <- 0

@@ -1,0 +1,35 @@
+(** Bounded ring buffer retaining the most recent [capacity] items.
+
+    Used for the RVaaS configuration-history store: the monitor keeps a
+    bounded window of timestamped snapshot diffs to detect short-lived
+    reconfiguration attacks. *)
+
+type 'a t
+
+(** [create capacity] returns an empty buffer holding at most
+    [capacity] items.  @raise Invalid_argument if [capacity <= 0]. *)
+val create : int -> 'a t
+
+(** [push b x] appends [x], evicting the oldest item when full. *)
+val push : 'a t -> 'a -> unit
+
+(** [length b] is the number of retained items. *)
+val length : 'a t -> int
+
+(** [capacity b] is the maximum number of retained items. *)
+val capacity : 'a t -> int
+
+(** [to_list b] returns retained items, oldest first. *)
+val to_list : 'a t -> 'a list
+
+(** [fold b ~init ~f] folds over retained items, oldest first. *)
+val fold : 'a t -> init:'b -> f:('b -> 'a -> 'b) -> 'b
+
+(** [latest b] is the most recently pushed item, if any. *)
+val latest : 'a t -> 'a option
+
+(** [find b ~f] returns the most recent item satisfying [f]. *)
+val find : 'a t -> f:('a -> bool) -> 'a option
+
+(** [clear b] removes all items. *)
+val clear : 'a t -> unit

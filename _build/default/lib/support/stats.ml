@@ -1,0 +1,39 @@
+let mean = function
+  | [] -> 0.0
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let stddev xs =
+  match xs with
+  | [] | [ _ ] -> 0.0
+  | _ ->
+    let m = mean xs in
+    let sq = List.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 xs in
+    sqrt (sq /. float_of_int (List.length xs))
+
+let percentile p xs =
+  if xs = [] then invalid_arg "Stats.percentile: empty list";
+  let sorted = List.sort compare xs in
+  let n = List.length sorted in
+  let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
+  let rank = max 1 (min n rank) in
+  List.nth sorted (rank - 1)
+
+let minimum = function
+  | [] -> invalid_arg "Stats.minimum: empty list"
+  | x :: xs -> List.fold_left min x xs
+
+let maximum = function
+  | [] -> invalid_arg "Stats.maximum: empty list"
+  | x :: xs -> List.fold_left max x xs
+
+let histogram ~buckets ~lo ~hi xs =
+  if buckets <= 0 then invalid_arg "Stats.histogram: buckets must be positive";
+  if hi <= lo then invalid_arg "Stats.histogram: empty range";
+  let counts = Array.make buckets 0 in
+  let width = (hi -. lo) /. float_of_int buckets in
+  let bucket_of x =
+    let i = int_of_float ((x -. lo) /. width) in
+    max 0 (min (buckets - 1) i)
+  in
+  List.iter (fun x -> let i = bucket_of x in counts.(i) <- counts.(i) + 1) xs;
+  counts

@@ -1,0 +1,22 @@
+(** Small statistics helpers used by the benchmark harness. *)
+
+(** [mean xs] is the arithmetic mean; 0 for the empty list. *)
+val mean : float list -> float
+
+(** [stddev xs] is the population standard deviation; 0 for fewer than
+    two samples. *)
+val stddev : float list -> float
+
+(** [percentile p xs] returns the [p]-th percentile (0..100) using
+    nearest-rank on the sorted samples.  @raise Invalid_argument on an
+    empty list. *)
+val percentile : float -> float list -> float
+
+(** [minimum xs] / [maximum xs]. @raise Invalid_argument on empty. *)
+val minimum : float list -> float
+
+val maximum : float list -> float
+
+(** [histogram ~buckets ~lo ~hi xs] counts samples in [buckets] equal
+    bins over [\[lo, hi\]]; samples outside are clamped. *)
+val histogram : buckets:int -> lo:float -> hi:float -> float list -> int array

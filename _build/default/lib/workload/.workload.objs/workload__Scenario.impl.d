@@ -1,0 +1,1 @@
+lib/workload/scenario.ml: Cryptosim Float Geo List Netsim Ofproto Option Printf Rvaas Sdnctl String Support

@@ -1,0 +1,1 @@
+lib/workload/scenario.mli: Cryptosim Geo Netsim Ofproto Rvaas Sdnctl

@@ -1,0 +1,1 @@
+lib/workload/topogen.ml: Array Hashtbl List Netsim Support

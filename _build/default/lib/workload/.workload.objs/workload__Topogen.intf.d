@@ -1,0 +1,1 @@
+lib/workload/topogen.mli: Netsim Support

@@ -1,0 +1,1 @@
+lib/workload/trafficgen.ml: Array Hashtbl Hspace List Netsim Option Scenario Sdnctl

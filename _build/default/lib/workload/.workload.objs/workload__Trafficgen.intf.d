@@ -1,0 +1,1 @@
+lib/workload/trafficgen.mli: Scenario

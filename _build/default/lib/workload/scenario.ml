@@ -1,0 +1,178 @@
+type spec = {
+  topo : Netsim.Topology.t;
+  clients : int;
+  seed : int;
+  polling : Rvaas.Monitor.polling;
+  provider_delay : float;
+  rvaas_delay : float;
+  rvaas_loss : float;
+  auth_timeout : float;
+  isolation : bool;
+  whitelist : (int * int) list;
+  jurisdictions : string list;
+}
+
+let default_spec topo =
+  {
+    topo;
+    clients = 2;
+    seed = 42;
+    polling = Rvaas.Monitor.Randomized 0.05;
+    provider_delay = 1e-3;
+    rvaas_delay = 1e-3;
+    rvaas_loss = 0.0;
+    auth_timeout = 0.02;
+    isolation = true;
+    whitelist = [];
+    jurisdictions = [ "EU"; "US"; "CH" ];
+  }
+
+type t = {
+  spec : spec;
+  net : Netsim.Net.t;
+  addressing : Sdnctl.Addressing.t;
+  provider : Sdnctl.Provider.t;
+  monitor : Rvaas.Monitor.t;
+  service : Rvaas.Service.t;
+  directory : Rvaas.Directory.t;
+  geo_truth : Geo.Registry.t;
+  agents : (int * Rvaas.Client_agent.t) list;
+  service_keypair : Cryptosim.Keys.keypair;
+}
+
+let build spec =
+  if spec.clients < 1 then invalid_arg "Scenario.build: need at least one client";
+  let rng = Support.Rng.create spec.seed in
+  let net = Netsim.Net.create ~seed:spec.seed spec.topo in
+  (* Addressing: hosts round-robin over clients. *)
+  let addressing = Sdnctl.Addressing.create () in
+  for c = 0 to spec.clients - 1 do
+    Sdnctl.Addressing.add_client addressing ~client:c ~name:(Printf.sprintf "client-%d" c)
+  done;
+  let hosts = Netsim.Topology.hosts spec.topo in
+  List.iteri
+    (fun i host ->
+      ignore (Sdnctl.Addressing.add_host addressing ~host ~client:(i mod spec.clients)))
+    hosts;
+  (* Provider control plane. *)
+  let provider =
+    Sdnctl.Provider.create net addressing
+      ~policy:{ Sdnctl.Provider.isolation = spec.isolation; whitelist = spec.whitelist }
+      ~conn_delay:spec.provider_delay
+  in
+  Sdnctl.Provider.install_all provider;
+  (* Ground-truth switch locations. *)
+  let geo_truth = Geo.Registry.create () in
+  List.iter
+    (fun sw ->
+      Geo.Registry.set_switch geo_truth ~sw
+        (Geo.Location.random rng ~jurisdictions:spec.jurisdictions))
+    (Netsim.Topology.switches spec.topo);
+  (* Client keys and directory. *)
+  let directory = Rvaas.Directory.create () in
+  let client_keys =
+    List.init spec.clients (fun c -> (c, Cryptosim.Hmac.random_key rng))
+  in
+  List.iter
+    (fun (c, key) ->
+      let members = Sdnctl.Addressing.hosts_of_client addressing ~client:c in
+      Rvaas.Directory.register directory
+        {
+          Rvaas.Directory.client = c;
+          name = Printf.sprintf "client-%d" c;
+          key;
+          hosts =
+            List.map (fun (h : Sdnctl.Addressing.host_info) -> (h.host, h.ip)) members;
+          subnet = Some (Sdnctl.Addressing.subnet addressing ~client:c);
+        })
+    client_keys;
+  (* RVaaS monitor + service. *)
+  let monitor =
+    Rvaas.Monitor.create net ~conn_delay:spec.rvaas_delay ~loss_prob:spec.rvaas_loss
+      ~polling:spec.polling ()
+  in
+  let service_keypair = Cryptosim.Keys.generate rng ~owner:"rvaas" in
+  let service =
+    Rvaas.Service.create net monitor ~directory ~geo:geo_truth ~keypair:service_keypair
+      ~auth_timeout:spec.auth_timeout ()
+  in
+  let service_public = Rvaas.Service.public service in
+  (* One agent per host. *)
+  let agents =
+    List.map
+      (fun host ->
+        let info = Option.get (Sdnctl.Addressing.host addressing ~host) in
+        let key = List.assoc info.client client_keys in
+        let agent =
+          Rvaas.Client_agent.create net ~host ~client:info.client ~ip:info.ip ~key
+            ~service_public ()
+        in
+        (host, agent))
+      hosts
+  in
+  let t =
+    {
+      spec;
+      net;
+      addressing;
+      provider;
+      monitor;
+      service;
+      directory;
+      geo_truth;
+      agents;
+      service_keypair;
+    }
+  in
+  (* Let installation Flow-Mods land and one poll cycle complete. *)
+  ignore (Netsim.Sim.run (Netsim.Net.sim net) ~until:(10.0 *. spec.provider_delay +. 0.01));
+  t
+
+let run t ~until = ignore (Netsim.Sim.run (Netsim.Net.sim t.net) ~until)
+
+let agent t ~host = List.assoc host t.agents
+
+let baseline t =
+  let snapshot = Rvaas.Monitor.snapshot t.monitor in
+  Rvaas.Detector.baseline_of_flows
+    (List.map
+       (fun sw -> (sw, Rvaas.Snapshot.flows snapshot ~sw))
+       (Rvaas.Snapshot.switches snapshot))
+
+let policy_for t ~client =
+  let topo = Netsim.Net.topology t.net in
+  let own_points = Sdnctl.Addressing.access_points t.addressing topo ~client in
+  let allowed_peer_points =
+    List.concat_map
+      (fun (src, dst) ->
+        if dst = client then Sdnctl.Addressing.access_points t.addressing topo ~client:src
+        else [])
+      t.spec.whitelist
+  in
+  { (Rvaas.Detector.default_policy ~own_points) with allowed_peer_points }
+
+let query_and_wait t ~host query ~timeout =
+  let agent = agent t ~host in
+  let result = ref None in
+  Rvaas.Client_agent.set_answer_callback agent (fun outcome -> result := Some outcome);
+  let nonce = Rvaas.Client_agent.send_query agent query in
+  let sim = Netsim.Sim.now (Netsim.Net.sim t.net) in
+  let deadline = sim +. timeout in
+  let continue = ref true in
+  while !continue do
+    match !result with
+    | Some _ -> continue := false
+    | None ->
+      let now = Netsim.Sim.now (Netsim.Net.sim t.net) in
+      if now >= deadline then continue := false
+      else run t ~until:(Float.min deadline (now +. (timeout /. 100.0)))
+  done;
+  (match !result with
+  | Some outcome when not (String.equal outcome.Rvaas.Client_agent.answer.Rvaas.Query.nonce nonce)
+    ->
+    (* A stale outcome from an earlier query on this agent; ignore. *)
+    result := None
+  | Some _ | None -> ());
+  !result
+
+let actual_flows t sw = Ofproto.Flow_table.specs (Netsim.Net.table t.net ~sw)

@@ -1,0 +1,182 @@
+type params = { hosts_per_switch : int; link_delay : float }
+
+let default_params = { hosts_per_switch = 1; link_delay = 1e-4 }
+
+(* Builder state: next free structural port per switch and next host id. *)
+type builder = {
+  topo : Netsim.Topology.t;
+  params : params;
+  next_port : (int, int) Hashtbl.t;
+  mutable next_host : int;
+}
+
+let start params = { topo = Netsim.Topology.create (); params; next_port = Hashtbl.create 32; next_host = 0 }
+
+let add_switch b sw =
+  Netsim.Topology.add_switch b.topo sw;
+  Hashtbl.replace b.next_port sw b.params.hosts_per_switch
+
+let claim_port b sw =
+  let p = Hashtbl.find b.next_port sw in
+  Hashtbl.replace b.next_port sw (p + 1);
+  p
+
+let link_switches b a c =
+  let pa = claim_port b a and pc = claim_port b c in
+  Netsim.Topology.connect b.topo
+    { Netsim.Topology.node = Netsim.Topology.Switch a; port = pa }
+    { Netsim.Topology.node = Netsim.Topology.Switch c; port = pc }
+    ~delay:b.params.link_delay
+
+let attach_hosts b sw =
+  for port = 0 to b.params.hosts_per_switch - 1 do
+    let host = b.next_host in
+    b.next_host <- host + 1;
+    Netsim.Topology.add_host b.topo host;
+    Netsim.Topology.connect b.topo
+      { Netsim.Topology.node = Netsim.Topology.Host host; port = 0 }
+      { Netsim.Topology.node = Netsim.Topology.Switch sw; port }
+      ~delay:b.params.link_delay
+  done
+
+let linear params n =
+  if n < 1 then invalid_arg "Topogen.linear: need at least one switch";
+  let b = start params in
+  for sw = 0 to n - 1 do
+    add_switch b sw
+  done;
+  for sw = 0 to n - 2 do
+    link_switches b sw (sw + 1)
+  done;
+  for sw = 0 to n - 1 do
+    attach_hosts b sw
+  done;
+  b.topo
+
+let ring params n =
+  if n < 3 then invalid_arg "Topogen.ring: need at least three switches";
+  let b = start params in
+  for sw = 0 to n - 1 do
+    add_switch b sw
+  done;
+  for sw = 0 to n - 1 do
+    link_switches b sw ((sw + 1) mod n)
+  done;
+  for sw = 0 to n - 1 do
+    attach_hosts b sw
+  done;
+  b.topo
+
+let star params n =
+  if n < 1 then invalid_arg "Topogen.star: need at least one leaf";
+  let b = start params in
+  add_switch b 0;
+  for leaf = 1 to n do
+    add_switch b leaf;
+    link_switches b 0 leaf;
+    attach_hosts b leaf
+  done;
+  b.topo
+
+let grid params ~rows ~cols =
+  if rows < 1 || cols < 1 then invalid_arg "Topogen.grid: empty grid";
+  let b = start params in
+  let id r c = (r * cols) + c in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      add_switch b (id r c)
+    done
+  done;
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      if c + 1 < cols then link_switches b (id r c) (id r (c + 1));
+      if r + 1 < rows then link_switches b (id r c) (id (r + 1) c)
+    done
+  done;
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      attach_hosts b (id r c)
+    done
+  done;
+  b.topo
+
+let fat_tree params ~k =
+  if k < 2 || k mod 2 <> 0 then invalid_arg "Topogen.fat_tree: k must be even and >= 2";
+  let half = k / 2 in
+  let cores = half * half in
+  (* Switch ids: cores [0, cores); then per pod p: aggs
+     [cores + p*k, cores + p*k + half) and edges
+     [cores + p*k + half, cores + (p+1)*k). *)
+  let agg p i = cores + (p * k) + i
+  and edge p i = cores + (p * k) + half + i in
+  let b = start params in
+  for sw = 0 to cores + (k * k) - 1 do
+    add_switch b sw
+  done;
+  for p = 0 to k - 1 do
+    for a = 0 to half - 1 do
+      (* Each aggregation switch connects to [half] cores. *)
+      for c = 0 to half - 1 do
+        link_switches b (agg p a) ((a * half) + c)
+      done;
+      (* And to every edge switch in its pod. *)
+      for e = 0 to half - 1 do
+        link_switches b (agg p a) (edge p e)
+      done
+    done;
+    for e = 0 to half - 1 do
+      attach_hosts b (edge p e)
+    done
+  done;
+  b.topo
+
+let waxman params rng ~n ~alpha ~beta =
+  if n < 2 then invalid_arg "Topogen.waxman: need at least two switches";
+  let b = start params in
+  let xs = Array.init n (fun _ -> Support.Rng.float rng 1.0)
+  and ys = Array.init n (fun _ -> Support.Rng.float rng 1.0) in
+  for sw = 0 to n - 1 do
+    add_switch b sw
+  done;
+  let dist i j = sqrt (((xs.(i) -. xs.(j)) ** 2.0) +. ((ys.(i) -. ys.(j)) ** 2.0)) in
+  let max_dist = sqrt 2.0 in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let p = alpha *. exp (-.dist i j /. (beta *. max_dist)) in
+      if Support.Rng.bernoulli rng p then link_switches b i j
+    done
+  done;
+  (* Guarantee connectivity with a spanning chain. *)
+  for sw = 0 to n - 2 do
+    link_switches b sw (sw + 1)
+  done;
+  for sw = 0 to n - 1 do
+    attach_hosts b sw
+  done;
+  b.topo
+
+let isp params ~core ~pops_per_core =
+  if core < 3 then invalid_arg "Topogen.isp: need at least three core switches";
+  if pops_per_core < 1 then invalid_arg "Topogen.isp: need at least one PoP per core";
+  let b = start params in
+  for sw = 0 to core - 1 do
+    add_switch b sw
+  done;
+  for sw = 0 to core - 1 do
+    link_switches b sw ((sw + 1) mod core)
+  done;
+  let next_pop = ref core in
+  for c = 0 to core - 1 do
+    for _ = 1 to pops_per_core do
+      let pop = !next_pop in
+      incr next_pop;
+      add_switch b pop;
+      link_switches b c pop;
+      attach_hosts b pop
+    done
+  done;
+  b.topo
+
+let switch_count topo = List.length (Netsim.Topology.switches topo)
+
+let host_count topo = List.length (Netsim.Topology.hosts topo)

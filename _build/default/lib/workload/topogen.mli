@@ -1,0 +1,45 @@
+(** Topology generators for tests and benchmarks.
+
+    All generators number switches from 0 and hosts from 0, attach
+    [hosts_per_switch] hosts to every switch (beyond the structural
+    ports), and use [link_delay] on every link.  Port numbering: ports
+    0..[hosts_per_switch-1] face hosts; structural (switch-to-switch)
+    ports start at [hosts_per_switch]. *)
+
+type params = { hosts_per_switch : int; link_delay : float }
+
+val default_params : params
+
+(** [linear p n] is a chain of [n] switches. *)
+val linear : params -> int -> Netsim.Topology.t
+
+(** [ring p n] is a cycle of [n] switches ([n >= 3]). *)
+val ring : params -> int -> Netsim.Topology.t
+
+(** [star p n] is one core switch with [n] leaves (switch 0 is the
+    core; hosts attach to leaves only). *)
+val star : params -> int -> Netsim.Topology.t
+
+(** [grid p ~rows ~cols] is a [rows]×[cols] mesh. *)
+val grid : params -> rows:int -> cols:int -> Netsim.Topology.t
+
+(** [fat_tree p ~k] is a k-ary fat tree (k even): (k/2)² core switches,
+    k pods of k/2 aggregation + k/2 edge switches; hosts attach to edge
+    switches only.  [hosts_per_switch] hosts per edge switch. *)
+val fat_tree : params -> k:int -> Netsim.Topology.t
+
+(** [waxman p rng ~n ~alpha ~beta] is a Waxman random graph over [n]
+    switches placed uniformly in the unit square, made connected by
+    adding a spanning chain. *)
+val waxman : params -> Support.Rng.t -> n:int -> alpha:float -> beta:float -> Netsim.Topology.t
+
+(** [isp p ~core ~pops_per_core] is a two-level ISP-like topology: a
+    ring of [core] backbone switches (no hosts), each serving
+    [pops_per_core] point-of-presence switches where hosts attach.
+    Core switches are numbered [0, core); PoPs follow. *)
+val isp : params -> core:int -> pops_per_core:int -> Netsim.Topology.t
+
+(** [switch_count topo] / [host_count topo]: convenience. *)
+val switch_count : Netsim.Topology.t -> int
+
+val host_count : Netsim.Topology.t -> int

@@ -1,0 +1,1 @@
+test/test_cryptosim.ml: Alcotest Char Cryptosim Int64 QCheck2 QCheck_alcotest String Support

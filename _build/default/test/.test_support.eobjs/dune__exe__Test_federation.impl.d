@@ -1,0 +1,1 @@
+test/test_federation.ml: Alcotest Cryptosim Geo Hspace List Netsim Printf Rvaas Sdnctl Support Workload

@@ -1,0 +1,1 @@
+test/test_hspace.ml: Alcotest Hspace List QCheck2 QCheck_alcotest String Support

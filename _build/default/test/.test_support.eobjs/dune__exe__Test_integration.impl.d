@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Hashtbl Hspace List Netsim Ofproto Option Printf Rvaas Sdnctl Support Workload

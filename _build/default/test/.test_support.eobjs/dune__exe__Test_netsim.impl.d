@@ -1,0 +1,1 @@
+test/test_netsim.ml: Alcotest Hashtbl Hspace List Netsim Ofproto String

@@ -1,0 +1,1 @@
+test/test_ofproto.ml: Alcotest Format Hspace List Ofproto QCheck2 QCheck_alcotest String Support

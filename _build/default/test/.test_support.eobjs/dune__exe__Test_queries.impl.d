@@ -1,0 +1,1 @@
+test/test_queries.ml: Alcotest Geo Hspace List Netsim Option Rvaas Sdnctl Workload

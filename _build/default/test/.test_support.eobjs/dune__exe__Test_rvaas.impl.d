@@ -1,0 +1,1 @@
+test/test_rvaas.ml: Alcotest Char Cryptosim Hspace Int64 List Netsim Ofproto Option Printf Result Rvaas Sdnctl String Support Workload

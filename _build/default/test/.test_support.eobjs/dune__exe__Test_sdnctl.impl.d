@@ -1,0 +1,1 @@
+test/test_sdnctl.ml: Alcotest Hspace List Netsim Ofproto Option Sdnctl Workload

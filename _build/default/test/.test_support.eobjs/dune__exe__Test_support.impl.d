@@ -1,0 +1,1 @@
+test/test_support.ml: Alcotest Fun List Option QCheck2 QCheck_alcotest Support

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Hashtbl List Netsim Option Printf Rvaas Sdnctl Support Workload

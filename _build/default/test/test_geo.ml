@@ -1,0 +1,134 @@
+(* Unit tests for the geo substrate and the three inference modes. *)
+
+let check = Alcotest.check
+
+let loc ~lat ~lon j = Geo.Location.make ~lat ~lon ~jurisdiction:j
+
+(* ---- Location ---- *)
+
+let test_distance_known () =
+  (* Berlin to Paris is roughly 878 km. *)
+  let berlin = loc ~lat:52.52 ~lon:13.405 "DE"
+  and paris = loc ~lat:48.8566 ~lon:2.3522 "FR" in
+  let d = Geo.Location.distance_km berlin paris in
+  check Alcotest.bool "Berlin-Paris ~878km" true (d > 850.0 && d < 910.0)
+
+let test_distance_zero_and_symmetry () =
+  let a = loc ~lat:10.0 ~lon:20.0 "X" and b = loc ~lat:(-30.0) ~lon:40.0 "Y" in
+  check (Alcotest.float 1e-9) "self distance" 0.0 (Geo.Location.distance_km a a);
+  check (Alcotest.float 1e-6) "symmetry" (Geo.Location.distance_km a b)
+    (Geo.Location.distance_km b a)
+
+let test_location_validation () =
+  Alcotest.check_raises "bad latitude"
+    (Invalid_argument "Location.make: latitude out of range") (fun () ->
+      ignore (loc ~lat:91.0 ~lon:0.0 "X"));
+  Alcotest.check_raises "bad longitude"
+    (Invalid_argument "Location.make: longitude out of range") (fun () ->
+      ignore (loc ~lat:0.0 ~lon:200.0 "X"))
+
+let test_centroid () =
+  let c = Geo.Location.centroid [ loc ~lat:0.0 ~lon:0.0 "A"; loc ~lat:10.0 ~lon:10.0 "B" ] in
+  check (Alcotest.float 1e-9) "lat" 5.0 c.Geo.Location.lat;
+  check (Alcotest.float 1e-9) "lon" 5.0 c.Geo.Location.lon;
+  Alcotest.check_raises "empty centroid" (Invalid_argument "Location.centroid: empty list")
+    (fun () -> ignore (Geo.Location.centroid []))
+
+(* ---- Registry ---- *)
+
+let test_registry_basic () =
+  let r = Geo.Registry.create () in
+  Geo.Registry.set_switch r ~sw:1 (loc ~lat:1.0 ~lon:1.0 "EU");
+  Geo.Registry.set_switch r ~sw:2 (loc ~lat:2.0 ~lon:2.0 "US");
+  check Alcotest.bool "lookup" true (Geo.Registry.switch r ~sw:1 <> None);
+  check Alcotest.bool "missing" true (Geo.Registry.switch r ~sw:9 = None);
+  check (Alcotest.list Alcotest.string) "jurisdictions dedup sorted" [ "EU"; "US" ]
+    (Geo.Registry.jurisdictions_of r ~sws:[ 1; 2; 1 ]);
+  check (Alcotest.list Alcotest.string) "unknown reported" [ "EU"; "unknown" ]
+    (Geo.Registry.jurisdictions_of r ~sws:[ 1; 9 ]);
+  check (Alcotest.float 1e-9) "coverage" 0.5 (Geo.Registry.coverage r ~sws:[ 1; 9 ])
+
+(* ---- Inference modes ---- *)
+
+let ground_truth () =
+  {
+    Geo.Infer.switch_locations =
+      [
+        (0, loc ~lat:50.0 ~lon:8.0 "EU");
+        (1, loc ~lat:40.0 ~lon:(-74.0) "US");
+        (2, loc ~lat:47.0 ~lon:8.5 "CH");
+      ];
+    client_reports =
+      [
+        (loc ~lat:50.1 ~lon:8.1 "EU", 0);
+        (loc ~lat:49.9 ~lon:7.9 "EU", 0);
+        (loc ~lat:40.05 ~lon:(-74.05) "US", 1);
+      ];
+    switch_mgmt_ip = [ (0, 0x50000001); (1, 0x60000001); (2, 0x70000001) ];
+  }
+
+let test_disclosed_exact () =
+  let gt = ground_truth () in
+  let reg = Geo.Infer.disclosed gt in
+  check Alcotest.bool "zero error" true
+    (Geo.Infer.mean_error_km ~truth:(Geo.Infer.disclosed gt) ~believed:reg = Some 0.0);
+  check Alcotest.bool "perfect jurisdictions" true
+    (Geo.Infer.jurisdiction_accuracy ~truth:(Geo.Infer.disclosed gt) ~believed:reg
+    = Some 1.0)
+
+let test_crowd_sourced () =
+  let gt = ground_truth () in
+  let truth = Geo.Infer.disclosed gt in
+  let believed = Geo.Infer.crowd_sourced gt in
+  (* Switch 2 has no attached reports and stays unknown. *)
+  check Alcotest.bool "uncovered switch unknown" true
+    (Geo.Registry.switch believed ~sw:2 = None);
+  (* Covered switches estimated within tens of km. *)
+  (match Geo.Infer.mean_error_km ~truth ~believed with
+  | Some err -> check Alcotest.bool "small error" true (err < 50.0)
+  | None -> Alcotest.fail "no comparable switches");
+  check Alcotest.bool "jurisdictions right" true
+    (Geo.Infer.jurisdiction_accuracy ~truth ~believed = Some 1.0)
+
+let test_geo_ip_longest_prefix () =
+  let gt = ground_truth () in
+  let table =
+    [
+      (0x50000000, 8, loc ~lat:50.0 ~lon:8.0 "EU");
+      (0x50000000, 16, loc ~lat:51.0 ~lon:9.0 "DE");
+      (0x60000000, 8, loc ~lat:40.0 ~lon:(-74.0) "US");
+    ]
+  in
+  let believed = Geo.Infer.geo_ip gt ~table in
+  (match Geo.Registry.switch believed ~sw:0 with
+  | Some l ->
+    check Alcotest.string "longest prefix wins" "DE" l.Geo.Location.jurisdiction
+  | None -> Alcotest.fail "switch 0 should resolve");
+  check Alcotest.bool "unmatched ip unknown" true (Geo.Registry.switch believed ~sw:2 = None)
+
+let test_error_none_when_incomparable () =
+  let truth = Geo.Registry.create () in
+  Geo.Registry.set_switch truth ~sw:0 (loc ~lat:0.0 ~lon:0.0 "A");
+  let believed = Geo.Registry.create () in
+  check Alcotest.bool "no comparable switches" true
+    (Geo.Infer.mean_error_km ~truth ~believed = None)
+
+let () =
+  Alcotest.run "geo"
+    [
+      ( "location",
+        [
+          Alcotest.test_case "known distance" `Quick test_distance_known;
+          Alcotest.test_case "zero + symmetry" `Quick test_distance_zero_and_symmetry;
+          Alcotest.test_case "validation" `Quick test_location_validation;
+          Alcotest.test_case "centroid" `Quick test_centroid;
+        ] );
+      ("registry", [ Alcotest.test_case "basic" `Quick test_registry_basic ]);
+      ( "infer",
+        [
+          Alcotest.test_case "disclosed is exact" `Quick test_disclosed_exact;
+          Alcotest.test_case "crowd-sourced" `Quick test_crowd_sourced;
+          Alcotest.test_case "geo-ip longest prefix" `Quick test_geo_ip_longest_prefix;
+          Alcotest.test_case "incomparable" `Quick test_error_none_when_incomparable;
+        ] );
+    ]

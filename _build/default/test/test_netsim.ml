@@ -1,0 +1,505 @@
+(* Unit tests for the discrete-event engine, topology and the network
+   runtime (switch pipeline, control channels). *)
+
+let check = Alcotest.check
+
+module T = Netsim.Topology
+
+let sw id = T.{ node = Switch id; port = 0 }
+
+let ep node port = T.{ node; port }
+
+(* ---- Sim ---- *)
+
+let test_sim_ordering () =
+  let s = Netsim.Sim.create ~seed:1 () in
+  let log = ref [] in
+  Netsim.Sim.schedule s ~delay:2.0 (fun () -> log := "b" :: !log);
+  Netsim.Sim.schedule s ~delay:1.0 (fun () -> log := "a" :: !log);
+  Netsim.Sim.schedule s ~delay:3.0 (fun () -> log := "c" :: !log);
+  ignore (Netsim.Sim.run s);
+  check (Alcotest.list Alcotest.string) "time order" [ "a"; "b"; "c" ] (List.rev !log);
+  check (Alcotest.float 1e-9) "clock at last event" 3.0 (Netsim.Sim.now s)
+
+let test_sim_fifo_simultaneous () =
+  let s = Netsim.Sim.create ~seed:1 () in
+  let log = ref [] in
+  for i = 1 to 5 do
+    Netsim.Sim.schedule s ~delay:1.0 (fun () -> log := i :: !log)
+  done;
+  ignore (Netsim.Sim.run s);
+  check (Alcotest.list Alcotest.int) "FIFO at same time" [ 1; 2; 3; 4; 5 ] (List.rev !log)
+
+let test_sim_nested_scheduling () =
+  let s = Netsim.Sim.create ~seed:1 () in
+  let log = ref [] in
+  Netsim.Sim.schedule s ~delay:1.0 (fun () ->
+      log := "outer" :: !log;
+      Netsim.Sim.schedule s ~delay:0.5 (fun () -> log := "inner" :: !log));
+  ignore (Netsim.Sim.run s);
+  check (Alcotest.list Alcotest.string) "nested" [ "outer"; "inner" ] (List.rev !log);
+  check (Alcotest.float 1e-9) "clock" 1.5 (Netsim.Sim.now s)
+
+let test_sim_until () =
+  let s = Netsim.Sim.create ~seed:1 () in
+  let count = ref 0 in
+  for _ = 1 to 10 do
+    Netsim.Sim.schedule s ~delay:1.0 (fun () -> incr count)
+  done;
+  Netsim.Sim.schedule s ~delay:5.0 (fun () -> incr count);
+  let executed = Netsim.Sim.run ~until:2.0 s in
+  check Alcotest.int "only events before the bound" 10 executed;
+  check Alcotest.int "pending" 1 (Netsim.Sim.pending s);
+  check (Alcotest.float 1e-9) "clock advanced to bound" 2.0 (Netsim.Sim.now s)
+
+let test_sim_negative_delay () =
+  let s = Netsim.Sim.create ~seed:1 () in
+  Alcotest.check_raises "negative delay" (Invalid_argument "Sim.schedule: negative delay")
+    (fun () -> Netsim.Sim.schedule s ~delay:(-1.0) (fun () -> ()))
+
+(* ---- Topology ---- *)
+
+let diamond () =
+  (* 0 -- 1, 0 -- 2, 1 -- 3, 2 -- 3, plus host 0 on sw0 and host 1 on sw3 *)
+  let t = T.create () in
+  List.iter (T.add_switch t) [ 0; 1; 2; 3 ];
+  List.iter (T.add_host t) [ 0; 1 ];
+  T.connect t (ep (T.Switch 0) 1) (ep (T.Switch 1) 1) ~delay:1e-3;
+  T.connect t (ep (T.Switch 0) 2) (ep (T.Switch 2) 1) ~delay:1e-3;
+  T.connect t (ep (T.Switch 1) 2) (ep (T.Switch 3) 1) ~delay:1e-3;
+  T.connect t (ep (T.Switch 2) 2) (ep (T.Switch 3) 2) ~delay:1e-3;
+  T.connect t (ep (T.Host 0) 0) (ep (T.Switch 0) 0) ~delay:1e-3;
+  T.connect t (ep (T.Host 1) 0) (ep (T.Switch 3) 0) ~delay:1e-3;
+  t
+
+let test_topo_basic () =
+  let t = diamond () in
+  check (Alcotest.list Alcotest.int) "switches" [ 0; 1; 2; 3 ] (T.switches t);
+  check (Alcotest.list Alcotest.int) "hosts" [ 0; 1 ] (T.hosts t);
+  check (Alcotest.list Alcotest.int) "sw0 ports" [ 0; 1; 2 ] (T.switch_ports t 0);
+  check Alcotest.int "links" 6 (List.length (T.links t))
+
+let test_topo_peer () =
+  let t = diamond () in
+  (match T.peer t (ep (T.Switch 0) 1) with
+  | Some far -> check Alcotest.bool "peer is sw1" true (far.T.node = T.Switch 1)
+  | None -> Alcotest.fail "expected peer");
+  check Alcotest.bool "unwired port has no peer" true (T.peer t (ep (T.Switch 0) 9) = None)
+
+let test_topo_host_attachment () =
+  let t = diamond () in
+  match T.host_attachment t 0 with
+  | Some a ->
+    check Alcotest.bool "host 0 on sw0 port0" true (a.T.node = T.Switch 0 && a.T.port = 0)
+  | None -> Alcotest.fail "host 0 should attach"
+
+let test_topo_hosts_on_switch () =
+  let t = diamond () in
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
+    "hosts on sw0"
+    [ (0, 0) ]
+    (T.hosts_on_switch t 0);
+  check Alcotest.int "none on sw1" 0 (List.length (T.hosts_on_switch t 1))
+
+let test_topo_shortest_paths () =
+  let t = diamond () in
+  let dist, _via = T.shortest_paths t ~from_sw:0 in
+  check Alcotest.int "dist self" 0 (Hashtbl.find dist 0);
+  check Alcotest.int "dist sw1" 1 (Hashtbl.find dist 1);
+  check Alcotest.int "dist sw3" 2 (Hashtbl.find dist 3)
+
+let test_topo_next_hop () =
+  let t = diamond () in
+  (match T.next_hop_port t ~from_sw:0 ~to_sw:3 with
+  | Some p -> check Alcotest.bool "via port 1 or 2" true (p = 1 || p = 2)
+  | None -> Alcotest.fail "expected next hop");
+  check Alcotest.bool "no hop to self" true (T.next_hop_port t ~from_sw:0 ~to_sw:0 = None)
+
+let test_topo_shortest_switch_path () =
+  let t = diamond () in
+  (match T.shortest_switch_path t ~from_sw:0 ~to_sw:3 with
+  | Some path ->
+    check Alcotest.int "3 switches" 3 (List.length path);
+    check Alcotest.int "starts at 0" 0 (List.hd path);
+    check Alcotest.int "ends at 3" 3 (List.nth path 2)
+  | None -> Alcotest.fail "expected path");
+  check Alcotest.bool "self path" true (T.shortest_switch_path t ~from_sw:1 ~to_sw:1 = Some [ 1 ])
+
+let test_topo_port_towards () =
+  let t = diamond () in
+  check Alcotest.bool "towards neighbor" true (T.port_towards t ~sw:0 ~neighbor:1 = Some 1);
+  check Alcotest.bool "not a neighbor" true (T.port_towards t ~sw:0 ~neighbor:3 = None)
+
+let test_topo_validation () =
+  let t = T.create () in
+  T.add_switch t 0;
+  Alcotest.check_raises "duplicate switch"
+    (Invalid_argument "Topology.add_switch: duplicate id") (fun () -> T.add_switch t 0);
+  Alcotest.check_raises "undeclared node"
+    (Invalid_argument "Topology.connect: undeclared node") (fun () ->
+      T.connect t (sw 0) (sw 5) ~delay:0.0);
+  T.add_switch t 1;
+  T.connect t (ep (T.Switch 0) 0) (ep (T.Switch 1) 0) ~delay:0.0;
+  Alcotest.check_raises "double wiring"
+    (Invalid_argument "Topology.connect: endpoint already wired") (fun () ->
+      T.connect t (ep (T.Switch 0) 0) (ep (T.Switch 1) 1) ~delay:0.0)
+
+(* ---- Net runtime ---- *)
+
+let simple_net () =
+  (* h0 - s0 - s1 - h1 *)
+  let t = T.create () in
+  List.iter (T.add_switch t) [ 0; 1 ];
+  List.iter (T.add_host t) [ 0; 1 ];
+  T.connect t (ep (T.Host 0) 0) (ep (T.Switch 0) 0) ~delay:1e-3;
+  T.connect t (ep (T.Switch 0) 1) (ep (T.Switch 1) 1) ~delay:1e-3;
+  T.connect t (ep (T.Host 1) 0) (ep (T.Switch 1) 0) ~delay:1e-3;
+  Netsim.Net.create ~seed:7 t
+
+let fwd_spec ~priority ~dst_ip ~out =
+  Ofproto.Flow_entry.make_spec ~priority
+    (Ofproto.Match_.with_exact Ofproto.Match_.any Hspace.Field.Ip_dst dst_ip)
+    [ Ofproto.Action.Output out ]
+
+let udp_packet ~dst_ip = Netsim.Packet.make ~header:(Hspace.Header.udp ~src_ip:1 ~dst_ip ~src_port:5 ~dst_port:6) "data"
+
+let test_net_delivery () =
+  let net = simple_net () in
+  Ofproto.Flow_table.add (Netsim.Net.table net ~sw:0) (fwd_spec ~priority:1 ~dst_ip:42 ~out:1)
+    ~now:0.0;
+  Ofproto.Flow_table.add (Netsim.Net.table net ~sw:1) (fwd_spec ~priority:1 ~dst_ip:42 ~out:0)
+    ~now:0.0;
+  let received = ref [] in
+  Netsim.Net.set_host_receiver net ~host:1 (fun p -> received := p :: !received);
+  Netsim.Net.host_send net ~host:0 (udp_packet ~dst_ip:42);
+  ignore (Netsim.Sim.run (Netsim.Net.sim net));
+  check Alcotest.int "delivered" 1 (List.length !received);
+  check Alcotest.int "stat" 1 (Netsim.Net.stats net).delivered;
+  (match !received with
+  | [ p ] -> check Alcotest.int "two switch hops" 2 p.Netsim.Packet.hops
+  | _ -> ())
+
+let test_net_drop_no_rule () =
+  let net = simple_net () in
+  let drops = ref [] in
+  Netsim.Net.on_drop net (fun ~sw ~reason _ -> drops := (sw, reason) :: !drops);
+  Netsim.Net.host_send net ~host:0 (udp_packet ~dst_ip:42);
+  ignore (Netsim.Sim.run (Netsim.Net.sim net));
+  check Alcotest.int "dropped at sw0" 1 (List.length !drops);
+  check Alcotest.bool "no-rule reason" true
+    (match !drops with [ (0, Netsim.Net.No_rule) ] -> true | _ -> false)
+
+let test_net_loop_guard () =
+  (* Two switches connected by two parallel links; each forwards out
+     the other link, so the packet ping-pongs forever. *)
+  let t = T.create () in
+  List.iter (T.add_switch t) [ 0; 1 ];
+  T.add_host t 0;
+  T.connect t (ep (T.Host 0) 0) (ep (T.Switch 0) 0) ~delay:1e-3;
+  T.connect t (ep (T.Switch 0) 1) (ep (T.Switch 1) 1) ~delay:1e-3;
+  T.connect t (ep (T.Switch 0) 2) (ep (T.Switch 1) 2) ~delay:1e-3;
+  let net = Netsim.Net.create ~seed:7 t in
+  (* sw0: out link 1; sw1: bounce back via the *other* link. *)
+  Ofproto.Flow_table.add (Netsim.Net.table net ~sw:0)
+    (Ofproto.Flow_entry.make_spec ~priority:1
+       (Ofproto.Match_.with_in_port
+          (Ofproto.Match_.with_exact Ofproto.Match_.any Hspace.Field.Ip_dst 42)
+          0)
+       [ Ofproto.Action.Output 1 ])
+    ~now:0.0;
+  Ofproto.Flow_table.add (Netsim.Net.table net ~sw:0)
+    (Ofproto.Flow_entry.make_spec ~priority:1
+       (Ofproto.Match_.with_in_port
+          (Ofproto.Match_.with_exact Ofproto.Match_.any Hspace.Field.Ip_dst 42)
+          2)
+       [ Ofproto.Action.Output 1 ])
+    ~now:0.0;
+  Ofproto.Flow_table.add (Netsim.Net.table net ~sw:1)
+    (Ofproto.Flow_entry.make_spec ~priority:1
+       (Ofproto.Match_.with_in_port
+          (Ofproto.Match_.with_exact Ofproto.Match_.any Hspace.Field.Ip_dst 42)
+          1)
+       [ Ofproto.Action.Output 2 ])
+    ~now:0.0;
+  Netsim.Net.host_send net ~host:0 (udp_packet ~dst_ip:42);
+  ignore (Netsim.Sim.run (Netsim.Net.sim net));
+  check Alcotest.int "loop guard fired" 1 (Netsim.Net.stats net).dropped_loop
+
+let test_net_rewrite_applied () =
+  let net = simple_net () in
+  let rewrite_spec =
+    Ofproto.Flow_entry.make_spec ~priority:1
+      (Ofproto.Match_.with_exact Ofproto.Match_.any Hspace.Field.Ip_dst 42)
+      [ Ofproto.Action.Set_field (Hspace.Field.Ip_dst, 43); Ofproto.Action.Output 1 ]
+  in
+  Ofproto.Flow_table.add (Netsim.Net.table net ~sw:0) rewrite_spec ~now:0.0;
+  Ofproto.Flow_table.add (Netsim.Net.table net ~sw:1) (fwd_spec ~priority:1 ~dst_ip:43 ~out:0)
+    ~now:0.0;
+  let received = ref [] in
+  Netsim.Net.set_host_receiver net ~host:1 (fun p -> received := p :: !received);
+  Netsim.Net.host_send net ~host:0 (udp_packet ~dst_ip:42);
+  ignore (Netsim.Sim.run (Netsim.Net.sim net));
+  match !received with
+  | [ p ] ->
+    check Alcotest.int "dst rewritten" 43
+      (Hspace.Header.get p.Netsim.Packet.header Hspace.Field.Ip_dst)
+  | _ -> Alcotest.fail "expected delivery after rewrite"
+
+let test_net_packet_in_and_out () =
+  let net = simple_net () in
+  let conn = Netsim.Net.register_controller net ~name:"c" ~delay:1e-3 () in
+  let packet_ins = ref [] in
+  Netsim.Net.set_handler conn (function
+    | Ofproto.Message.Packet_in { sw; in_port; payload; _ } ->
+      packet_ins := (sw, in_port, payload) :: !packet_ins
+    | _ -> ());
+  Netsim.Net.attach net conn ~sw:0 ~monitor:false;
+  (* Send-to-controller rule. *)
+  Ofproto.Flow_table.add (Netsim.Net.table net ~sw:0)
+    (Ofproto.Flow_entry.make_spec ~priority:5 Ofproto.Match_.any
+       [ Ofproto.Action.To_controller ])
+    ~now:0.0;
+  Netsim.Net.host_send net ~host:0 (udp_packet ~dst_ip:42);
+  ignore (Netsim.Sim.run (Netsim.Net.sim net));
+  check Alcotest.int "one packet-in" 1 (List.length !packet_ins);
+  (match !packet_ins with
+  | [ (0, 0, "data") ] -> ()
+  | _ -> Alcotest.fail "packet-in metadata wrong");
+  (* Packet-out directly to host 0. *)
+  let received = ref 0 in
+  Netsim.Net.set_host_receiver net ~host:0 (fun _ -> incr received);
+  Netsim.Net.send net conn ~sw:0
+    (Ofproto.Message.Packet_out
+       { port = 0; header = Hspace.Header.udp ~src_ip:9 ~dst_ip:1 ~src_port:1 ~dst_port:2;
+         payload = "reply" });
+  ignore (Netsim.Sim.run (Netsim.Net.sim net));
+  check Alcotest.int "packet-out delivered" 1 !received
+
+let test_net_flow_mod_and_stats () =
+  let net = simple_net () in
+  let conn = Netsim.Net.register_controller net ~name:"c" ~delay:1e-3 () in
+  let stats_replies = ref [] in
+  Netsim.Net.set_handler conn (function
+    | Ofproto.Message.Flow_stats_reply { sw; flows; _ } ->
+      stats_replies := (sw, List.length flows) :: !stats_replies
+    | _ -> ());
+  Netsim.Net.attach net conn ~sw:0 ~monitor:false;
+  Netsim.Net.send net conn ~sw:0
+    (Ofproto.Message.Flow_mod
+       (Ofproto.Message.Add_flow (fwd_spec ~priority:1 ~dst_ip:42 ~out:1)));
+  Netsim.Net.send net conn ~sw:0 (Ofproto.Message.Flow_stats_request { xid = 1 });
+  ignore (Netsim.Sim.run (Netsim.Net.sim net));
+  check (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int)) "one rule reported"
+    [ (0, 1) ] !stats_replies
+
+let test_net_monitor_events () =
+  let net = simple_net () in
+  let provider = Netsim.Net.register_controller net ~name:"p" ~delay:1e-3 () in
+  Netsim.Net.attach net provider ~sw:0 ~monitor:false;
+  let watcher = Netsim.Net.register_controller net ~name:"w" ~delay:1e-3 () in
+  let events = ref [] in
+  Netsim.Net.set_handler watcher (function
+    | Ofproto.Message.Monitor { sw; event } -> events := (sw, event) :: !events
+    | _ -> ());
+  Netsim.Net.attach net watcher ~sw:0 ~monitor:true;
+  (* A change made by the provider is seen by the monitoring watcher. *)
+  Netsim.Net.send net provider ~sw:0
+    (Ofproto.Message.Flow_mod
+       (Ofproto.Message.Add_flow (fwd_spec ~priority:1 ~dst_ip:42 ~out:1)));
+  ignore (Netsim.Sim.run (Netsim.Net.sim net));
+  check Alcotest.int "watcher saw the add" 1 (List.length !events)
+
+let test_net_lossy_channel () =
+  let net = simple_net () in
+  let conn = Netsim.Net.register_controller net ~name:"lossy" ~delay:1e-3 ~loss_prob:1.0 () in
+  let events = ref 0 and echoes = ref 0 in
+  Netsim.Net.set_handler conn (function
+    | Ofproto.Message.Monitor _ -> incr events
+    | Ofproto.Message.Echo_reply _ -> incr echoes
+    | _ -> ());
+  Netsim.Net.attach net conn ~sw:0 ~monitor:true;
+  (* Monitor events are lossy; request/response is reliable. *)
+  Netsim.Net.send net conn ~sw:0
+    (Ofproto.Message.Flow_mod
+       (Ofproto.Message.Add_flow (fwd_spec ~priority:1 ~dst_ip:42 ~out:1)));
+  Netsim.Net.send net conn ~sw:0 (Ofproto.Message.Echo_request { xid = 1 });
+  ignore (Netsim.Sim.run (Netsim.Net.sim net));
+  check Alcotest.int "all monitor events lost" 0 !events;
+  check Alcotest.int "echo reply survives" 1 !echoes;
+  check Alcotest.int "loss counted" 1 (Netsim.Net.conn_lost conn)
+
+let test_net_hard_timeout_expiry () =
+  let net = simple_net () in
+  let conn = Netsim.Net.register_controller net ~name:"c" ~delay:1e-3 () in
+  let removed = ref 0 in
+  Netsim.Net.set_handler conn (function
+    | Ofproto.Message.Flow_removed _ -> incr removed
+    | _ -> ());
+  Netsim.Net.attach net conn ~sw:0 ~monitor:false;
+  let spec =
+    Ofproto.Flow_entry.make_spec ~hard_timeout:0.1 ~priority:1 Ofproto.Match_.any
+      [ Ofproto.Action.Output 1 ]
+  in
+  Netsim.Net.send net conn ~sw:0 (Ofproto.Message.Flow_mod (Ofproto.Message.Add_flow spec));
+  ignore (Netsim.Sim.run (Netsim.Net.sim net));
+  check Alcotest.int "flow removed reported" 1 !removed;
+  check Alcotest.int "table empty" 0 (Ofproto.Flow_table.size (Netsim.Net.table net ~sw:0))
+
+let test_net_send_unattached () =
+  let net = simple_net () in
+  let conn = Netsim.Net.register_controller net ~name:"c" ~delay:1e-3 () in
+  Alcotest.check_raises "unattached send"
+    (Invalid_argument "Net.send: connection not attached to switch") (fun () ->
+      Netsim.Net.send net conn ~sw:0 (Ofproto.Message.Echo_request { xid = 1 }))
+
+let test_net_meter_drops () =
+  let net = simple_net () in
+  Ofproto.Meter.set (Netsim.Net.meters net ~sw:0) ~id:1 { Ofproto.Meter.rate_kbps = 1 };
+  let spec =
+    Ofproto.Flow_entry.make_spec ~meter:1 ~priority:1
+      (Ofproto.Match_.with_exact Ofproto.Match_.any Hspace.Field.Ip_dst 42)
+      [ Ofproto.Action.Output 1 ]
+  in
+  Ofproto.Flow_table.add (Netsim.Net.table net ~sw:0) spec ~now:0.0;
+  Ofproto.Flow_table.add (Netsim.Net.table net ~sw:1) (fwd_spec ~priority:1 ~dst_ip:42 ~out:0)
+    ~now:0.0;
+  (* 1 kbps = 125 B/s, burst 125 B; 64-byte packets: the first two fit in
+     the burst, the rest drop. *)
+  for _ = 1 to 10 do
+    Netsim.Net.host_send net ~host:0 (udp_packet ~dst_ip:42)
+  done;
+  ignore (Netsim.Sim.run (Netsim.Net.sim net));
+  let stats = Netsim.Net.stats net in
+  check Alcotest.bool "some delivered" true (stats.delivered >= 1);
+  check Alcotest.bool "some meter drops" true (stats.dropped_meter >= 1);
+  check Alcotest.int "all accounted" 10 (stats.delivered + stats.dropped_meter)
+
+(* ---- additional runtime edge cases ---- *)
+
+let test_net_echo_barrier () =
+  let net = simple_net () in
+  let conn = Netsim.Net.register_controller net ~name:"c" ~delay:1e-3 () in
+  let log = ref [] in
+  Netsim.Net.set_handler conn (function
+    | Ofproto.Message.Echo_reply { xid; _ } -> log := ("echo", xid) :: !log
+    | Ofproto.Message.Barrier_reply { xid; _ } -> log := ("barrier", xid) :: !log
+    | _ -> ());
+  Netsim.Net.attach net conn ~sw:0 ~monitor:false;
+  Netsim.Net.send net conn ~sw:0 (Ofproto.Message.Echo_request { xid = 7 });
+  Netsim.Net.send net conn ~sw:0 (Ofproto.Message.Barrier_request { xid = 8 });
+  ignore (Netsim.Sim.run (Netsim.Net.sim net));
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.int))
+    "replies in order"
+    [ ("echo", 7); ("barrier", 8) ]
+    (List.rev !log)
+
+let test_net_conn_counters () =
+  let net = simple_net () in
+  let conn = Netsim.Net.register_controller net ~name:"c" ~delay:1e-3 () in
+  Netsim.Net.set_handler conn (fun _ -> ());
+  Netsim.Net.attach net conn ~sw:0 ~monitor:false;
+  check Alcotest.string "name" "c" (Netsim.Net.conn_name conn);
+  check (Alcotest.list Alcotest.int) "attached" [ 0 ] (Netsim.Net.attached net conn);
+  Netsim.Net.send net conn ~sw:0 (Ofproto.Message.Echo_request { xid = 1 });
+  Netsim.Net.send net conn ~sw:0 (Ofproto.Message.Echo_request { xid = 2 });
+  ignore (Netsim.Sim.run (Netsim.Net.sim net));
+  check Alcotest.int "tx" 2 (Netsim.Net.conn_tx conn);
+  check Alcotest.int "rx" 2 (Netsim.Net.conn_rx conn)
+
+let test_net_in_port_hairpin () =
+  (* A rule using IN_PORT sends the packet back where it came from. *)
+  let net = simple_net () in
+  Ofproto.Flow_table.add (Netsim.Net.table net ~sw:0)
+    (Ofproto.Flow_entry.make_spec ~priority:1
+       (Ofproto.Match_.with_exact Ofproto.Match_.any Hspace.Field.Ip_dst 42)
+       [ Ofproto.Action.In_port ])
+    ~now:0.0;
+  let got = ref 0 in
+  Netsim.Net.set_host_receiver net ~host:0 (fun _ -> incr got);
+  Netsim.Net.host_send net ~host:0 (udp_packet ~dst_ip:42);
+  ignore (Netsim.Sim.run (Netsim.Net.sim net));
+  check Alcotest.int "hairpinned back to sender" 1 !got
+
+let test_net_output_to_ingress_suppressed () =
+  (* A plain Output naming the ingress port is a no-op. *)
+  let net = simple_net () in
+  Ofproto.Flow_table.add (Netsim.Net.table net ~sw:0)
+    (Ofproto.Flow_entry.make_spec ~priority:1
+       (Ofproto.Match_.with_exact Ofproto.Match_.any Hspace.Field.Ip_dst 42)
+       [ Ofproto.Action.Output 0 ])
+    ~now:0.0;
+  let got = ref 0 in
+  Netsim.Net.set_host_receiver net ~host:0 (fun _ -> incr got);
+  Netsim.Net.host_send net ~host:0 (udp_packet ~dst_ip:42);
+  ignore (Netsim.Sim.run (Netsim.Net.sim net));
+  check Alcotest.int "suppressed" 0 !got
+
+let test_packet_defaults () =
+  let p = Netsim.Packet.make ~header:(Hspace.Header.udp ~src_ip:1 ~dst_ip:2 ~src_port:3 ~dst_port:4) "xy" in
+  check Alcotest.int "minimum frame size" 64 p.Netsim.Packet.size_bytes;
+  check Alcotest.int "zero hops" 0 p.Netsim.Packet.hops;
+  let big = Netsim.Packet.make ~header:p.Netsim.Packet.header (String.make 1400 'a') in
+  check Alcotest.int "payload + overhead" 1442 big.Netsim.Packet.size_bytes;
+  let hopped = Netsim.Packet.hop p ~header:p.Netsim.Packet.header in
+  check Alcotest.int "hop increments" 1 hopped.Netsim.Packet.hops
+
+let test_net_packet_out_unwired () =
+  let net = simple_net () in
+  let conn = Netsim.Net.register_controller net ~name:"c" ~delay:1e-3 () in
+  Netsim.Net.set_handler conn (fun _ -> ());
+  Netsim.Net.attach net conn ~sw:0 ~monitor:false;
+  Netsim.Net.send net conn ~sw:0
+    (Ofproto.Message.Packet_out
+       { port = 9; header = Hspace.Header.udp ~src_ip:1 ~dst_ip:2 ~src_port:1 ~dst_port:2;
+         payload = "x" });
+  ignore (Netsim.Sim.run (Netsim.Net.sim net));
+  check Alcotest.int "unwired drop counted" 1 (Netsim.Net.stats net).dropped_unwired
+
+let () =
+  Alcotest.run "netsim"
+    [
+      ( "sim",
+        [
+          Alcotest.test_case "ordering" `Quick test_sim_ordering;
+          Alcotest.test_case "FIFO simultaneous" `Quick test_sim_fifo_simultaneous;
+          Alcotest.test_case "nested scheduling" `Quick test_sim_nested_scheduling;
+          Alcotest.test_case "run until" `Quick test_sim_until;
+          Alcotest.test_case "negative delay" `Quick test_sim_negative_delay;
+        ] );
+      ( "topology",
+        [
+          Alcotest.test_case "basics" `Quick test_topo_basic;
+          Alcotest.test_case "peer" `Quick test_topo_peer;
+          Alcotest.test_case "host attachment" `Quick test_topo_host_attachment;
+          Alcotest.test_case "hosts on switch" `Quick test_topo_hosts_on_switch;
+          Alcotest.test_case "shortest paths" `Quick test_topo_shortest_paths;
+          Alcotest.test_case "next hop" `Quick test_topo_next_hop;
+          Alcotest.test_case "switch path" `Quick test_topo_shortest_switch_path;
+          Alcotest.test_case "port towards" `Quick test_topo_port_towards;
+          Alcotest.test_case "validation" `Quick test_topo_validation;
+        ] );
+      ( "net",
+        [
+          Alcotest.test_case "delivery" `Quick test_net_delivery;
+          Alcotest.test_case "drop without rule" `Quick test_net_drop_no_rule;
+          Alcotest.test_case "loop guard" `Quick test_net_loop_guard;
+          Alcotest.test_case "rewrite applied" `Quick test_net_rewrite_applied;
+          Alcotest.test_case "packet-in/out" `Quick test_net_packet_in_and_out;
+          Alcotest.test_case "flow-mod + stats" `Quick test_net_flow_mod_and_stats;
+          Alcotest.test_case "monitor events" `Quick test_net_monitor_events;
+          Alcotest.test_case "lossy channel" `Quick test_net_lossy_channel;
+          Alcotest.test_case "hard timeout expiry" `Quick test_net_hard_timeout_expiry;
+          Alcotest.test_case "send unattached" `Quick test_net_send_unattached;
+          Alcotest.test_case "meter drops" `Quick test_net_meter_drops;
+          Alcotest.test_case "echo + barrier" `Quick test_net_echo_barrier;
+          Alcotest.test_case "conn counters" `Quick test_net_conn_counters;
+          Alcotest.test_case "IN_PORT hairpin" `Quick test_net_in_port_hairpin;
+          Alcotest.test_case "ingress output suppressed" `Quick
+            test_net_output_to_ingress_suppressed;
+          Alcotest.test_case "packet defaults" `Quick test_packet_defaults;
+          Alcotest.test_case "packet-out to unwired port" `Quick
+            test_net_packet_out_unwired;
+        ] );
+    ]

@@ -1,0 +1,369 @@
+(* Unit tests for the OpenFlow model: match semantics, action
+   application, flow-table priority/overwrite/delete behaviour, meters
+   and change notification. *)
+
+let check = Alcotest.check
+
+module M = Ofproto.Match_
+module A = Ofproto.Action
+module FE = Ofproto.Flow_entry
+module FT = Ofproto.Flow_table
+
+let udp ~dst_ip ~dst_port =
+  Hspace.Header.udp ~src_ip:0x0A000001 ~dst_ip ~src_port:1000 ~dst_port
+
+(* ---- Match ---- *)
+
+let test_match_any () =
+  let h = udp ~dst_ip:5 ~dst_port:80 in
+  check Alcotest.bool "any matches" true (M.matches M.any ~in_port:3 h)
+
+let test_match_exact_field () =
+  let m = M.with_exact M.any Hspace.Field.Ip_dst 42 in
+  check Alcotest.bool "match" true (M.matches m ~in_port:0 (udp ~dst_ip:42 ~dst_port:80));
+  check Alcotest.bool "no match" false (M.matches m ~in_port:0 (udp ~dst_ip:43 ~dst_port:80))
+
+let test_match_in_port () =
+  let m = M.with_in_port M.any 7 in
+  let h = udp ~dst_ip:1 ~dst_port:80 in
+  check Alcotest.bool "right port" true (M.matches m ~in_port:7 h);
+  check Alcotest.bool "wrong port" false (M.matches m ~in_port:8 h)
+
+let test_match_prefix () =
+  let m = M.with_prefix M.any Hspace.Field.Ip_dst ~value:0x0A010000 ~prefix_len:16 in
+  check Alcotest.bool "in prefix" true
+    (M.matches m ~in_port:0 (udp ~dst_ip:0x0A01BEEF ~dst_port:1));
+  check Alcotest.bool "out of prefix" false
+    (M.matches m ~in_port:0 (udp ~dst_ip:0x0A02BEEF ~dst_port:1))
+
+let test_match_mask_zero_is_wildcard () =
+  let m = M.with_field M.any Hspace.Field.Ip_dst ~value:99 ~mask:0 in
+  check Alcotest.int "no field constraints" 0 (List.length (M.fields m))
+
+let test_match_subset_overlap () =
+  let broad = M.with_prefix M.any Hspace.Field.Ip_dst ~value:0x0A000000 ~prefix_len:8 in
+  let narrow = M.with_exact M.any Hspace.Field.Ip_dst 0x0A000005 in
+  check Alcotest.bool "narrow subset broad" true (M.subset narrow broad);
+  check Alcotest.bool "broad not subset narrow" false (M.subset broad narrow);
+  check Alcotest.bool "overlap" true (M.overlaps narrow broad);
+  let other = M.with_exact M.any Hspace.Field.Ip_dst 0x0B000005 in
+  check Alcotest.bool "disjoint" false (M.overlaps narrow other)
+
+let test_match_in_port_subset () =
+  let p7 = M.with_in_port M.any 7 in
+  check Alcotest.bool "port-constrained subset of any" true (M.subset p7 M.any);
+  check Alcotest.bool "any not subset of port-constrained" false (M.subset M.any p7)
+
+let test_match_agrees_with_tern () =
+  (* Data-plane matching must agree with the header-space encoding. *)
+  let rng = Support.Rng.create 5 in
+  let m =
+    M.with_prefix
+      (M.with_exact M.any Hspace.Field.Ip_proto 17)
+      Hspace.Field.Ip_dst ~value:0x0A010000 ~prefix_len:12
+  in
+  let cube = M.to_tern m in
+  for _ = 1 to 200 do
+    let h = Hspace.Header.random rng in
+    let concrete = Hspace.Header.to_tern h in
+    check Alcotest.bool "matches iff member" (M.matches m ~in_port:0 h)
+      (Hspace.Tern.mem concrete cube)
+  done
+
+(* ---- Actions ---- *)
+
+let test_action_output_and_rewrite_order () =
+  let h = udp ~dst_ip:1 ~dst_port:80 in
+  let actions =
+    [ A.Output 1; A.Set_field (Hspace.Field.Ip_dst, 9); A.Output 2 ]
+  in
+  let applied = A.apply ~ports:[ 1; 2; 3 ] ~in_port:0 h actions in
+  (match applied.A.outputs with
+  | [ (1, h1); (2, h2) ] ->
+    check Alcotest.int "first output sees old dst" 1 (Hspace.Header.get h1 Hspace.Field.Ip_dst);
+    check Alcotest.int "second output sees new dst" 9 (Hspace.Header.get h2 Hspace.Field.Ip_dst)
+  | _ -> Alcotest.fail "expected two outputs");
+  check Alcotest.int "final header rewritten" 9
+    (Hspace.Header.get applied.A.final_header Hspace.Field.Ip_dst)
+
+let test_action_flood_excludes_ingress () =
+  let h = udp ~dst_ip:1 ~dst_port:80 in
+  let applied = A.apply ~ports:[ 1; 2; 3 ] ~in_port:2 h [ A.Flood ] in
+  check (Alcotest.list Alcotest.int) "flood ports" [ 1; 3 ]
+    (List.map fst applied.A.outputs)
+
+let test_action_controller_and_queue () =
+  let h = udp ~dst_ip:1 ~dst_port:80 in
+  let applied = A.apply ~ports:[ 1 ] ~in_port:0 h [ A.To_controller; A.Set_queue 4 ] in
+  check Alcotest.bool "controller copy" true (applied.A.to_controller <> None);
+  check Alcotest.bool "queue" true (applied.A.queue = Some 4);
+  check Alcotest.int "no data-plane output" 0 (List.length applied.A.outputs)
+
+let test_action_empty_is_drop () =
+  let h = udp ~dst_ip:1 ~dst_port:80 in
+  let applied = A.apply ~ports:[ 1 ] ~in_port:0 h [] in
+  check Alcotest.int "no outputs" 0 (List.length applied.A.outputs);
+  check Alcotest.bool "no controller" true (applied.A.to_controller = None)
+
+(* ---- Flow table ---- *)
+
+let spec ?(cookie = 0) ?meter ?hard_timeout ~priority ~dst_ip actions =
+  FE.make_spec ~cookie ?meter ?hard_timeout ~priority
+    (M.with_exact M.any Hspace.Field.Ip_dst dst_ip)
+    actions
+
+let test_table_priority_wins () =
+  let t = FT.create () in
+  FT.add t (spec ~priority:10 ~dst_ip:1 [ A.Output 1 ]) ~now:0.0;
+  FT.add t (spec ~priority:20 ~dst_ip:1 [ A.Output 2 ]) ~now:0.0;
+  match FT.lookup t ~in_port:0 (udp ~dst_ip:1 ~dst_port:80) with
+  | Some e -> check Alcotest.int "higher priority wins" 20 e.FE.spec.priority
+  | None -> Alcotest.fail "expected a match"
+
+let test_table_fifo_within_priority () =
+  let t = FT.create () in
+  FT.add t (FE.make_spec ~cookie:1 ~priority:5 M.any [ A.Output 1 ]) ~now:0.0;
+  FT.add t
+    (FE.make_spec ~cookie:2 ~priority:5
+       (M.with_exact M.any Hspace.Field.Ip_proto 17)
+       [ A.Output 2 ])
+    ~now:0.0;
+  (* Both match a UDP packet; the earlier-installed entry wins. *)
+  match FT.lookup t ~in_port:0 (udp ~dst_ip:1 ~dst_port:80) with
+  | Some e -> check Alcotest.int "earliest entry wins ties" 1 e.FE.spec.cookie
+  | None -> Alcotest.fail "expected a match"
+
+let test_table_overwrite_same_match () =
+  let t = FT.create () in
+  FT.add t (spec ~priority:10 ~dst_ip:1 [ A.Output 1 ]) ~now:0.0;
+  FT.add t (spec ~priority:10 ~dst_ip:1 [ A.Output 2 ]) ~now:0.0;
+  check Alcotest.int "overwrite keeps one entry" 1 (FT.size t);
+  match FT.lookup t ~in_port:0 (udp ~dst_ip:1 ~dst_port:80) with
+  | Some e ->
+    check Alcotest.bool "new actions" true (e.FE.spec.actions = [ A.Output 2 ])
+  | None -> Alcotest.fail "expected a match"
+
+let test_table_nonstrict_delete () =
+  let t = FT.create () in
+  FT.add t (spec ~priority:10 ~dst_ip:0x0A010001 [ A.Output 1 ]) ~now:0.0;
+  FT.add t (spec ~priority:10 ~dst_ip:0x0A010002 [ A.Output 1 ]) ~now:0.0;
+  FT.add t (spec ~priority:10 ~dst_ip:0x0B000001 [ A.Output 1 ]) ~now:0.0;
+  let broad = M.with_prefix M.any Hspace.Field.Ip_dst ~value:0x0A010000 ~prefix_len:16 in
+  let removed = FT.delete t ~match_:broad () in
+  check Alcotest.int "subset entries removed" 2 removed;
+  check Alcotest.int "one left" 1 (FT.size t)
+
+let test_table_delete_by_priority () =
+  let t = FT.create () in
+  FT.add t (spec ~priority:10 ~dst_ip:1 [ A.Output 1 ]) ~now:0.0;
+  FT.add t (spec ~priority:20 ~dst_ip:1 [ A.Output 1 ]) ~now:0.0;
+  let removed = FT.delete t ~match_:M.any ~priority:10 () in
+  check Alcotest.int "only priority-10 removed" 1 removed;
+  check Alcotest.int "one left" 1 (FT.size t)
+
+let test_table_delete_by_cookie () =
+  let t = FT.create () in
+  FT.add t (spec ~cookie:7 ~priority:10 ~dst_ip:1 [ A.Output 1 ]) ~now:0.0;
+  FT.add t (spec ~cookie:8 ~priority:10 ~dst_ip:2 [ A.Output 1 ]) ~now:0.0;
+  FT.add t (spec ~cookie:7 ~priority:20 ~dst_ip:3 [ A.Output 1 ]) ~now:0.0;
+  check Alcotest.int "cookie removes both" 2 (FT.delete_by_cookie t 7);
+  check Alcotest.int "one left" 1 (FT.size t)
+
+let test_table_hard_timeout () =
+  let t = FT.create () in
+  FT.add t (spec ~hard_timeout:1.0 ~priority:10 ~dst_ip:1 [ A.Output 1 ]) ~now:0.0;
+  FT.add t (spec ~priority:20 ~dst_ip:2 [ A.Output 1 ]) ~now:0.0;
+  check Alcotest.int "nothing expires early" 0 (List.length (FT.expire t ~now:0.5));
+  let expired = FT.expire t ~now:1.5 in
+  check Alcotest.int "one expires" 1 (List.length expired);
+  check Alcotest.int "one survivor" 1 (FT.size t)
+
+let test_table_change_notifications () =
+  let t = FT.create () in
+  let log = ref [] in
+  FT.on_change t (fun change ->
+      let tag =
+        match change with
+        | FT.Added _ -> "add"
+        | FT.Removed (_, `Delete) -> "del"
+        | FT.Removed (_, `Hard_timeout) -> "timeout"
+        | FT.Modified _ -> "mod"
+      in
+      log := tag :: !log);
+  FT.add t (spec ~priority:10 ~dst_ip:1 [ A.Output 1 ]) ~now:0.0;
+  FT.add t (spec ~priority:10 ~dst_ip:1 [ A.Output 2 ]) ~now:0.0;
+  ignore (FT.delete t ~match_:M.any ());
+  check (Alcotest.list Alcotest.string) "event sequence" [ "add"; "mod"; "del" ]
+    (List.rev !log);
+  check Alcotest.int "version bumped thrice" 3 (FT.version t)
+
+let test_table_no_match_none () =
+  let t = FT.create () in
+  FT.add t (spec ~priority:10 ~dst_ip:1 [ A.Output 1 ]) ~now:0.0;
+  check Alcotest.bool "no match returns None" true
+    (FT.lookup t ~in_port:0 (udp ~dst_ip:2 ~dst_port:80) = None)
+
+let test_table_counters () =
+  let t = FT.create () in
+  FT.add t (spec ~priority:10 ~dst_ip:1 [ A.Output 1 ]) ~now:0.0;
+  (match FT.lookup t ~in_port:0 (udp ~dst_ip:1 ~dst_port:80) with
+  | Some e ->
+    FE.account e ~bytes:100;
+    FE.account e ~bytes:50;
+    check Alcotest.int "packets" 2 e.FE.packets;
+    check Alcotest.int "bytes" 150 e.FE.bytes
+  | None -> Alcotest.fail "expected a match")
+
+(* ---- printers and spec equality ---- *)
+
+let test_pp_coverage () =
+  (* Printers are part of the API (fingerprints rely on them): check
+     they are stable and distinguish the variants. *)
+  let show pp v = Format.asprintf "%a" pp v in
+  check Alcotest.string "output" "output:3" (show A.pp (A.Output 3));
+  check Alcotest.bool "in_port" true (show A.pp A.In_port <> "");
+  check Alcotest.string "flood" "flood" (show A.pp A.Flood);
+  check Alcotest.string "controller" "controller" (show A.pp A.To_controller);
+  check Alcotest.string "drop" "drop" (show A.pp_list []);
+  check Alcotest.bool "set_field mentions field" true
+    (String.length (show A.pp (A.Set_field (Hspace.Field.Ip_dst, 5))) > 0);
+  let m = M.with_in_port (M.with_exact M.any Hspace.Field.Ip_dst 7) 2 in
+  let rendered = show M.pp m in
+  check Alcotest.bool "match shows port" true
+    (String.length rendered > 0
+    &&
+    let contains hay needle =
+      let n = String.length needle in
+      let rec go i =
+        i + n <= String.length hay && (String.sub hay i n = needle || go (i + 1))
+      in
+      go 0
+    in
+    contains rendered "in_port=2")
+
+let test_spec_equal_semantics () =
+  let mk ?(cookie = 0) ?(priority = 5) ?meter ?hard_timeout actions =
+    FE.make_spec ~cookie ?meter ?hard_timeout ~priority
+      (M.with_exact M.any Hspace.Field.Ip_dst 7)
+      actions
+  in
+  check Alcotest.bool "equal" true (FE.spec_equal (mk [ A.Output 1 ]) (mk [ A.Output 1 ]));
+  check Alcotest.bool "different actions" false
+    (FE.spec_equal (mk [ A.Output 1 ]) (mk [ A.Output 2 ]));
+  check Alcotest.bool "different cookie" false
+    (FE.spec_equal (mk ~cookie:1 [ A.Output 1 ]) (mk ~cookie:2 [ A.Output 1 ]));
+  check Alcotest.bool "different priority" false
+    (FE.spec_equal (mk ~priority:5 [ A.Output 1 ]) (mk ~priority:6 [ A.Output 1 ]));
+  check Alcotest.bool "different meter" false
+    (FE.spec_equal (mk ~meter:1 [ A.Output 1 ]) (mk [ A.Output 1 ]));
+  (* Timeouts do not affect forwarding and are excluded on purpose. *)
+  check Alcotest.bool "timeouts ignored" true
+    (FE.spec_equal (mk ~hard_timeout:1.0 [ A.Output 1 ]) (mk [ A.Output 1 ]))
+
+let test_match_semantic_equal () =
+  (* Two syntactically different matches with the same semantics are
+     equal: a /32 prefix is an exact match. *)
+  let a = M.with_exact M.any Hspace.Field.Ip_dst 0x0A000001 in
+  let b = M.with_prefix M.any Hspace.Field.Ip_dst ~value:0x0A000001 ~prefix_len:32 in
+  check Alcotest.bool "prefix/32 = exact" true (M.equal a b)
+
+(* ---- Meters ---- *)
+
+let test_meter_allows_within_rate () =
+  let m = Ofproto.Meter.create () in
+  Ofproto.Meter.set m ~id:1 { Ofproto.Meter.rate_kbps = 8 };
+  (* 8 kbps = 1000 bytes/s; burst bucket = 1000 bytes. *)
+  check Alcotest.bool "burst passes" true (Ofproto.Meter.allows m ~id:1 ~now:0.0 ~bytes:1000);
+  check Alcotest.bool "over burst drops" false
+    (Ofproto.Meter.allows m ~id:1 ~now:0.0 ~bytes:500);
+  (* After one second the bucket refills. *)
+  check Alcotest.bool "refill passes" true (Ofproto.Meter.allows m ~id:1 ~now:1.0 ~bytes:900)
+
+let test_meter_unknown_passes () =
+  let m = Ofproto.Meter.create () in
+  check Alcotest.bool "unknown id passes" true
+    (Ofproto.Meter.allows m ~id:9 ~now:0.0 ~bytes:1_000_000)
+
+let test_meter_config () =
+  let m = Ofproto.Meter.create () in
+  Ofproto.Meter.set m ~id:2 { Ofproto.Meter.rate_kbps = 100 };
+  check Alcotest.bool "find" true
+    (Ofproto.Meter.find m ~id:2 = Some { Ofproto.Meter.rate_kbps = 100 });
+  check Alcotest.bool "remove" true (Ofproto.Meter.remove m ~id:2);
+  check Alcotest.bool "remove again" false (Ofproto.Meter.remove m ~id:2);
+  check Alcotest.int "versions" 2 (Ofproto.Meter.version m)
+
+(* ---- qcheck: lookup picks the highest-priority matching entry ---- *)
+
+let prop_lookup_semantics =
+  QCheck2.Test.make ~name:"lookup = max-priority matching entry" ~count:200
+    QCheck2.Gen.(
+      list_size (int_range 1 20)
+        (triple (int_range 0 5) (int_range 0 3) (int_range 0 100)))
+    (fun entries ->
+      let t = FT.create () in
+      List.iteri
+        (fun i (prio, dst, cookie) ->
+          ignore i;
+          FT.add t (spec ~cookie ~priority:prio ~dst_ip:dst [ A.Output 1 ]) ~now:0.0)
+        entries;
+      let h = udp ~dst_ip:2 ~dst_port:80 in
+      let expected_prio =
+        List.filter_map
+          (fun (e : FE.t) ->
+            if M.matches e.spec.match_ ~in_port:0 h then Some e.spec.priority else None)
+          (FT.entries t)
+        |> List.fold_left max (-1)
+      in
+      match FT.lookup t ~in_port:0 h with
+      | None -> expected_prio = -1
+      | Some e -> e.FE.spec.priority = expected_prio)
+
+let () =
+  Alcotest.run "ofproto"
+    [
+      ( "match",
+        [
+          Alcotest.test_case "any" `Quick test_match_any;
+          Alcotest.test_case "exact field" `Quick test_match_exact_field;
+          Alcotest.test_case "in_port" `Quick test_match_in_port;
+          Alcotest.test_case "prefix" `Quick test_match_prefix;
+          Alcotest.test_case "zero mask is wildcard" `Quick test_match_mask_zero_is_wildcard;
+          Alcotest.test_case "subset/overlap" `Quick test_match_subset_overlap;
+          Alcotest.test_case "in_port subset" `Quick test_match_in_port_subset;
+          Alcotest.test_case "agrees with tern encoding" `Quick test_match_agrees_with_tern;
+        ] );
+      ( "action",
+        [
+          Alcotest.test_case "rewrite order" `Quick test_action_output_and_rewrite_order;
+          Alcotest.test_case "flood excludes ingress" `Quick test_action_flood_excludes_ingress;
+          Alcotest.test_case "controller + queue" `Quick test_action_controller_and_queue;
+          Alcotest.test_case "empty drops" `Quick test_action_empty_is_drop;
+        ] );
+      ( "flow_table",
+        [
+          Alcotest.test_case "priority wins" `Quick test_table_priority_wins;
+          Alcotest.test_case "FIFO within priority" `Quick test_table_fifo_within_priority;
+          Alcotest.test_case "overwrite same match" `Quick test_table_overwrite_same_match;
+          Alcotest.test_case "non-strict delete" `Quick test_table_nonstrict_delete;
+          Alcotest.test_case "delete by priority" `Quick test_table_delete_by_priority;
+          Alcotest.test_case "delete by cookie" `Quick test_table_delete_by_cookie;
+          Alcotest.test_case "hard timeout" `Quick test_table_hard_timeout;
+          Alcotest.test_case "change notifications" `Quick test_table_change_notifications;
+          Alcotest.test_case "no match" `Quick test_table_no_match_none;
+          Alcotest.test_case "counters" `Quick test_table_counters;
+          QCheck_alcotest.to_alcotest prop_lookup_semantics;
+        ] );
+      ( "printers+equality",
+        [
+          Alcotest.test_case "pp coverage" `Quick test_pp_coverage;
+          Alcotest.test_case "spec equality" `Quick test_spec_equal_semantics;
+          Alcotest.test_case "match semantic equality" `Quick test_match_semantic_equal;
+        ] );
+      ( "meter",
+        [
+          Alcotest.test_case "token bucket" `Quick test_meter_allows_within_rate;
+          Alcotest.test_case "unknown passes" `Quick test_meter_unknown_passes;
+          Alcotest.test_case "configuration" `Quick test_meter_config;
+        ] );
+    ]

@@ -1,0 +1,274 @@
+(* Unit tests for addressing, the provider control plane and the attack
+   taxonomy's data-plane effects. *)
+
+let check = Alcotest.check
+
+(* ---- Addressing ---- *)
+
+let test_addressing_assignment () =
+  let a = Sdnctl.Addressing.create () in
+  Sdnctl.Addressing.add_client a ~client:0 ~name:"alice";
+  Sdnctl.Addressing.add_client a ~client:1 ~name:"bob";
+  let h0 = Sdnctl.Addressing.add_host a ~host:10 ~client:0 in
+  let h1 = Sdnctl.Addressing.add_host a ~host:11 ~client:0 in
+  let h2 = Sdnctl.Addressing.add_host a ~host:12 ~client:1 in
+  check Alcotest.int "client 0 first ip" 0x0A000001 h0.ip;
+  check Alcotest.int "client 0 second ip" 0x0A000002 h1.ip;
+  check Alcotest.int "client 1 first ip" 0x0A010001 h2.ip;
+  check Alcotest.bool "reverse lookup" true
+    (Sdnctl.Addressing.host_by_ip a ~ip:0x0A010001 = Some h2);
+  check Alcotest.int "hosts of client 0" 2
+    (List.length (Sdnctl.Addressing.hosts_of_client a ~client:0));
+  check Alcotest.bool "client of ip" true
+    (Sdnctl.Addressing.client_of_ip a ~ip:0x0A0100FF = Some 1);
+  check Alcotest.bool "foreign ip" true
+    (Sdnctl.Addressing.client_of_ip a ~ip:0x0B010001 = None);
+  check (Alcotest.pair Alcotest.int Alcotest.int) "subnet" (0x0A010000, 16)
+    (Sdnctl.Addressing.subnet a ~client:1)
+
+let test_addressing_validation () =
+  let a = Sdnctl.Addressing.create () in
+  Sdnctl.Addressing.add_client a ~client:0 ~name:"x";
+  Alcotest.check_raises "duplicate client"
+    (Invalid_argument "Addressing.add_client: duplicate client") (fun () ->
+      Sdnctl.Addressing.add_client a ~client:0 ~name:"y");
+  Alcotest.check_raises "unknown client"
+    (Invalid_argument "Addressing.add_host: unknown client") (fun () ->
+      ignore (Sdnctl.Addressing.add_host a ~host:1 ~client:9));
+  ignore (Sdnctl.Addressing.add_host a ~host:1 ~client:0);
+  Alcotest.check_raises "duplicate host"
+    (Invalid_argument "Addressing.add_host: duplicate host") (fun () ->
+      ignore (Sdnctl.Addressing.add_host a ~host:1 ~client:0))
+
+(* ---- Provider + attacks over a real network ---- *)
+
+(* Linear topology, 3 switches, one host per switch, 2 clients:
+   hosts 0,2 -> client 0; host 1 -> client 1. *)
+let deployment ?(isolation = true) ?(whitelist = []) () =
+  let topo = Workload.Topogen.linear Workload.Topogen.default_params 3 in
+  let net = Netsim.Net.create ~seed:3 topo in
+  let addressing = Sdnctl.Addressing.create () in
+  Sdnctl.Addressing.add_client addressing ~client:0 ~name:"victim";
+  Sdnctl.Addressing.add_client addressing ~client:1 ~name:"attacker";
+  ignore (Sdnctl.Addressing.add_host addressing ~host:0 ~client:0);
+  ignore (Sdnctl.Addressing.add_host addressing ~host:1 ~client:1);
+  ignore (Sdnctl.Addressing.add_host addressing ~host:2 ~client:0);
+  let provider =
+    Sdnctl.Provider.create net addressing
+      ~policy:{ Sdnctl.Provider.isolation; whitelist }
+      ~conn_delay:1e-3
+  in
+  Sdnctl.Provider.install_all provider;
+  ignore (Netsim.Sim.run (Netsim.Net.sim net));
+  (net, addressing, provider)
+
+let send_probe net addressing ~from_host ~to_host =
+  let src = Option.get (Sdnctl.Addressing.host addressing ~host:from_host) in
+  let dst = Option.get (Sdnctl.Addressing.host addressing ~host:to_host) in
+  let header =
+    Hspace.Header.udp ~src_ip:src.ip ~dst_ip:dst.ip ~src_port:1000 ~dst_port:80
+  in
+  Netsim.Net.host_send net ~host:from_host (Netsim.Packet.make ~header "probe")
+
+let count_delivered net ~host f =
+  let count = ref 0 in
+  Netsim.Net.set_host_receiver net ~host (fun p -> if f p then incr count);
+  count
+
+let run net = ignore (Netsim.Sim.run (Netsim.Net.sim net))
+
+let test_provider_routes_same_client () =
+  let net, addressing, _ = deployment () in
+  let got = count_delivered net ~host:2 (fun _ -> true) in
+  send_probe net addressing ~from_host:0 ~to_host:2;
+  run net;
+  check Alcotest.int "intra-client traffic delivered" 1 !got
+
+let test_provider_isolates_clients () =
+  let net, addressing, _ = deployment () in
+  let got = count_delivered net ~host:1 (fun _ -> true) in
+  send_probe net addressing ~from_host:0 ~to_host:1;
+  run net;
+  check Alcotest.int "cross-client traffic dropped" 0 !got;
+  check Alcotest.bool "dropped by ACL (matched a drop rule)" true
+    ((Netsim.Net.stats net).delivered = 0)
+
+let test_provider_no_isolation () =
+  let net, addressing, _ = deployment ~isolation:false () in
+  let got = count_delivered net ~host:1 (fun _ -> true) in
+  send_probe net addressing ~from_host:0 ~to_host:1;
+  run net;
+  check Alcotest.int "without ACLs traffic crosses" 1 !got
+
+let test_provider_whitelist () =
+  (* Client 0 may reach client 1. *)
+  let net, addressing, _ = deployment ~whitelist:[ (0, 1) ] () in
+  let got01 = count_delivered net ~host:1 (fun _ -> true) in
+  send_probe net addressing ~from_host:0 ~to_host:1;
+  run net;
+  check Alcotest.int "whitelisted direction passes" 1 !got01;
+  (* The reverse direction is still blocked. *)
+  let got10 = count_delivered net ~host:0 (fun _ -> true) in
+  send_probe net addressing ~from_host:1 ~to_host:0;
+  run net;
+  check Alcotest.int "reverse still blocked" 0 !got10
+
+let test_provider_rule_count () =
+  let _, _, provider = deployment () in
+  (* 3 hosts x 3 switches routing + ACLs at 3 access points x 1 foreign
+     client = 9 + 3 = 12. *)
+  check Alcotest.int "expected rule count" 12 (Sdnctl.Provider.rule_count provider)
+
+(* ---- attacks ---- *)
+
+let test_attack_join_pierces_isolation () =
+  let net, addressing, provider = deployment () in
+  let got = count_delivered net ~host:0 (fun _ -> true) in
+  (* Before: attacker (host 1) cannot reach victim host 0. *)
+  send_probe net addressing ~from_host:1 ~to_host:0;
+  run net;
+  check Alcotest.int "blocked before attack" 0 !got;
+  Sdnctl.Attack.launch net addressing ~conn:(Sdnctl.Provider.conn provider)
+    (Sdnctl.Attack.Join { victim_client = 0; attacker_host = 1 });
+  run net;
+  send_probe net addressing ~from_host:1 ~to_host:0;
+  run net;
+  check Alcotest.int "reaches after join attack" 1 !got
+
+let test_attack_exfiltrate_duplicates () =
+  let net, addressing, provider = deployment ~isolation:false () in
+  let victim_got = count_delivered net ~host:2 (fun _ -> true) in
+  let attacker_got = count_delivered net ~host:1 (fun _ -> true) in
+  Sdnctl.Attack.launch net addressing ~conn:(Sdnctl.Provider.conn provider)
+    (Sdnctl.Attack.Exfiltrate { victim_host = 2; attacker_host = 1 });
+  run net;
+  send_probe net addressing ~from_host:0 ~to_host:2;
+  run net;
+  check Alcotest.int "victim still receives" 1 !victim_got;
+  check Alcotest.int "attacker receives the copy" 1 !attacker_got
+
+let test_attack_blackhole () =
+  let net, addressing, provider = deployment () in
+  let got = count_delivered net ~host:2 (fun _ -> true) in
+  Sdnctl.Attack.launch net addressing ~conn:(Sdnctl.Provider.conn provider)
+    (Sdnctl.Attack.Blackhole { victim_host = 2 });
+  run net;
+  send_probe net addressing ~from_host:0 ~to_host:2;
+  run net;
+  check Alcotest.int "blackholed" 0 !got
+
+let test_attack_divert_takes_detour () =
+  (* Grid 2x2 so a detour exists: 0-1 / 2-3, hosts h0@s0 h3@s3. *)
+  let topo = Workload.Topogen.grid Workload.Topogen.default_params ~rows:2 ~cols:2 in
+  let net = Netsim.Net.create ~seed:5 topo in
+  let addressing = Sdnctl.Addressing.create () in
+  Sdnctl.Addressing.add_client addressing ~client:0 ~name:"c";
+  List.iter
+    (fun h -> ignore (Sdnctl.Addressing.add_host addressing ~host:h ~client:0))
+    [ 0; 1; 2; 3 ];
+  let provider =
+    Sdnctl.Provider.create net addressing
+      ~policy:{ Sdnctl.Provider.isolation = false; whitelist = [] }
+      ~conn_delay:1e-3
+  in
+  Sdnctl.Provider.install_all provider;
+  run net;
+  (* Divert h0->h3 through switch 1 (shortest could be via 1 or 2; force 1
+     then verify the witness path visits it). *)
+  Sdnctl.Attack.launch net addressing ~conn:(Sdnctl.Provider.conn provider)
+    (Sdnctl.Attack.Divert { src_host = 0; dst_host = 3; via_sw = 1 });
+  run net;
+  let got = count_delivered net ~host:3 (fun _ -> true) in
+  send_probe net addressing ~from_host:0 ~to_host:3;
+  run net;
+  check Alcotest.int "still delivered via detour" 1 !got
+
+let test_attack_meter_squeeze_throttles () =
+  let net, addressing, provider = deployment () in
+  Sdnctl.Attack.launch net addressing ~conn:(Sdnctl.Provider.conn provider)
+    (Sdnctl.Attack.Meter_squeeze { victim_host = 2; rate_kbps = 1 });
+  run net;
+  let got = count_delivered net ~host:2 (fun _ -> true) in
+  for _ = 1 to 20 do
+    send_probe net addressing ~from_host:0 ~to_host:2
+  done;
+  run net;
+  check Alcotest.bool "traffic throttled" true (!got < 20);
+  check Alcotest.bool "meter drops counted" true ((Netsim.Net.stats net).dropped_meter > 0)
+
+let test_attack_transient_installs_and_retracts () =
+  let net, addressing, provider = deployment () in
+  Sdnctl.Attack.launch net addressing ~conn:(Sdnctl.Provider.conn provider)
+    (Sdnctl.Attack.Transient
+       {
+         attack = Sdnctl.Attack.Blackhole { victim_host = 2 };
+         start = 0.1;
+         duration = 0.1;
+       });
+  (* During the window the rule is present. *)
+  ignore (Netsim.Sim.run ~until:0.15 (Netsim.Net.sim net));
+  let attack_rules () =
+    List.length
+      (List.filter
+         (fun (s : Ofproto.Flow_entry.spec) -> s.cookie = Sdnctl.Attack.cookie)
+         (Ofproto.Flow_table.specs (Netsim.Net.table net ~sw:2)))
+  in
+  check Alcotest.int "installed during window" 1 (attack_rules ());
+  ignore (Netsim.Sim.run ~until:0.5 (Netsim.Net.sim net));
+  check Alcotest.int "retracted after window" 0 (attack_rules ())
+
+let test_attack_divert_rejects_impossible_detour () =
+  (* In a linear chain there is no loop-free path through a switch
+     beyond the destination: the attack must refuse rather than install
+     looping rules. *)
+  let net, addressing, provider = deployment () in
+  Alcotest.check_raises "no loop-free detour"
+    (Invalid_argument "Attack.Divert: detour is not loop-free") (fun () ->
+      Sdnctl.Attack.launch net addressing
+        ~conn:(Sdnctl.Provider.conn provider)
+        (Sdnctl.Attack.Divert { src_host = 0; dst_host = 1; via_sw = 2 }))
+
+let test_attack_unknown_host_rejected () =
+  let net, addressing, provider = deployment () in
+  Alcotest.check_raises "unknown host" (Invalid_argument "Attack: unknown host")
+    (fun () ->
+      Sdnctl.Attack.launch net addressing
+        ~conn:(Sdnctl.Provider.conn provider)
+        (Sdnctl.Attack.Blackhole { victim_host = 99 }))
+
+let test_attack_describe () =
+  let d = Sdnctl.Attack.describe (Sdnctl.Attack.Blackhole { victim_host = 3 }) in
+  check Alcotest.string "describe" "blackhole(h3)" d
+
+let () =
+  Alcotest.run "sdnctl"
+    [
+      ( "addressing",
+        [
+          Alcotest.test_case "assignment" `Quick test_addressing_assignment;
+          Alcotest.test_case "validation" `Quick test_addressing_validation;
+        ] );
+      ( "provider",
+        [
+          Alcotest.test_case "routes same client" `Quick test_provider_routes_same_client;
+          Alcotest.test_case "isolates clients" `Quick test_provider_isolates_clients;
+          Alcotest.test_case "no isolation" `Quick test_provider_no_isolation;
+          Alcotest.test_case "whitelist" `Quick test_provider_whitelist;
+          Alcotest.test_case "rule count" `Quick test_provider_rule_count;
+        ] );
+      ( "attack",
+        [
+          Alcotest.test_case "join pierces isolation" `Quick test_attack_join_pierces_isolation;
+          Alcotest.test_case "exfiltrate duplicates" `Quick test_attack_exfiltrate_duplicates;
+          Alcotest.test_case "blackhole" `Quick test_attack_blackhole;
+          Alcotest.test_case "divert" `Quick test_attack_divert_takes_detour;
+          Alcotest.test_case "meter squeeze" `Quick test_attack_meter_squeeze_throttles;
+          Alcotest.test_case "transient install/retract" `Quick
+            test_attack_transient_installs_and_retracts;
+          Alcotest.test_case "describe" `Quick test_attack_describe;
+          Alcotest.test_case "impossible detour rejected" `Quick
+            test_attack_divert_rejects_impossible_detour;
+          Alcotest.test_case "unknown host rejected" `Quick
+            test_attack_unknown_host_rejected;
+        ] );
+    ]

@@ -1,0 +1,261 @@
+(* Tests for the topology generators and the scenario builder. *)
+
+let check = Alcotest.check
+
+let p = Workload.Topogen.default_params
+
+(* Every generated topology must be fully wired (no dangling host),
+   have unique ports, and be connected over the switch graph. *)
+let structural_invariants name topo =
+  let switches = Netsim.Topology.switches topo in
+  let hosts = Netsim.Topology.hosts topo in
+  (* hosts attach to exactly one switch *)
+  List.iter
+    (fun h ->
+      match Netsim.Topology.host_attachment topo h with
+      | Some { Netsim.Topology.node = Netsim.Topology.Switch _; _ } -> ()
+      | Some _ | None -> Alcotest.fail (Printf.sprintf "%s: host %d unattached" name h))
+    hosts;
+  (* switch graph connected: BFS from first switch reaches all *)
+  (match switches with
+  | [] -> Alcotest.fail (name ^ ": no switches")
+  | first :: _ ->
+    let dist, _ = Netsim.Topology.shortest_paths topo ~from_sw:first in
+    List.iter
+      (fun sw ->
+        if not (Hashtbl.mem dist sw) then
+          Alcotest.fail (Printf.sprintf "%s: switch %d disconnected" name sw))
+      switches);
+  (* links reference declared nodes and distinct endpoints *)
+  List.iter
+    (fun (l : Netsim.Topology.link) ->
+      if l.a = l.b then Alcotest.fail (name ^ ": self-loop"))
+    (Netsim.Topology.links topo)
+
+let test_generators_structure () =
+  structural_invariants "linear" (Workload.Topogen.linear p 5);
+  structural_invariants "ring" (Workload.Topogen.ring p 5);
+  structural_invariants "star" (Workload.Topogen.star p 4);
+  structural_invariants "grid" (Workload.Topogen.grid p ~rows:3 ~cols:4);
+  structural_invariants "fat_tree" (Workload.Topogen.fat_tree p ~k:4);
+  structural_invariants "waxman"
+    (Workload.Topogen.waxman p (Support.Rng.create 3) ~n:15 ~alpha:0.4 ~beta:0.4);
+  structural_invariants "isp" (Workload.Topogen.isp p ~core:4 ~pops_per_core:2)
+
+let test_generator_counts () =
+  check Alcotest.int "linear switches" 5
+    (Workload.Topogen.switch_count (Workload.Topogen.linear p 5));
+  check Alcotest.int "linear hosts" 5
+    (Workload.Topogen.host_count (Workload.Topogen.linear p 5));
+  let ft = Workload.Topogen.fat_tree p ~k:4 in
+  (* (k/2)^2 cores + k pods x k switches = 4 + 16. *)
+  check Alcotest.int "fat-tree switches" 20 (Workload.Topogen.switch_count ft);
+  (* hosts only on the k*k/2 edge switches *)
+  check Alcotest.int "fat-tree hosts" 8 (Workload.Topogen.host_count ft);
+  let grid = Workload.Topogen.grid p ~rows:2 ~cols:3 in
+  check Alcotest.int "grid switches" 6 (Workload.Topogen.switch_count grid);
+  let isp = Workload.Topogen.isp p ~core:4 ~pops_per_core:2 in
+  (* 4 core + 8 PoPs; hosts only on PoPs. *)
+  check Alcotest.int "isp switches" 12 (Workload.Topogen.switch_count isp);
+  check Alcotest.int "isp hosts" 8 (Workload.Topogen.host_count isp);
+  List.iter
+    (fun core_sw ->
+      check Alcotest.int "no hosts on core" 0
+        (List.length (Netsim.Topology.hosts_on_switch isp core_sw)))
+    [ 0; 1; 2; 3 ]
+
+let test_generator_hosts_per_switch () =
+  let p2 = { p with Workload.Topogen.hosts_per_switch = 3 } in
+  let topo = Workload.Topogen.linear p2 4 in
+  check Alcotest.int "3 hosts per switch" 12 (Workload.Topogen.host_count topo);
+  List.iter
+    (fun sw ->
+      check Alcotest.int
+        (Printf.sprintf "switch %d hosts" sw)
+        3
+        (List.length (Netsim.Topology.hosts_on_switch topo sw)))
+    (Netsim.Topology.switches topo)
+
+let test_generator_validation () =
+  Alcotest.check_raises "ring too small"
+    (Invalid_argument "Topogen.ring: need at least three switches") (fun () ->
+      ignore (Workload.Topogen.ring p 2));
+  Alcotest.check_raises "odd fat-tree"
+    (Invalid_argument "Topogen.fat_tree: k must be even and >= 2") (fun () ->
+      ignore (Workload.Topogen.fat_tree p ~k:3))
+
+let test_fat_tree_diameter () =
+  (* Any two edge switches are at most 4 hops apart in a fat tree. *)
+  let topo = Workload.Topogen.fat_tree p ~k:4 in
+  List.iter
+    (fun sw ->
+      let dist, _ = Netsim.Topology.shortest_paths topo ~from_sw:sw in
+      Hashtbl.iter
+        (fun _ d -> check Alcotest.bool "diameter <= 4" true (d <= 4))
+        dist)
+    (Netsim.Topology.switches topo)
+
+(* ---- scenario builder ---- *)
+
+let test_scenario_round_robin_clients () =
+  let topo = Workload.Topogen.linear p 6 in
+  let s = Workload.Scenario.build { (Workload.Scenario.default_spec topo) with clients = 3 } in
+  List.iter
+    (fun host ->
+      let info = Option.get (Sdnctl.Addressing.host s.addressing ~host) in
+      check Alcotest.int
+        (Printf.sprintf "host %d client" host)
+        (host mod 3) info.client)
+    (Netsim.Topology.hosts topo)
+
+let test_scenario_agents_registered () =
+  let topo = Workload.Topogen.linear p 3 in
+  let s = Workload.Scenario.build (Workload.Scenario.default_spec topo) in
+  check Alcotest.int "one agent per host" 3 (List.length s.agents);
+  (* every agent can be looked up *)
+  List.iter
+    (fun h -> ignore (Workload.Scenario.agent s ~host:h))
+    (Netsim.Topology.hosts topo)
+
+let test_scenario_determinism () =
+  (* Two builds with the same seed answer a query identically. *)
+  let build () =
+    let topo = Workload.Topogen.linear p 4 in
+    Workload.Scenario.build { (Workload.Scenario.default_spec topo) with seed = 7 }
+  in
+  let answer s =
+    match
+      Workload.Scenario.query_and_wait s ~host:0
+        (Rvaas.Query.make Rvaas.Query.Isolation)
+        ~timeout:1.0
+    with
+    | Some o ->
+      let a = o.Rvaas.Client_agent.answer in
+      ( List.map (fun (e : Rvaas.Query.endpoint_report) -> (e.sw, e.port)) a.endpoints,
+        a.total_auth_requests,
+        o.answered_at )
+    | None -> ([], -1, 0.0)
+  in
+  let a1 = answer (build ()) and a2 = answer (build ()) in
+  check Alcotest.bool "identical answers for identical seeds" true (a1 = a2)
+
+let test_scenario_policy_covers_whitelist () =
+  let topo = Workload.Topogen.linear p 4 in
+  let s =
+    Workload.Scenario.build
+      { (Workload.Scenario.default_spec topo) with clients = 2; whitelist = [ (1, 0) ] }
+  in
+  let policy = Workload.Scenario.policy_for s ~client:0 in
+  (* client 1 may reach client 0, so client 1's points are allowed peers. *)
+  let c1_points =
+    Sdnctl.Addressing.access_points s.addressing (Netsim.Net.topology s.net) ~client:1
+  in
+  List.iter
+    (fun pt ->
+      check Alcotest.bool "whitelisted peer point allowed" true
+        (List.mem pt policy.Rvaas.Detector.allowed_peer_points))
+    c1_points
+
+let test_scenario_snapshot_complete_after_build () =
+  let topo = Workload.Topogen.grid p ~rows:2 ~cols:2 in
+  let s = Workload.Scenario.build (Workload.Scenario.default_spec topo) in
+  Workload.Scenario.run s ~until:(Netsim.Sim.now (Netsim.Net.sim s.net) +. 0.3);
+  check Alcotest.int "snapshot converged" 0
+    (Rvaas.Snapshot.divergence
+       (Rvaas.Monitor.snapshot s.monitor)
+       ~actual:(Workload.Scenario.actual_flows s))
+
+(* ---- traffic generation ---- *)
+
+let test_traffic_delivery () =
+  let topo = Workload.Topogen.linear p 3 in
+  let s =
+    Workload.Scenario.build { (Workload.Scenario.default_spec topo) with clients = 1 }
+  in
+  let t0 = Netsim.Sim.now (Netsim.Net.sim s.net) in
+  let flow =
+    Workload.Trafficgen.make_flow s ~src_host:0 ~dst_host:2 ~rate_pps:100.0
+      ~size_bytes:200 ~start:(t0 +. 0.01) ~duration:0.5
+  in
+  match Workload.Trafficgen.run s [ flow ] ~until:(t0 +. 1.0) with
+  | [ r ] ->
+    check Alcotest.int "all sent" 50 r.sent;
+    check Alcotest.int "all delivered" 50 r.delivered;
+    check Alcotest.bool "goodput ≈ 160 kbps" true
+      (abs_float (Workload.Trafficgen.goodput_kbps r -. 160.0) < 5.0)
+  | _ -> Alcotest.fail "expected one report"
+
+let test_traffic_two_flows_distinguished () =
+  let topo = Workload.Topogen.linear p 3 in
+  let s =
+    Workload.Scenario.build { (Workload.Scenario.default_spec topo) with clients = 1 }
+  in
+  let t0 = Netsim.Sim.now (Netsim.Net.sim s.net) in
+  let mk src dst rate =
+    Workload.Trafficgen.make_flow s ~src_host:src ~dst_host:dst ~rate_pps:rate
+      ~size_bytes:100 ~start:(t0 +. 0.01) ~duration:0.2
+  in
+  match Workload.Trafficgen.run s [ mk 0 2 100.0; mk 1 2 50.0 ] ~until:(t0 +. 1.0) with
+  | [ a; b ] ->
+    check Alcotest.int "flow a" 20 a.delivered;
+    check Alcotest.int "flow b" 10 b.delivered
+  | _ -> Alcotest.fail "expected two reports"
+
+let test_traffic_meter_squeeze_observable () =
+  (* The meter-squeeze attack must reduce data-plane goodput, matching
+     what the Fairness configuration query reports. *)
+  let run_with ~attack =
+    let topo = Workload.Topogen.linear p 3 in
+    let s =
+      Workload.Scenario.build { (Workload.Scenario.default_spec topo) with clients = 1 }
+    in
+    if attack then begin
+      Sdnctl.Attack.launch s.net s.addressing
+        ~conn:(Sdnctl.Provider.conn s.provider)
+        (Sdnctl.Attack.Meter_squeeze { victim_host = 2; rate_kbps = 50 });
+      Workload.Scenario.run s ~until:(Netsim.Sim.now (Netsim.Net.sim s.net) +. 0.1)
+    end;
+    let t0 = Netsim.Sim.now (Netsim.Net.sim s.net) in
+    let flow =
+      (* 400 pps x 500 B = 1600 kbps offered. *)
+      Workload.Trafficgen.make_flow s ~src_host:0 ~dst_host:2 ~rate_pps:400.0
+        ~size_bytes:500 ~start:(t0 +. 0.01) ~duration:1.0
+    in
+    match Workload.Trafficgen.run s [ flow ] ~until:(t0 +. 2.0) with
+    | [ r ] -> Workload.Trafficgen.goodput_kbps r
+    | _ -> Alcotest.fail "expected one report"
+  in
+  let free = run_with ~attack:false and squeezed = run_with ~attack:true in
+  check Alcotest.bool "unmetered flow runs at line rate" true (free > 1500.0);
+  (* 50 kbps meter + burst allowance: well under a quarter of the offer. *)
+  check Alcotest.bool "squeezed flow throttled" true (squeezed < 400.0)
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "topogen",
+        [
+          Alcotest.test_case "structural invariants" `Quick test_generators_structure;
+          Alcotest.test_case "counts" `Quick test_generator_counts;
+          Alcotest.test_case "hosts per switch" `Quick test_generator_hosts_per_switch;
+          Alcotest.test_case "validation" `Quick test_generator_validation;
+          Alcotest.test_case "fat-tree diameter" `Quick test_fat_tree_diameter;
+        ] );
+      ( "scenario",
+        [
+          Alcotest.test_case "round-robin clients" `Quick test_scenario_round_robin_clients;
+          Alcotest.test_case "agents registered" `Quick test_scenario_agents_registered;
+          Alcotest.test_case "determinism" `Quick test_scenario_determinism;
+          Alcotest.test_case "whitelist in policy" `Quick test_scenario_policy_covers_whitelist;
+          Alcotest.test_case "snapshot complete" `Quick
+            test_scenario_snapshot_complete_after_build;
+        ] );
+      ( "trafficgen",
+        [
+          Alcotest.test_case "delivery at rate" `Quick test_traffic_delivery;
+          Alcotest.test_case "flows distinguished" `Quick
+            test_traffic_two_flows_distinguished;
+          Alcotest.test_case "meter squeeze observable" `Quick
+            test_traffic_meter_squeeze_observable;
+        ] );
+    ]
