@@ -13,10 +13,16 @@
 let section title =
   Printf.printf "\n%s\n%s\n%!" title (String.make (String.length title) '-')
 
+(* Monotonic wall clock.  [Sys.time ()] is process CPU time: it
+   overcounts when several domains run (summing their cycles) and
+   undercounts blocking — useless for latency columns.  All E-series
+   timings below are wall-clock. *)
+let now_s () = Int64.to_float (Monotonic_clock.now ()) /. 1e9
+
 let wall f =
-  let t0 = Sys.time () in
+  let t0 = now_s () in
   let r = f () in
-  (r, Sys.time () -. t0)
+  (r, now_s () -. t0)
 
 (* ---------------------------------------------------------------- *)
 (* Shared scenario helpers                                          *)
@@ -665,14 +671,14 @@ let e11 () =
       in
       let run_mode ~incremental =
         let ctx = ref (Rvaas.Verifier.context ~flows_of net_topo) in
-        let t0 = Sys.time () in
+        let t0 = now_s () in
         for i = 0 to batches - 1 do
           apply_churn i;
           if incremental then Rvaas.Verifier.invalidate_switch !ctx ~sw:0
           else ctx := Rvaas.Verifier.context ~flows_of net_topo;
           batch !ctx
         done;
-        (Sys.time () -. t0) /. float_of_int batches
+        (now_s () -. t0) /. float_of_int batches
       in
       let fresh = run_mode ~incremental:false in
       let incremental = run_mode ~incremental:true in
@@ -736,6 +742,74 @@ let e12 () =
         (match meter_rate with None -> "none" | Some r -> string_of_int r)
         reported goodput)
     [ None; Some 50; Some 100; Some 500; Some 1000 ]
+
+(* ---------------------------------------------------------------- *)
+(* E13: parallel isolation sweep + digest-keyed result cache         *)
+(* ---------------------------------------------------------------- *)
+
+let e13 () =
+  section
+    "E13: parallel + incremental verification engine\n\
+     isolation query = one reach pass per access point, partitioned over a\n\
+     Support.Pool of worker domains; cold = empty result cache, warm = the\n\
+     same query repeated (digest-keyed cache hits)";
+  Printf.printf "%-14s %7s | %11s %11s | %9s %10s | %8s\n" "topology" "workers"
+    "cold (ms)" "warm (ms)" "vs 1 wkr" "warm gain" "hit rate";
+  let p = Workload.Topogen.default_params in
+  let cases =
+    [
+      ("fat-tree-k4", Workload.Topogen.fat_tree p ~k:4);
+      ("fat-tree-k6", Workload.Topogen.fat_tree p ~k:6);
+    ]
+  in
+  List.iter
+    (fun (name, topo) ->
+      let s = build_scenario topo in
+      Workload.Scenario.run s ~until:(Netsim.Sim.now (Netsim.Net.sim s.net) +. 0.2);
+      let att = Option.get (Netsim.Topology.host_attachment topo 0) in
+      let src_sw =
+        match att.Netsim.Topology.node with
+        | Netsim.Topology.Switch sw -> sw
+        | _ -> assert false
+      in
+      let query = Rvaas.Query.make Rvaas.Query.Isolation in
+      let eval () =
+        ignore
+          (Rvaas.Service.evaluate s.service ~client:0 ~sw:src_sw
+             ~port:att.Netsim.Topology.port query)
+      in
+      let cache = Rvaas.Service.reach_cache s.service in
+      let base_cold = ref 0.0 in
+      List.iter
+        (fun workers ->
+          let pool = Support.Pool.create workers in
+          Rvaas.Service.set_pool s.service pool;
+          Rvaas.Reach_cache.invalidate cache;
+          let (), cold = wall eval in
+          let st = Rvaas.Reach_cache.stats cache in
+          let hits0 = st.Rvaas.Reach_cache.hits
+          and misses0 = st.Rvaas.Reach_cache.misses in
+          let (), warm = wall eval in
+          let dh = st.Rvaas.Reach_cache.hits - hits0
+          and dm = st.Rvaas.Reach_cache.misses - misses0 in
+          let hit_rate =
+            if dh + dm = 0 then 0.0 else float_of_int dh /. float_of_int (dh + dm)
+          in
+          if workers = 1 then base_cold := cold;
+          Printf.printf "%-14s %7d | %11.3f %11.3f | %8.2fx %9.1fx | %7.0f%%\n%!" name
+            workers (1000.0 *. cold) (1000.0 *. warm)
+            (!base_cold /. Float.max 1e-9 cold)
+            (cold /. Float.max 1e-9 warm)
+            (100.0 *. hit_rate);
+          Support.Pool.shutdown pool)
+        [ 1; 2; 4; 8 ];
+      (* Leave the scenario with a pool it can still use. *)
+      Rvaas.Service.set_pool s.service (Support.Pool.create 1))
+    cases;
+  Printf.printf
+    "\n(workers > available cores cannot speed anything up; this table is only\n\
+     meaningful on multi-core hardware — %d core(s) visible here)\n"
+    (Domain.recommended_domain_count ())
 
 (* ---------------------------------------------------------------- *)
 (* Micro-benchmarks (Bechamel)                                       *)
@@ -841,6 +915,7 @@ let experiments =
     ("e10", e10);
     ("e11", e11);
     ("e12", e12);
+    ("e13", e13);
     ("micro", micro);
   ]
 

@@ -94,10 +94,8 @@ let serialise_sub_answer sa =
 
 (* Evaluate a sub-query inside one domain: local reachability bounded
    to the domain's members. *)
-let local_answer st ~src_sw ~src_port ~hs =
-  let r =
-    Verifier.reach_in st.ctx ~boundary:st.domain.member ~src_sw ~src_port ~hs
-  in
+let local_answer_with ctx st ~src_sw ~src_port ~hs =
+  let r = Verifier.reach_in ctx ~boundary:st.domain.member ~src_sw ~src_port ~hs in
   {
     sa_domain = st.domain.name;
     sa_endpoints = r.Verifier.endpoints;
@@ -106,7 +104,10 @@ let local_answer st ~src_sw ~src_port ~hs =
     sa_handoffs = r.Verifier.handoffs;
   }
 
-let reach t ~start_domain ~src_sw ~src_port ~hs =
+let local_answer st ~src_sw ~src_port ~hs =
+  local_answer_with st.ctx st ~src_sw ~src_port ~hs
+
+let reach ?pool t ~start_domain ~src_sw ~src_port ~hs =
   let start =
     match state t start_domain with
     | Some st -> st
@@ -138,50 +139,92 @@ let reach t ~start_domain ~src_sw ~src_port ~hs =
     end
   in
   enqueue start_domain src_sw src_port hs;
-  while not (Queue.is_empty queue) do
-    let domain_name, sw, port, hs = Queue.pop queue in
-    match state t domain_name with
-    | None -> () (* unreachable: handoffs always map to a domain *)
-    | Some st ->
-      let is_home = domain_name = start_domain in
-      if not is_home then incr sub_queries;
-      let answer = local_answer st ~src_sw:sw ~src_port:port ~hs in
-      (* Peer sub-answers travel signed; the home server verifies the
-         signature against its trust store before merging. *)
-      let accepted =
-        if is_home then true
-        else begin
-          let body = serialise_sub_answer answer in
-          let signature = Cryptosim.Keys.sign st.domain.keypair body in
-          match Hashtbl.find_opt start.trusted domain_name with
-          | None -> false
-          | Some public -> Cryptosim.Keys.verify ~public body ~signature
-        end
-      in
-      if not accepted then begin
-        if not (List.mem domain_name !untrusted) then
-          untrusted := domain_name :: !untrusted
-      end
-      else begin
-        if not (List.mem domain_name !traversed) then
-          traversed := domain_name :: !traversed;
-        List.iter
-          (fun (ep, arriving) ->
-            let old =
-              Option.value ~default:(Hspace.Hs.empty width) (Hashtbl.find_opt endpoints ep)
+  (* Each round drains the current frontier: every queued sub-query is
+     already deduplicated against [seen] at enqueue time, so the items
+     are independent and their reach passes can run in parallel.  The
+     merge (signature checks, accumulation, enqueueing the next
+     frontier) stays sequential, which keeps the result bit-identical
+     to a fully sequential run. *)
+  let evaluate_round batch =
+    match pool with
+    | Some p when Support.Pool.size p > 1 && Array.length batch > 1 ->
+      Support.Pool.parmap_init p
+        ~init:(fun () -> Hashtbl.create 4)
+        ~f:(fun ctxs (domain_name, sw, port, hs) ->
+          match state t domain_name with
+          | None -> None
+          | Some st ->
+            (* Per-worker, per-domain contexts: the shared [st.ctx]
+               guard cache is not safe to mutate from several domains. *)
+            let ctx =
+              match Hashtbl.find_opt ctxs domain_name with
+              | Some ctx -> ctx
+              | None ->
+                let ctx = Verifier.context ~flows_of:st.domain.flows_of t.topo in
+                Hashtbl.replace ctxs domain_name ctx;
+                ctx
             in
-            Hashtbl.replace endpoints ep (Hspace.Hs.union old arriving))
-          answer.sa_endpoints;
-        List.iter
-          (fun j -> if not (List.mem j !jurisdictions) then jurisdictions := j :: !jurisdictions)
-          answer.sa_jurisdictions;
-        List.iter
-          (fun (next_sw, next_port, out) ->
-            match domain_of t ~sw:next_sw with
-            | None -> ()
-            | Some next_domain -> enqueue next_domain next_sw next_port out)
-          answer.sa_handoffs
-      end
+            Some (local_answer_with ctx st ~src_sw:sw ~src_port:port ~hs))
+        batch
+    | Some _ | None ->
+      Array.map
+        (fun (domain_name, sw, port, hs) ->
+          match state t domain_name with
+          | None -> None
+          | Some st -> Some (local_answer st ~src_sw:sw ~src_port:port ~hs))
+        batch
+  in
+  while not (Queue.is_empty queue) do
+    let batch = Array.of_seq (Queue.to_seq queue) in
+    Queue.clear queue;
+    let answers = evaluate_round batch in
+    Array.iteri
+      (fun i (domain_name, _, _, _) ->
+        match answers.(i) with
+        | None -> () (* unreachable: handoffs always map to a domain *)
+        | Some answer ->
+          let st = Option.get (state t domain_name) in
+          let is_home = domain_name = start_domain in
+          if not is_home then incr sub_queries;
+          (* Peer sub-answers travel signed; the home server verifies
+             the signature against its trust store before merging. *)
+          let accepted =
+            if is_home then true
+            else begin
+              let body = serialise_sub_answer answer in
+              let signature = Cryptosim.Keys.sign st.domain.keypair body in
+              match Hashtbl.find_opt start.trusted domain_name with
+              | None -> false
+              | Some public -> Cryptosim.Keys.verify ~public body ~signature
+            end
+          in
+          if not accepted then begin
+            if not (List.mem domain_name !untrusted) then
+              untrusted := domain_name :: !untrusted
+          end
+          else begin
+            if not (List.mem domain_name !traversed) then
+              traversed := domain_name :: !traversed;
+            List.iter
+              (fun (ep, arriving) ->
+                let old =
+                  Option.value ~default:(Hspace.Hs.empty width)
+                    (Hashtbl.find_opt endpoints ep)
+                in
+                Hashtbl.replace endpoints ep (Hspace.Hs.union old arriving))
+              answer.sa_endpoints;
+            List.iter
+              (fun j ->
+                if not (List.mem j !jurisdictions) then jurisdictions := j :: !jurisdictions)
+              answer.sa_jurisdictions;
+            List.iter
+              (fun (next_sw, next_port, out) ->
+                match domain_of t ~sw:next_sw with
+                | None -> ()
+                | Some next_domain -> enqueue next_domain next_sw next_port out)
+              answer.sa_handoffs
+          end)
+      batch
   done;
   {
     endpoints =

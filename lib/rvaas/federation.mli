@@ -56,11 +56,23 @@ type result = {
           were discarded *)
 }
 
-(** [reach t ~start_domain ~src_sw ~src_port ~hs] runs the federated
-    reachability query.  @raise Invalid_argument when [start_domain] is
-    unknown or [src_sw] is not one of its members. *)
+(** [reach ?pool t ~start_domain ~src_sw ~src_port ~hs] runs the
+    federated reachability query.  When [pool] is given (size > 1),
+    each frontier of sub-queries is evaluated in parallel across the
+    pool — sub-queries to different domains are independent — with
+    per-worker verification contexts; signature checks and answer
+    merging stay sequential, so the result is identical to a
+    sequential run.  Domains' [flows_of] must then be safe to call
+    concurrently (pure reads).  @raise Invalid_argument when
+    [start_domain] is unknown or [src_sw] is not one of its members. *)
 val reach :
-  t -> start_domain:string -> src_sw:int -> src_port:int -> hs:Hspace.Hs.t -> result
+  ?pool:Support.Pool.t ->
+  t ->
+  start_domain:string ->
+  src_sw:int ->
+  src_port:int ->
+  hs:Hspace.Hs.t ->
+  result
 
 (** [domain_of t ~sw] names the domain owning [sw]. *)
 val domain_of : t -> sw:int -> string option

@@ -1,0 +1,62 @@
+type stats = {
+  mutable hits : int;
+  mutable misses : int;
+  mutable invalidations : int;
+}
+
+type t = {
+  table : (string, Verifier.reach_result) Hashtbl.t;
+  capacity : int;
+  stats : stats;
+}
+
+let create ?(capacity = 4096) () =
+  {
+    table = Hashtbl.create 64;
+    capacity = max 1 capacity;
+    stats = { hits = 0; misses = 0; invalidations = 0 };
+  }
+
+let key ~snapshot ~src_sw ~src_port ~hs =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (string_of_int src_sw);
+  Buffer.add_char buf '.';
+  Buffer.add_string buf (string_of_int src_port);
+  (* The cube list is normalised but its order depends on construction
+     history; sort so structurally equal spaces key identically. *)
+  List.iter
+    (fun c ->
+      Buffer.add_char buf '|';
+      Buffer.add_string buf c)
+    (List.sort String.compare (List.map Hspace.Tern.to_string (Hspace.Hs.cubes hs)));
+  List.iter
+    (fun (sw, d) -> Buffer.add_string buf (Printf.sprintf ";%d:%Lx" sw d))
+    (Snapshot.digest_vector snapshot);
+  Buffer.contents buf
+
+let find t key =
+  match Hashtbl.find_opt t.table key with
+  | Some r ->
+    t.stats.hits <- t.stats.hits + 1;
+    Some r
+  | None ->
+    t.stats.misses <- t.stats.misses + 1;
+    None
+
+let add t key result =
+  if Hashtbl.length t.table >= t.capacity then Hashtbl.reset t.table;
+  Hashtbl.replace t.table key result
+
+let invalidate t =
+  if Hashtbl.length t.table > 0 then begin
+    Hashtbl.reset t.table;
+    t.stats.invalidations <- t.stats.invalidations + 1
+  end
+
+let stats t = t.stats
+
+let hit_rate t =
+  let total = t.stats.hits + t.stats.misses in
+  if total = 0 then 0.0 else float_of_int t.stats.hits /. float_of_int total
+
+let length t = Hashtbl.length t.table

@@ -1,0 +1,55 @@
+(** Incremental, digest-keyed reachability result cache.
+
+    Client queries between reconfigurations are highly repetitive: an
+    isolation query alone costs one full reach pass per access point,
+    and clients re-ask the same questions (paper §IV-A.2's interactive
+    workload).  This cache keys a {!Verifier.reach_result} by
+
+    - the injection point (source switch, source port),
+    - the queried header space, and
+    - the per-switch flow-table digest vector of the believed
+      configuration ({!Snapshot.digest_vector}),
+
+    so a hit is only possible when the *entire* configuration view is
+    byte-identical to when the result was computed — staleness is
+    structurally impossible, no invalidation subtleties.  The
+    digest-vector component is cheap because {!Snapshot} memoises
+    per-switch digests between mutations.
+
+    {!Service} additionally clears the cache from the monitor's
+    snapshot-change hook: entries keyed by a superseded digest vector
+    can never hit again and would only occupy memory. *)
+
+type t
+
+type stats = {
+  mutable hits : int;
+  mutable misses : int;
+  mutable invalidations : int;  (** full clears (snapshot changes) *)
+}
+
+(** [create ?capacity ()] makes an empty cache.  When more than
+    [capacity] (default 4096) results accumulate under one
+    configuration, the cache is cleared rather than grown. *)
+val create : ?capacity:int -> unit -> t
+
+(** [key ~snapshot ~src_sw ~src_port ~hs] builds the lookup key for a
+    reach pass over [snapshot]'s believed configuration. *)
+val key : snapshot:Snapshot.t -> src_sw:int -> src_port:int -> hs:Hspace.Hs.t -> string
+
+(** [find t key] returns the cached result and counts a hit/miss. *)
+val find : t -> string -> Verifier.reach_result option
+
+(** [add t key result] stores a computed result. *)
+val add : t -> string -> Verifier.reach_result -> unit
+
+(** [invalidate t] drops every entry (the snapshot changed). *)
+val invalidate : t -> unit
+
+val stats : t -> stats
+
+(** [hit_rate t] is hits / (hits + misses), 0 when never consulted. *)
+val hit_rate : t -> float
+
+(** [length t] is the number of cached results. *)
+val length : t -> int

@@ -40,6 +40,11 @@ type t = {
   mutable ctx : Verifier.ctx;
       (* incremental verification context: guards cached across queries,
          invalidated per switch when the monitored snapshot changes *)
+  mutable pool : Support.Pool.t;
+      (* worker pool for per-access-point sweeps (isolation queries) *)
+  cache : Reach_cache.t;
+      (* reach results keyed by (src, hs, per-switch digest vector);
+         cleared from the snapshot-change hook *)
 }
 
 let code_identity = "rvaas-service-v1"
@@ -58,7 +63,78 @@ let fresh_hex t = Printf.sprintf "%015x" (Support.Rng.bits t.rng)
 
 let topo t = Netsim.Net.topology t.net
 
-let reach t ~src_sw ~src_port ~hs = Verifier.reach_in t.ctx ~src_sw ~src_port ~hs
+let set_pool t pool = t.pool <- pool
+
+let pool t = t.pool
+
+let reach_cache t = t.cache
+
+let reach t ~src_sw ~src_port ~hs =
+  let key = Reach_cache.key ~snapshot:(Monitor.snapshot t.monitor) ~src_sw ~src_port ~hs in
+  match Reach_cache.find t.cache key with
+  | Some r -> r
+  | None ->
+    let r = Verifier.reach_in t.ctx ~src_sw ~src_port ~hs in
+    Reach_cache.add t.cache key r;
+    r
+
+(* A frozen, read-only copy of the believed per-switch rule lists:
+   worker domains must not race on the live snapshot hashtable. *)
+let frozen_flows t =
+  let snapshot = Monitor.snapshot t.monitor in
+  let tables = Hashtbl.create 32 in
+  List.iter
+    (fun sw -> Hashtbl.replace tables sw (Snapshot.flows snapshot ~sw))
+    (Snapshot.switches snapshot);
+  fun sw -> Option.value ~default:[] (Hashtbl.find_opt tables sw)
+
+(* One reach pass per source endpoint, cache-first; misses are
+   partitioned over the pool (per-worker contexts on a frozen flow
+   view).  Returns results in input order. *)
+let reach_each t ~hs points =
+  let snapshot = Monitor.snapshot t.monitor in
+  let looked_up =
+    List.map
+      (fun (p : Verifier.endpoint) ->
+        let key = Reach_cache.key ~snapshot ~src_sw:p.sw ~src_port:p.port ~hs in
+        (p, key, Reach_cache.find t.cache key))
+      points
+  in
+  let missing =
+    List.filter_map
+      (fun (p, key, r) -> if Option.is_none r then Some (p, key) else None)
+      looked_up
+  in
+  let computed =
+    match missing with
+    | [] -> []
+    | _ when Support.Pool.size t.pool > 1 && List.length missing > 1 ->
+      let flows_of = frozen_flows t in
+      let topology = topo t in
+      Support.Pool.parmap_init t.pool
+        ~init:(fun () -> Verifier.context ~flows_of topology)
+        ~f:(fun ctx ((p : Verifier.endpoint), _key) ->
+          Verifier.reach_in ctx ~src_sw:p.sw ~src_port:p.port ~hs)
+        (Array.of_list missing)
+      |> Array.to_list
+    | _ ->
+      List.map
+        (fun ((p : Verifier.endpoint), _key) ->
+          Verifier.reach_in t.ctx ~src_sw:p.sw ~src_port:p.port ~hs)
+        missing
+  in
+  let fresh = Hashtbl.create 16 in
+  List.iter2
+    (fun ((p : Verifier.endpoint), key) r ->
+      Reach_cache.add t.cache key r;
+      Hashtbl.replace fresh p r)
+    missing computed;
+  List.map
+    (fun (p, _, cached) ->
+      match cached with
+      | Some r -> (p, r)
+      | None -> (p, Hashtbl.find fresh p))
+    looked_up
 
 (* Restrict a client scope to IP traffic; queries never see non-IP
    control frames. *)
@@ -140,17 +216,20 @@ let evaluate t ~client ~sw ~port (query : Query.t) =
           Directory.client_of_host t.directory ~host:ep.host = Some client)
         points
     in
-    (* One forward reachability pass per candidate access point (over
-       the shared incremental guard cache); a point is a source when
+    (* One forward reachability pass per candidate access point — the
+       system's hot path.  Cached results are reused (digest-keyed, so
+       only valid for the current configuration); the remaining passes
+       are partitioned over the worker pool.  A point is a source when
        its traffic can arrive at any of the client's own points. *)
+    let candidates =
+      List.filter (fun (src : Verifier.endpoint) -> not (List.mem src targets)) points
+    in
     let sources =
-      List.filter
-        (fun (src : Verifier.endpoint) ->
-          (not (List.mem src targets))
-          &&
-          let r = reach t ~src_sw:src.sw ~src_port:src.port ~hs in
-          List.exists (fun (ep, _) -> List.mem ep targets) r.endpoints)
-        points
+      List.filter_map
+        (fun ((src : Verifier.endpoint), (r : Verifier.reach_result)) ->
+          if List.exists (fun (ep, _) -> List.mem ep targets) r.endpoints then Some src
+          else None)
+        (reach_each t ~hs candidates)
     in
     (* The client's own points always belong in the report (they can
        reach the client by definition of its isolation domain). *)
@@ -328,7 +407,8 @@ let install_intercepts t =
         (Wire.intercept_specs ()))
     (Netsim.Topology.switches (topo t))
 
-let create net monitor ~directory ~geo ~keypair ~auth_timeout () =
+let create ?pool ?(cache_capacity = 4096) net monitor ~directory ~geo ~keypair
+    ~auth_timeout () =
   let t =
     {
       net;
@@ -353,9 +433,13 @@ let create net monitor ~directory ~geo ~keypair ~auth_timeout () =
         Verifier.context
           ~flows_of:(fun sw -> Snapshot.flows (Monitor.snapshot monitor) ~sw)
           (Netsim.Net.topology net);
+      pool = (match pool with Some p -> p | None -> Support.Pool.global ());
+      cache = Reach_cache.create ~capacity:cache_capacity ();
     }
   in
-  Monitor.on_snapshot_change monitor (fun ~sw -> Verifier.invalidate_switch t.ctx ~sw);
+  Monitor.on_snapshot_change monitor (fun ~sw ->
+      Verifier.invalidate_switch t.ctx ~sw;
+      Reach_cache.invalidate t.cache);
   Monitor.set_packet_in_handler monitor (fun ~sw ~in_port ~header ~payload ->
       handle_packet_in t ~sw ~in_port ~header ~payload);
   install_intercepts t;

@@ -33,8 +33,15 @@ type t
     wires the service into [monitor]'s connection, installs the
     interception flow entries on every switch, and begins serving.
     [auth_timeout] is how long the service waits for auth replies
-    before answering (seconds). *)
+    before answering (seconds).
+
+    [pool] (default {!Support.Pool.global}, sized by [RVAAS_JOBS] or
+    the core count) runs the per-access-point sweeps of isolation
+    queries in parallel.  [cache_capacity] (default 4096) bounds the
+    digest-keyed reach-result cache. *)
 val create :
+  ?pool:Support.Pool.t ->
+  ?cache_capacity:int ->
   Netsim.Net.t ->
   Monitor.t ->
   directory:Directory.t ->
@@ -43,6 +50,21 @@ val create :
   auth_timeout:float ->
   unit ->
   t
+
+(** [set_pool t pool] replaces the worker pool (benchmarks sweep the
+    worker count on one service instance). *)
+val set_pool : t -> Support.Pool.t -> unit
+
+(** [pool t] is the pool currently in use. *)
+val pool : t -> Support.Pool.t
+
+(** [reach_cache t] exposes the incremental reach-result cache — its
+    hit/miss statistics are the subject of experiment E13, and tests
+    clear it to force cold evaluations.  Entries are invalidated
+    whenever the monitored snapshot changes; on top of that, keys embed
+    the per-switch digest vector, so a stale entry can never be
+    returned even between hook deliveries. *)
+val reach_cache : t -> Reach_cache.t
 
 (** [public t] is the service's public key (distributed to clients out
     of band). *)

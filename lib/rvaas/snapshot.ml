@@ -2,6 +2,8 @@ type view = {
   table : Ofproto.Flow_table.t;
   mutable meter_list : (int * Ofproto.Meter.band) list;
   mutable refreshed : float;
+  mutable table_digest : int64 option;
+      (* memoised flow-table fingerprint; [None] after any mutation *)
 }
 
 type t = { views : (int, view) Hashtbl.t }
@@ -12,13 +14,21 @@ let view t sw =
   match Hashtbl.find_opt t.views sw with
   | Some v -> v
   | None ->
-    let v = { table = Ofproto.Flow_table.create (); meter_list = []; refreshed = 0.0 } in
+    let v =
+      {
+        table = Ofproto.Flow_table.create ();
+        meter_list = [];
+        refreshed = 0.0;
+        table_digest = None;
+      }
+    in
     Hashtbl.replace t.views sw v;
     v
 
 let apply_event t ~sw ~now event =
   let v = view t sw in
   v.refreshed <- now;
+  v.table_digest <- None;
   match event with
   | Ofproto.Message.Flow_added spec | Ofproto.Message.Flow_modified spec ->
     Ofproto.Flow_table.add v.table spec ~now
@@ -33,6 +43,7 @@ let apply_flow_removed t ~sw ~now spec =
 let replace_flows t ~sw ~now specs =
   let v = view t sw in
   v.refreshed <- now;
+  v.table_digest <- None;
   Ofproto.Flow_table.clear v.table;
   List.iter (fun spec -> Ofproto.Flow_table.add v.table spec ~now) specs
 
@@ -61,6 +72,21 @@ let age t ~now =
   Hashtbl.fold (fun _ v acc -> Float.max acc (now -. v.refreshed)) t.views 0.0
 
 let spec_fingerprint spec = Format.asprintf "%a" Ofproto.Flow_entry.pp_spec spec
+
+let switch_digest t ~sw =
+  match Hashtbl.find_opt t.views sw with
+  | None -> 0L
+  | Some v -> (
+    match v.table_digest with
+    | Some d -> d
+    | None ->
+      let lines = List.map spec_fingerprint (Ofproto.Flow_table.specs v.table) in
+      let d = Cryptosim.Hash.digest (String.concat "\n" lines) in
+      v.table_digest <- Some d;
+      d)
+
+let digest_vector t =
+  List.map (fun sw -> (sw, switch_digest t ~sw)) (switches t)
 
 let digest t =
   let lines =

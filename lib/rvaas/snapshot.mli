@@ -48,6 +48,17 @@ val age : t -> now:float -> float
     believed rule sets (used by the history store). *)
 val digest : t -> int64
 
+(** [switch_digest t ~sw] is a fingerprint of [sw]'s believed rule list
+    alone (0 when never heard of).  Memoised per view and recomputed
+    lazily after the next mutation of that switch, so querying it for
+    every switch between reconfigurations is cheap — the key material
+    of the incremental result cache ({!Reach_cache}). *)
+val switch_digest : t -> sw:int -> int64
+
+(** [digest_vector t] is [(sw, switch_digest)] for every monitored
+    switch, ascending: the per-switch configuration version vector. *)
+val digest_vector : t -> (int * int64) list
+
 (** [divergence t ~actual] counts switches whose believed rule set
     differs from [actual sw] (compared as multisets of specs). *)
 val divergence : t -> actual:(int -> Ofproto.Flow_entry.spec list) -> int

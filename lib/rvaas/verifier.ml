@@ -117,21 +117,23 @@ let reach_in ?(boundary = fun _ -> true) ctx ~src_sw ~src_port ~hs =
   let traversed : (int, unit) Hashtbl.t = Hashtbl.create 16 in
   let rule_visits = ref 0 in
   let queue = Queue.create () in
-  let enqueue sw port hs path =
+  (* [depth] carries [List.length path] explicitly so the hop bound is
+     O(1) per dequeue instead of rescanning the witness path. *)
+  let enqueue sw port hs path depth =
     if not (Hspace.Hs.is_empty hs) then begin
       let old = Option.value ~default:(Hspace.Hs.empty width) (Hashtbl.find_opt seen (sw, port)) in
       let fresh = Hspace.Hs.diff hs old in
       if not (Hspace.Hs.is_empty fresh) then begin
         Hashtbl.replace seen (sw, port) (Hspace.Hs.union old fresh);
-        Queue.add (sw, port, fresh, path) queue
+        Queue.add (sw, port, fresh, path, depth) queue
       end
     end
   in
-  enqueue src_sw src_port hs [ src_sw ];
+  enqueue src_sw src_port hs [ src_sw ] 1;
   while not (Queue.is_empty queue) do
-    let sw, port, hs, path = Queue.pop queue in
+    let sw, port, hs, path, depth = Queue.pop queue in
     Hashtbl.replace traversed sw ();
-    if List.length path <= Netsim.Packet.max_hops then
+    if depth <= Netsim.Packet.max_hops then
       List.iter
         (fun guarded ->
           incr rule_visits;
@@ -164,6 +166,7 @@ let reach_in ?(boundary = fun _ -> true) ctx ~src_sw ~src_port ~hs =
                   | Netsim.Topology.Switch next_sw ->
                     if boundary next_sw then
                       enqueue next_sw far.Netsim.Topology.port out (next_sw :: path)
+                        (depth + 1)
                     else begin
                       let key = (next_sw, far.Netsim.Topology.port) in
                       let old =
@@ -205,17 +208,30 @@ let access_points topo =
       | Some _ | None -> None)
     (Netsim.Topology.hosts topo)
 
-let sources_reaching ~flows_of topo ~dst ~hs =
-  let ctx = context ~flows_of topo in
-  List.filter_map
-    (fun src ->
-      if src = dst then None
-      else
-        let result = reach_in ctx ~src_sw:src.sw ~src_port:src.port ~hs in
-        List.find_map
-          (fun (ep, arriving) -> if ep = dst then Some (src, arriving) else None)
-          result.endpoints)
-    (access_points topo)
+let sources_reaching ?pool ~flows_of topo ~dst ~hs =
+  let sources = List.filter (fun src -> src <> dst) (access_points topo) in
+  let arriving_at_dst ctx src =
+    let result = reach_in ctx ~src_sw:src.sw ~src_port:src.port ~hs in
+    List.find_map
+      (fun (ep, arriving) -> if ep = dst then Some (src, arriving) else None)
+      result.endpoints
+  in
+  let per_source =
+    match pool with
+    | Some pool when Support.Pool.size pool > 1 ->
+      (* One reach pass per access point, partitioned over the pool.
+         Guard caches are not thread-safe, so each worker derives its
+         own context; [parmap] preserves input order, keeping results
+         identical to the sequential path. *)
+      Array.to_list
+        (Support.Pool.parmap_init pool
+           ~init:(fun () -> context ~flows_of topo)
+           ~f:arriving_at_dst (Array.of_list sources))
+    | Some _ | None ->
+      let ctx = context ~flows_of topo in
+      List.map (arriving_at_dst ctx) sources
+  in
+  List.filter_map Fun.id per_source
 
 let ip_traffic_hs () =
   Hspace.Hs.of_cube

@@ -85,10 +85,15 @@ val reach :
     (host, sw, port) in the wiring plan. *)
 val access_points : Netsim.Topology.t -> endpoint list
 
-(** [sources_reaching ~flows_of topo ~dst ~hs] runs {!reach} from every
-    access point except [dst] itself and returns those whose traffic
-    (within [hs]) can arrive at [dst]. *)
+(** [sources_reaching ?pool ~flows_of topo ~dst ~hs] runs {!reach} from
+    every access point except [dst] itself and returns those whose
+    traffic (within [hs]) can arrive at [dst].  When [pool] is given
+    (and has size > 1) the per-access-point passes run in parallel,
+    each worker on its own context; results are identical to the
+    sequential path, in the same order.  [flows_of] must then be safe
+    to call from several domains at once (pure reads). *)
 val sources_reaching :
+  ?pool:Support.Pool.t ->
   flows_of:(int -> Ofproto.Flow_entry.spec list) ->
   Netsim.Topology.t ->
   dst:endpoint ->

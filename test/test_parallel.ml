@@ -1,0 +1,179 @@
+(* Tier-1 coverage for the parallel + incremental verification engine:
+   pooled sweeps must be observationally identical to the sequential
+   paths (byte-for-byte on the header spaces), and the digest-keyed
+   reach cache must never mask a reconfiguration — the rule-injection
+   attack has to surface even when the previous answer was cached. *)
+
+let check = Alcotest.check
+
+(* Worker domains are a bounded OS resource: every test case shares one
+   pool, spawned lazily on first use. *)
+let pool4 = lazy (Support.Pool.create 4)
+
+let build ?(clients = 2) ?(isolation = true) topo =
+  let s =
+    Workload.Scenario.build
+      { (Workload.Scenario.default_spec topo) with clients; isolation }
+  in
+  Workload.Scenario.run s ~until:(Netsim.Sim.now (Netsim.Net.sim s.net) +. 0.3);
+  s
+
+let endpoint_line ((ep : Rvaas.Verifier.endpoint), hs) =
+  Printf.sprintf "%d/%d/%d:%s" ep.host ep.sw ep.port
+    (String.concat "+"
+       (List.sort String.compare
+          (List.map Hspace.Tern.to_string (Hspace.Hs.cubes hs))))
+
+let endpoints_fingerprint eps = List.map endpoint_line eps
+
+(* ---- Verifier.sources_reaching: parallel = sequential ---- *)
+
+let test_sources_reaching_equal topo () =
+  let s = build topo in
+  let flows_of = Workload.Scenario.actual_flows s in
+  let hs = Rvaas.Verifier.ip_traffic_hs () in
+  (* Three destinations keep the fat-tree case fast while still
+     exercising distinct sweep shapes. *)
+  List.iteri
+    (fun i dst ->
+      if i < 3 then begin
+        let seq = Rvaas.Verifier.sources_reaching ~flows_of topo ~dst ~hs in
+        let par =
+          Rvaas.Verifier.sources_reaching ~pool:(Lazy.force pool4) ~flows_of topo
+            ~dst ~hs
+        in
+        check
+          Alcotest.(list string)
+          "parallel = sequential" (endpoints_fingerprint seq)
+          (endpoints_fingerprint par)
+      end)
+    (Rvaas.Verifier.access_points topo)
+
+(* ---- Service isolation query: parallel = sequential ---- *)
+
+let query_point s =
+  let topo = Netsim.Net.topology s.Workload.Scenario.net in
+  let att = Option.get (Netsim.Topology.host_attachment topo 0) in
+  match att.Netsim.Topology.node with
+  | Netsim.Topology.Switch sw -> (sw, att.Netsim.Topology.port)
+  | _ -> assert false
+
+let evaluate_isolation s =
+  let sw, port = query_point s in
+  Rvaas.Service.evaluate s.Workload.Scenario.service ~client:0 ~sw ~port
+    (Rvaas.Query.make Rvaas.Query.Isolation)
+
+let probes_fingerprint probes =
+  List.map
+    (fun (ep : Rvaas.Verifier.endpoint) -> Printf.sprintf "%d/%d/%d" ep.host ep.sw ep.port)
+    probes
+
+let test_service_isolation_equal () =
+  let s = build (Workload.Topogen.fat_tree Workload.Topogen.default_params ~k:4) in
+  let cache = Rvaas.Service.reach_cache s.service in
+  Rvaas.Service.set_pool s.service (Support.Pool.create 1);
+  Rvaas.Reach_cache.invalidate cache;
+  let answer_seq, probes_seq = evaluate_isolation s in
+  Rvaas.Service.set_pool s.service (Lazy.force pool4);
+  Rvaas.Reach_cache.invalidate cache;
+  let answer_par, probes_par = evaluate_isolation s in
+  check
+    Alcotest.(list string)
+    "probe list identical" (probes_fingerprint probes_seq)
+    (probes_fingerprint probes_par);
+  check Alcotest.int "same endpoint count"
+    (List.length answer_seq.Rvaas.Query.endpoints)
+    (List.length answer_par.Rvaas.Query.endpoints)
+
+(* ---- Result cache: hits on repeats, never masks an attack ---- *)
+
+let test_cache_attack_detected () =
+  let s = build (Workload.Topogen.fat_tree Workload.Topogen.default_params ~k:4) in
+  let cache = Rvaas.Service.reach_cache s.service in
+  let stats = Rvaas.Reach_cache.stats cache in
+  let _, before = evaluate_isolation s in
+  let hits0 = stats.Rvaas.Reach_cache.hits in
+  let _, warm = evaluate_isolation s in
+  check
+    Alcotest.(list string)
+    "warm answer identical" (probes_fingerprint before) (probes_fingerprint warm);
+  check Alcotest.bool "repeat query served from cache" true
+    (stats.Rvaas.Reach_cache.hits > hits0);
+  (* The attacker (client 1's host) injects Flow-Mods joining client
+     0's isolation domain.  The monitor's snapshot-change hook must
+     flush the cache so the next evaluation sees the new rules. *)
+  Sdnctl.Attack.launch s.net s.addressing
+    ~conn:(Sdnctl.Provider.conn s.provider)
+    (Sdnctl.Attack.Join { victim_client = 0; attacker_host = 1 });
+  Workload.Scenario.run s ~until:(Netsim.Sim.now (Netsim.Net.sim s.net) +. 0.2);
+  check Alcotest.bool "snapshot change flushed the cache" true
+    (stats.Rvaas.Reach_cache.invalidations > 0);
+  let _, after = evaluate_isolation s in
+  let before_fp = probes_fingerprint before in
+  check Alcotest.bool "attacker's access point surfaces despite caching" true
+    (List.exists (fun p -> not (List.mem p before_fp)) (probes_fingerprint after))
+
+(* ---- Federation fan-out: parallel = sequential ---- *)
+
+let test_federation_parallel_equal () =
+  let switches = 9 in
+  let topo = Workload.Topogen.linear Workload.Topogen.default_params switches in
+  let s = build ~clients:1 ~isolation:false topo in
+  let rng = Support.Rng.create 5 in
+  let domains =
+    List.init 3 (fun d ->
+        let name = Printf.sprintf "provider-%d" d in
+        {
+          Rvaas.Federation.name;
+          member = (fun sw -> sw >= 3 * d && sw < 3 * (d + 1));
+          flows_of = Workload.Scenario.actual_flows s;
+          geo = s.geo_truth;
+          keypair = Cryptosim.Keys.generate rng ~owner:name;
+        })
+  in
+  let fed = Rvaas.Federation.create topo domains in
+  let hs = Rvaas.Verifier.ip_traffic_hs () in
+  let run pool : Rvaas.Federation.result =
+    Rvaas.Federation.reach ?pool fed ~start_domain:"provider-0" ~src_sw:0
+      ~src_port:0 ~hs
+  in
+  let seq = run None in
+  let par = run (Some (Lazy.force pool4)) in
+  check
+    Alcotest.(list string)
+    "endpoints" (endpoints_fingerprint seq.endpoints)
+    (endpoints_fingerprint par.endpoints);
+  check Alcotest.(list string) "jurisdictions" seq.jurisdictions par.jurisdictions;
+  check
+    Alcotest.(list string)
+    "domains traversed" seq.domains_traversed par.domains_traversed;
+  check Alcotest.int "sub-queries" seq.sub_queries par.sub_queries;
+  check
+    Alcotest.(list string)
+    "untrusted" seq.untrusted_domains par.untrusted_domains;
+  check Alcotest.bool "query actually crossed domains" true (seq.sub_queries > 0)
+
+let () =
+  let p = Workload.Topogen.default_params in
+  Alcotest.run "parallel"
+    [
+      ( "verifier",
+        [
+          Alcotest.test_case "sources_reaching grid-3x3" `Quick
+            (test_sources_reaching_equal (Workload.Topogen.grid p ~rows:3 ~cols:3));
+          Alcotest.test_case "sources_reaching fat-tree-k4" `Quick
+            (test_sources_reaching_equal (Workload.Topogen.fat_tree p ~k:4));
+        ] );
+      ( "service",
+        [
+          Alcotest.test_case "isolation parallel = sequential" `Quick
+            test_service_isolation_equal;
+          Alcotest.test_case "cache never masks an attack" `Quick
+            test_cache_attack_detected;
+        ] );
+      ( "federation",
+        [
+          Alcotest.test_case "parallel = sequential" `Quick
+            test_federation_parallel_equal;
+        ] );
+    ]

@@ -166,6 +166,84 @@ let test_stats_minmax_histogram () =
   let h = Support.Stats.histogram ~buckets:2 ~lo:0.0 ~hi:10.0 [ 1.0; 2.0; 9.0 ] in
   check (Alcotest.array Alcotest.int) "histogram" [| 2; 1 |] h
 
+(* ---- Pool ---- *)
+
+let test_pool_ordering () =
+  let pool = Support.Pool.create 4 in
+  let xs = Array.init 100 Fun.id in
+  let expected = Array.map (fun x -> x * x) xs in
+  check (Alcotest.array Alcotest.int) "parmap preserves order" expected
+    (Support.Pool.parmap pool (fun x -> x * x) xs);
+  check (Alcotest.list Alcotest.int) "map_list" [ 2; 4; 6 ]
+    (Support.Pool.map_list pool (fun x -> 2 * x) [ 1; 2; 3 ]);
+  Support.Pool.shutdown pool
+
+let test_pool_sequential_fallback () =
+  let pool = Support.Pool.create 1 in
+  check Alcotest.int "size" 1 (Support.Pool.size pool);
+  let here = Domain.self () in
+  let ran_in =
+    Support.Pool.parmap pool (fun _ -> Domain.self ()) (Array.init 8 Fun.id)
+  in
+  Array.iter
+    (fun d -> check Alcotest.bool "pool_size=1 runs in the caller" true (d = here))
+    ran_in;
+  Support.Pool.shutdown pool
+
+let test_pool_exception_propagation () =
+  let pool = Support.Pool.create 4 in
+  Alcotest.check_raises "first failing index wins" (Failure "boom-3") (fun () ->
+      ignore
+        (Support.Pool.parmap pool
+           (fun i -> if i >= 3 then failwith (Printf.sprintf "boom-%d" i) else i)
+           (Array.init 16 Fun.id)));
+  (* The pool survives a failed batch. *)
+  check (Alcotest.array Alcotest.int) "usable after failure" [| 0; 2; 4 |]
+    (Support.Pool.parmap pool (fun i -> 2 * i) [| 0; 1; 2 |]);
+  Support.Pool.shutdown pool
+
+let test_pool_nested_calls () =
+  let pool = Support.Pool.create 3 in
+  (* A task that itself calls parmap must degrade to sequential rather
+     than deadlock on the shared job queue. *)
+  let got =
+    Support.Pool.parmap pool
+      (fun i ->
+        Array.fold_left ( + ) 0
+          (Support.Pool.parmap pool (fun j -> i + j) (Array.init 5 Fun.id)))
+      (Array.init 6 Fun.id)
+  in
+  check (Alcotest.array Alcotest.int) "nested values" (Array.init 6 (fun i -> (5 * i) + 10)) got;
+  Support.Pool.shutdown pool
+
+let test_pool_init_per_worker () =
+  let pool = Support.Pool.create 4 in
+  let inits = Atomic.make 0 in
+  let got =
+    Support.Pool.parmap_init pool
+      ~init:(fun () -> Atomic.incr inits)
+      ~f:(fun () x -> x + 1)
+      (Array.init 64 Fun.id)
+  in
+  check (Alcotest.array Alcotest.int) "values" (Array.init 64 (fun i -> i + 1)) got;
+  let n = Atomic.get inits in
+  check Alcotest.bool "init runs once per participating domain" true (n >= 1 && n <= 4);
+  Support.Pool.shutdown pool
+
+let test_pool_edge_cases () =
+  Alcotest.check_raises "size 0 rejected"
+    (Invalid_argument "Pool.create: size must be >= 1") (fun () ->
+      ignore (Support.Pool.create 0));
+  let pool = Support.Pool.create 4 in
+  check (Alcotest.list Alcotest.int) "empty input" []
+    (Support.Pool.map_list pool Fun.id []);
+  Support.Pool.shutdown pool;
+  Support.Pool.shutdown pool;
+  (* idempotent; a stopped pool degrades to sequential *)
+  check (Alcotest.list Alcotest.int) "post-shutdown sequential" [ 2; 4 ]
+    (Support.Pool.map_list pool (fun x -> 2 * x) [ 1; 2 ]);
+  check Alcotest.bool "default_size positive" true (Support.Pool.default_size () >= 1)
+
 (* ---- qcheck properties ---- *)
 
 let prop_pqueue_sorted =
@@ -229,5 +307,14 @@ let () =
           Alcotest.test_case "mean/stddev" `Quick test_stats_mean_stddev;
           Alcotest.test_case "percentile" `Quick test_stats_percentile;
           Alcotest.test_case "minmax/histogram" `Quick test_stats_minmax_histogram;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "parmap ordering" `Quick test_pool_ordering;
+          Alcotest.test_case "sequential fallback" `Quick test_pool_sequential_fallback;
+          Alcotest.test_case "exception propagation" `Quick test_pool_exception_propagation;
+          Alcotest.test_case "nested calls" `Quick test_pool_nested_calls;
+          Alcotest.test_case "per-worker init" `Quick test_pool_init_per_worker;
+          Alcotest.test_case "edge cases" `Quick test_pool_edge_cases;
         ] );
     ]
