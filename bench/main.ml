@@ -812,6 +812,160 @@ let e13 () =
     (Domain.recommended_domain_count ())
 
 (* ---------------------------------------------------------------- *)
+(* E14: lossy-channel robustness — fault injection × retry policy    *)
+(* ---------------------------------------------------------------- *)
+
+let e14_trials = 20
+
+let e14_attack_trials = 10
+
+(* Retry stack under test: 3 auth attempts with 10 ms backoff base, a
+   50 ms stats-poll retry deadline, and one client re-request after
+   500 ms of answer silence. *)
+let e14_retry_spec topo ~seed ~loss ~retry =
+  let spec =
+    {
+      (Workload.Scenario.default_spec topo) with
+      seed;
+      rvaas_faults = Netsim.Faults.loss loss;
+    }
+  in
+  if retry then
+    {
+      spec with
+      auth_retry = { Rvaas.Service.attempts = 3; base_delay = 0.01 };
+      poll_retry = Some 0.05;
+      agent_resend = Some 0.5;
+    }
+  else spec
+
+(* One benign trial: does the query resolve to the verdict a lossless
+   run produces — every own endpoint present and authenticated, no
+   degradation, no alarms?  Anything the client would notice (degraded
+   flag, no answer) is an honest failure; a clean-looking answer that
+   differs from the lossless verdict is silently wrong. *)
+let e14_benign_trial ~seed ~loss ~retry =
+  let topo = Workload.Topogen.fat_tree Workload.Topogen.default_params ~k:4 in
+  let s = Workload.Scenario.build (e14_retry_spec topo ~seed ~loss ~retry) in
+  (* Let the poll/retry machinery converge the snapshot despite loss. *)
+  Workload.Scenario.run s ~until:0.5;
+  let expected =
+    List.length (Sdnctl.Addressing.access_points s.addressing topo ~client:0)
+  in
+  let outcome = isolation_outcome s ~host:0 in
+  let svc = Rvaas.Service.stats s.service in
+  let overhead =
+    svc.auth_retransmissions
+    + Rvaas.Client_agent.resends (Workload.Scenario.agent s ~host:0)
+    + Rvaas.Monitor.poll_retries s.monitor
+  in
+  let latency =
+    match outcome with
+    | None -> None
+    | Some o -> Some (o.Rvaas.Client_agent.answered_at -. o.issued_at)
+  in
+  let verdict =
+    match outcome with
+    | None -> `Lost
+    | Some o ->
+      let a = o.Rvaas.Client_agent.answer in
+      let alarms =
+        Rvaas.Detector.check_answer (Workload.Scenario.policy_for s ~client:0) a
+      in
+      let lossless =
+        (not a.Rvaas.Query.degraded)
+        && a.auth_replies = a.total_auth_requests
+        && List.length a.endpoints = expected
+        && List.for_all
+             (fun (e : Rvaas.Query.endpoint_report) -> e.authenticated)
+             a.endpoints
+        && alarms = []
+      in
+      if lossless then `Ok else if a.Rvaas.Query.degraded then `Degraded else `Wrong
+  in
+  (verdict, latency, overhead)
+
+(* One attack trial: a join attack is live; detection = an answer
+   arrived and the client's detector raised at least one alarm. *)
+let e14_attack_trial ~seed ~loss ~retry =
+  let topo = Workload.Topogen.fat_tree Workload.Topogen.default_params ~k:4 in
+  let s = Workload.Scenario.build (e14_retry_spec topo ~seed ~loss ~retry) in
+  Workload.Scenario.run s ~until:0.5;
+  Sdnctl.Attack.launch s.net s.addressing
+    ~conn:(Sdnctl.Provider.conn s.provider)
+    (Sdnctl.Attack.Join { victim_client = 0; attacker_host = 1 });
+  Workload.Scenario.run s ~until:(Netsim.Sim.now (Netsim.Net.sim s.net) +. 0.2);
+  match isolation_outcome s ~host:0 with
+  | None -> false
+  | Some o ->
+    Rvaas.Detector.check_answer
+      (Workload.Scenario.policy_for s ~client:0)
+      o.Rvaas.Client_agent.answer
+    <> []
+
+let e14 () =
+  section
+    "E14: lossy control channel — fault injection vs. retry stack (fat-tree k=4)\n\
+     retry = 3 auth attempts (10 ms backoff) + 50 ms poll retry + client re-request;\n\
+     verdict% = answers equal to the lossless run, degraded% = honestly flagged\n\
+     incomplete, lost = no answer, WRONG = clean-looking but incorrect (must be 0)";
+  Printf.printf "%-7s %-5s | %8s %9s %6s %6s | %9s | %7s\n" "loss" "retry" "verdict%"
+    "degraded%" "lost%" "WRONG" "lat (ms)" "rtx/qry";
+  let losses = [ 0.0; 0.01; 0.05; 0.10 ] in
+  List.iter
+    (fun loss ->
+      List.iter
+        (fun retry ->
+          let ok = ref 0
+          and degraded = ref 0
+          and lost = ref 0
+          and wrong = ref 0
+          and lat_sum = ref 0.0
+          and lat_n = ref 0
+          and overhead = ref 0 in
+          for seed = 1 to e14_trials do
+            let verdict, latency, extra = e14_benign_trial ~seed ~loss ~retry in
+            (match verdict with
+            | `Ok -> incr ok
+            | `Degraded -> incr degraded
+            | `Lost -> incr lost
+            | `Wrong -> incr wrong);
+            (match latency with
+            | Some l ->
+              lat_sum := !lat_sum +. l;
+              incr lat_n
+            | None -> ());
+            overhead := !overhead + extra
+          done;
+          let pct n = 100.0 *. float_of_int n /. float_of_int e14_trials in
+          Printf.printf "%-7s %-5s | %7.0f%% %8.0f%% %5.0f%% %6d | %9.3f | %7.2f\n%!"
+            (Printf.sprintf "%g%%" (100.0 *. loss))
+            (if retry then "on" else "off")
+            (pct !ok) (pct !degraded) (pct !lost) !wrong
+            (if !lat_n = 0 then Float.nan
+             else 1000.0 *. !lat_sum /. float_of_int !lat_n)
+            (float_of_int !overhead /. float_of_int e14_trials))
+        [ false; true ])
+    losses;
+  Printf.printf "\njoin-attack detection rate under the same fault model:\n";
+  Printf.printf "%-7s | %9s %9s\n" "loss" "no retry" "retry";
+  List.iter
+    (fun loss ->
+      let rate retry =
+        let hits = ref 0 in
+        for seed = 101 to 100 + e14_attack_trials do
+          if e14_attack_trial ~seed ~loss ~retry then incr hits
+        done;
+        100.0 *. float_of_int !hits /. float_of_int e14_attack_trials
+      in
+      let off = rate false in
+      let on = rate true in
+      Printf.printf "%-7s | %8.0f%% %8.0f%%\n%!"
+        (Printf.sprintf "%g%%" (100.0 *. loss))
+        off on)
+    losses
+
+(* ---------------------------------------------------------------- *)
 (* Micro-benchmarks (Bechamel)                                       *)
 (* ---------------------------------------------------------------- *)
 
@@ -857,6 +1011,8 @@ let micro () =
       endpoints = [];
       total_auth_requests = 0;
       auth_replies = 0;
+      auth_attempts = 0;
+      degraded = false;
       jurisdictions = [];
       path_hops = None;
       meters = [];
@@ -916,6 +1072,7 @@ let experiments =
     ("e11", e11);
     ("e12", e12);
     ("e13", e13);
+    ("e14", e14);
     ("micro", micro);
   ]
 

@@ -8,12 +8,17 @@ type stats = {
   mutable dropped_unwired : int;
   mutable packet_ins : int;
   mutable flow_mods : int;
+  mutable ctrl_faults_lost : int;
+  mutable ctrl_faults_duplicated : int;
+  mutable link_faults_lost : int;
+  mutable link_faults_duplicated : int;
 }
 
 type conn = {
   name : string;
   delay : float;
   loss_prob : float;
+  faults : Faults.t;
   mutable handler : Ofproto.Message.to_controller -> unit;
   mutable switches : int list;
   mutable monitored : int list;
@@ -38,6 +43,8 @@ type t = {
   mutable conns : conn list;
   mutable drop_observers : (sw:int -> reason:drop_reason -> Packet.t -> unit) list;
   loss_rng : Support.Rng.t;
+  link_faults : (Topology.endpoint, Faults.t) Hashtbl.t;
+  mutable default_link_faults : Faults.t;
 }
 
 let sim t = t.sim
@@ -67,18 +74,38 @@ let record_drop t ~sw ~reason packet =
   | Unwired_port -> t.stats.dropped_unwired <- t.stats.dropped_unwired + 1);
   List.iter (fun f -> f ~sw ~reason packet) t.drop_observers
 
-(* Deliver a switch->controller message.  Loss applies only to
-   fire-and-forget flow-monitor events: request/response exchanges
-   (stats, echo, barrier) are retried by any real controller stack and
-   are modelled as reliable. *)
+(* Plan the copies of a controller-connection message under the
+   connection's fault config; update the injected-fault counters. *)
+let ctrl_copies t conn =
+  let copies = Faults.plan conn.faults t.loss_rng in
+  (match copies with
+  | [] ->
+    t.stats.ctrl_faults_lost <- t.stats.ctrl_faults_lost + 1;
+    conn.lost <- conn.lost + 1
+  | [ _ ] -> ()
+  | _ :: extras ->
+    t.stats.ctrl_faults_duplicated <- t.stats.ctrl_faults_duplicated + List.length extras);
+  copies
+
+(* Deliver a switch->controller message.  Two loss models compose:
+
+   - [loss_prob] (legacy) applies only to fire-and-forget flow-monitor
+     events — request/response exchanges are retried by any real
+     controller stack and are modelled as reliable by default;
+   - [faults] applies uniformly to {e every} message in both
+     directions: the degraded-channel regime the retry layers of the
+     protocol are built against. *)
 let to_controller t conn msg =
   let lossy = match msg with Ofproto.Message.Monitor _ -> true | _ -> false in
   if lossy && conn.loss_prob > 0.0 && Support.Rng.bernoulli t.loss_rng conn.loss_prob
   then conn.lost <- conn.lost + 1
   else
-    Sim.schedule t.sim ~delay:conn.delay (fun () ->
-        conn.rx <- conn.rx + 1;
-        conn.handler msg)
+    List.iter
+      (fun extra ->
+        Sim.schedule t.sim ~delay:(conn.delay +. extra) (fun () ->
+            conn.rx <- conn.rx + 1;
+            conn.handler msg))
+      (ctrl_copies t conn)
 
 let monitoring_conns t sw =
   List.filter (fun c -> List.mem sw c.monitored) t.conns
@@ -131,16 +158,34 @@ let rec arrive_at_switch t sw in_port packet =
           applied.Ofproto.Action.outputs
       end
 
+and link_copies t here =
+  let faults =
+    match Hashtbl.find_opt t.link_faults here with
+    | Some f -> f
+    | None -> t.default_link_faults
+  in
+  let copies = Faults.plan faults t.loss_rng in
+  (match copies with
+  | [] -> t.stats.link_faults_lost <- t.stats.link_faults_lost + 1
+  | [ _ ] -> ()
+  | _ :: extras ->
+    t.stats.link_faults_duplicated <- t.stats.link_faults_duplicated + List.length extras);
+  copies
+
 and transmit t sw out_port packet =
   let here = Topology.{ node = Switch sw; port = out_port } in
   match Topology.peer t.topo here, Topology.link_delay t.topo here with
   | Some far, Some delay ->
-    Sim.schedule t.sim
-      ~delay:(delay +. switch_latency)
-      (fun () ->
-        match far.Topology.node with
-        | Topology.Switch next_sw -> arrive_at_switch t next_sw far.Topology.port packet
-        | Topology.Host host -> deliver_to_host t host packet)
+    List.iter
+      (fun extra ->
+        Sim.schedule t.sim
+          ~delay:(delay +. switch_latency +. extra)
+          (fun () ->
+            match far.Topology.node with
+            | Topology.Switch next_sw ->
+              arrive_at_switch t next_sw far.Topology.port packet
+            | Topology.Host host -> deliver_to_host t host packet))
+      (link_copies t here)
   | _ -> record_drop t ~sw ~reason:Unwired_port packet
 
 and deliver_to_host t host packet =
@@ -157,8 +202,11 @@ let host_send t ~host packet =
     let delay = Option.value ~default:0.0 (Topology.link_delay t.topo here) in
     (match attachment.Topology.node with
     | Topology.Switch sw ->
-      Sim.schedule t.sim ~delay (fun () ->
-          arrive_at_switch t sw attachment.Topology.port packet)
+      List.iter
+        (fun extra ->
+          Sim.schedule t.sim ~delay:(delay +. extra) (fun () ->
+              arrive_at_switch t sw attachment.Topology.port packet))
+        (link_copies t here)
     | Topology.Host _ -> invalid_arg "Net.host_send: host wired to a host")
 
 (* Schedule hard-timeout expiry sweeps when flows with timeouts are
@@ -207,7 +255,7 @@ let apply_to_switch t conn sw (msg : Ofproto.Message.to_switch) =
   | Ofproto.Message.Barrier_request { xid } ->
     to_controller t conn (Ofproto.Message.Barrier_reply { sw; xid })
 
-let register_controller t ~name ~delay ?(loss_prob = 0.0) () =
+let register_controller t ~name ~delay ?(loss_prob = 0.0) ?(faults = Faults.none) () =
   if loss_prob < 0.0 || loss_prob > 1.0 then
     invalid_arg "Net.register_controller: loss_prob out of range";
   let conn =
@@ -215,6 +263,7 @@ let register_controller t ~name ~delay ?(loss_prob = 0.0) () =
       name;
       delay;
       loss_prob;
+      faults;
       handler = (fun _ -> ());
       switches = [];
       monitored = [];
@@ -240,7 +289,17 @@ let send t conn ~sw msg =
   if not (List.mem sw conn.switches) then
     invalid_arg "Net.send: connection not attached to switch";
   conn.tx <- conn.tx + 1;
-  Sim.schedule t.sim ~delay:conn.delay (fun () -> apply_to_switch t conn sw msg)
+  List.iter
+    (fun extra ->
+      Sim.schedule t.sim ~delay:(conn.delay +. extra) (fun () ->
+          apply_to_switch t conn sw msg))
+    (ctrl_copies t conn)
+
+let set_link_faults t endpoint faults = Hashtbl.replace t.link_faults endpoint faults
+
+let set_default_link_faults t faults = t.default_link_faults <- faults
+
+let conn_faults conn = conn.faults
 
 let conn_name conn = conn.name
 
@@ -268,10 +327,16 @@ let create ~seed topo =
           dropped_unwired = 0;
           packet_ins = 0;
           flow_mods = 0;
+          ctrl_faults_lost = 0;
+          ctrl_faults_duplicated = 0;
+          link_faults_lost = 0;
+          link_faults_duplicated = 0;
         };
       conns = [];
       drop_observers = [];
       loss_rng = Support.Rng.create (seed lxor 0x10557);
+      link_faults = Hashtbl.create 16;
+      default_link_faults = Faults.none;
     }
   in
   List.iter

@@ -28,6 +28,14 @@ type stats = {
   mutable dropped_unwired : int;
   mutable packet_ins : int;
   mutable flow_mods : int;
+  mutable ctrl_faults_lost : int;
+      (** controller-connection messages dropped by injected faults *)
+  mutable ctrl_faults_duplicated : int;
+      (** extra controller-connection copies delivered by injected faults *)
+  mutable link_faults_lost : int;
+      (** data-plane packets dropped by injected link faults *)
+  mutable link_faults_duplicated : int;
+      (** extra data-plane copies delivered by injected link faults *)
 }
 
 (** [create ~seed topo] builds the runtime.  The topology must not be
@@ -60,13 +68,17 @@ val on_drop : t -> (sw:int -> reason:drop_reason -> Packet.t -> unit) -> unit
 
 (** {1 Controller connections} *)
 
-(** [register_controller t ~name ~delay ?loss_prob ()] creates a
-    controller connection.  [delay] is the one-way control-channel
+(** [register_controller t ~name ~delay ?loss_prob ?faults ()] creates
+    a controller connection.  [delay] is the one-way control-channel
     latency; [loss_prob] (default 0) drops each switch→controller
     {e flow-monitor event} independently (request/response exchanges
-    are modelled as reliable — a real controller retries them). *)
+    are modelled as reliable — a real controller retries them).
+    [faults] (default {!Faults.none}) applies uniformly to {e every}
+    message on the connection, in both directions: Packet-Ins, stats
+    replies, Flow-Mods, Packet-Outs, … — the degraded channel the
+    protocol retry layers are tested against. *)
 val register_controller :
-  t -> name:string -> delay:float -> ?loss_prob:float -> unit -> conn
+  t -> name:string -> delay:float -> ?loss_prob:float -> ?faults:Faults.t -> unit -> conn
 
 (** [set_handler conn f] sets the message handler (replacing any
     previous one). *)
@@ -93,6 +105,26 @@ val conn_tx : conn -> int
 
 val conn_rx : conn -> int
 
-(** [conn_lost conn] counts flow-monitor events dropped by the lossy
-    channel. *)
+(** [conn_lost conn] counts messages dropped on this connection —
+    flow-monitor events hit by the legacy [loss_prob] plus any message
+    dropped by the connection's fault config. *)
 val conn_lost : conn -> int
+
+(** [conn_faults conn] is the connection's fault config. *)
+val conn_faults : conn -> Faults.t
+
+(** {1 Injected faults}
+
+    See {!Faults}.  Per-connection faults are fixed at
+    {!register_controller} time; data-plane link faults can be set (and
+    changed) at any point. *)
+
+(** [set_link_faults t endpoint faults] applies [faults] to packets
+    transmitted {e from} [endpoint] (a switch egress
+    [{node = Switch sw; port}] or a host NIC [{node = Host h; port = 0}]),
+    overriding the default. *)
+val set_link_faults : t -> Topology.endpoint -> Faults.t -> unit
+
+(** [set_default_link_faults t faults] applies [faults] to every
+    data-plane hop without a per-endpoint override. *)
+val set_default_link_faults : t -> Faults.t -> unit

@@ -12,11 +12,13 @@ type t = {
   ip : int;
   key : Cryptosim.Hmac.key;
   service_public : Cryptosim.Keys.public;
+  resend_timeout : float option;
   rng : Support.Rng.t;
   issued : (string, float) Hashtbl.t; (* nonce -> time *)
   mutable done_ : outcome list; (* newest first *)
   mutable answer_callback : outcome -> unit;
   mutable auth_answered : int;
+  mutable resends : int;
   mutable muted : bool;
 }
 
@@ -54,7 +56,11 @@ let receive t (packet : Netsim.Packet.t) =
   if dst_port = Wire.auth_request_port then handle_auth_request t packet.payload
   else if dst_port = Wire.answer_port then handle_answer t packet.payload
 
-let create net ~host ~client ~ip ~key ~service_public () =
+let create net ~host ~client ~ip ~key ~service_public ?resend_timeout () =
+  (match resend_timeout with
+  | Some d when d <= 0.0 ->
+    invalid_arg "Client_agent.create: resend_timeout must be positive"
+  | _ -> ());
   let t =
     {
       net;
@@ -63,11 +69,13 @@ let create net ~host ~client ~ip ~key ~service_public () =
       ip;
       key;
       service_public;
+      resend_timeout;
       rng = Support.Rng.split (Netsim.Sim.rng (Netsim.Net.sim net));
       issued = Hashtbl.create 8;
       done_ = [];
       answer_callback = (fun _ -> ());
       auth_answered = 0;
+      resends = 0;
       muted = false;
     }
   in
@@ -89,6 +97,18 @@ let send_query t query =
   in
   Hashtbl.replace t.issued nonce (now t);
   Netsim.Net.host_send t.net ~host:t.host (Netsim.Packet.make ~header payload);
+  (* On a lossy channel either the request or the answer can vanish;
+     re-request once (same nonce, so the eventual answer still
+     correlates and a duplicate answer is ignored) rather than hang
+     the caller forever. *)
+  (match t.resend_timeout with
+  | None -> ()
+  | Some timeout ->
+    Netsim.Sim.schedule (Netsim.Net.sim t.net) ~delay:timeout (fun () ->
+        if Hashtbl.mem t.issued nonce then begin
+          t.resends <- t.resends + 1;
+          Netsim.Net.host_send t.net ~host:t.host (Netsim.Packet.make ~header payload)
+        end));
   nonce
 
 let outcomes t = List.rev t.done_
@@ -96,6 +116,8 @@ let outcomes t = List.rev t.done_
 let outstanding t = Hashtbl.length t.issued
 
 let auth_requests_answered t = t.auth_answered
+
+let resends t = t.resends
 
 let verify_service _t ~quote ~nonce ~expected =
   Cryptosim.Attest.verify quote ~expected ~nonce

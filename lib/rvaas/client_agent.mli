@@ -16,9 +16,13 @@ type outcome = {
   signature_ok : bool;
 }
 
-(** [create net ~host ~client ~ip ~key ~service_public ()] installs the
-    agent as host [host]'s receiver.  The agent answers auth requests
-    automatically from then on. *)
+(** [create net ~host ~client ~ip ~key ~service_public ?resend_timeout
+    ()] installs the agent as host [host]'s receiver.  The agent
+    answers auth requests automatically from then on.  With
+    [resend_timeout] (seconds, default off), a query whose answer has
+    not arrived by the deadline is re-sent once under the same nonce —
+    covering a request or answer lost on a faulty path.
+    @raise Invalid_argument when [resend_timeout <= 0]. *)
 val create :
   Netsim.Net.t ->
   host:int ->
@@ -26,6 +30,7 @@ val create :
   ip:int ->
   key:Cryptosim.Hmac.key ->
   service_public:Cryptosim.Keys.public ->
+  ?resend_timeout:float ->
   unit ->
   t
 
@@ -46,6 +51,10 @@ val outstanding : t -> int
 (** [auth_requests_answered t] counts auth requests this agent
     responded to. *)
 val auth_requests_answered : t -> int
+
+(** [resends t] counts queries re-sent after their answer-wait timeout
+    expired. *)
+val resends : t -> int
 
 (** [verify_service t ~quote ~nonce ~expected] checks an attestation
     quote for the expected service measurement (done once before

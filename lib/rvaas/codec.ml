@@ -154,6 +154,8 @@ let answer_body (a : Query.answer) =
     @ [
         kv "total_auth" (string_of_int a.total_auth_requests);
         kv "replies" (string_of_int a.auth_replies);
+        kv "attempts" (string_of_int a.auth_attempts);
+        kv "degraded" (if a.degraded then "1" else "0");
       ]
     @ List.map (fun j -> kv "jur" j) a.jurisdictions
     @ (match a.path_hops with
@@ -199,13 +201,20 @@ let decode_answer payload ~service_public =
             | _ -> None)
           | _ -> None
         in
+        (* Freshness must be explicit: a missing or malformed age field
+           is a decode error, not "maximally fresh" — silently defaulting
+           to 0 would let a truncating attacker (or a codec bug) forge
+           the staleness bound clients alarm on. *)
         match
           ( lookup "nonce" pairs,
             Option.bind (lookup "kind" pairs) Query.kind_of_string,
             int_field "total_auth" pairs,
-            int_field "replies" pairs )
+            int_field "replies" pairs,
+            Option.bind (lookup "age" pairs) float_of_string_opt )
         with
-        | Some nonce, Some kind, Some total_auth_requests, Some auth_replies ->
+        | _, _, _, _, None -> Error "missing or malformed answer age"
+        | Some nonce, Some kind, Some total_auth_requests, Some auth_replies,
+          Some snapshot_age ->
           Ok
             {
               Query.nonce;
@@ -213,6 +222,9 @@ let decode_answer payload ~service_public =
               endpoints = List.filter_map parse_endpoint (lookup_all "endpoint" pairs);
               total_auth_requests;
               auth_replies;
+              auth_attempts =
+                Option.value ~default:total_auth_requests (int_field "attempts" pairs);
+              degraded = lookup "degraded" pairs = Some "1";
               jurisdictions = lookup_all "jur" pairs;
               path_hops = Option.bind (lookup "path" pairs) parse_pair;
               meters = List.filter_map parse_pair (lookup_all "meter" pairs);
@@ -245,9 +257,7 @@ let decode_answer payload ~service_public =
                        snd key,
                        Hspace.Hs.of_cubes Hspace.Field.total_width cubes ))
                    keys);
-              snapshot_age =
-                Option.value ~default:0.0
-                  (Option.bind (lookup "age" pairs) float_of_string_opt);
+              snapshot_age;
             }
         | _ -> Error "malformed answer"
       end

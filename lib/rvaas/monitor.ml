@@ -25,21 +25,31 @@ type wiring_run = {
   probes_sent : int;
 }
 
+(* One outstanding stats request, keyed by xid in [t.outstanding]. *)
+type poll_track = { poll_sw : int; poll_kind : [ `Flow | `Meter ]; poll_attempt : int }
+
 type t = {
   net : Netsim.Net.t;
   conn : Netsim.Net.conn;
   snapshot : Snapshot.t;
   history : history_entry Support.Ring.t;
   polling : polling;
+  poll_retry : float option;
   rng : Support.Rng.t;
   mutable packet_in_handler :
     sw:int -> in_port:int -> header:Hspace.Header.t -> payload:string -> unit;
   mutable polls_sent : int;
   mutable events_seen : int;
+  mutable next_xid : int;
+  outstanding : (int, poll_track) Hashtbl.t;
+  mutable poll_retries : int;
   mutable polling_active : bool;
   mutable wiring : wiring_run option;
   mutable snapshot_change_hooks : (sw:int -> unit) list;
 }
+
+(* Retransmission budget per stats request (first send included). *)
+let max_poll_attempts = 3
 
 let now t = Netsim.Sim.now (Netsim.Net.sim t.net)
 
@@ -87,11 +97,13 @@ let handle_message t (msg : Ofproto.Message.to_controller) =
     Snapshot.apply_flow_removed t.snapshot ~sw ~now:(now t) spec;
     record t ~sw (Removed spec);
     snapshot_changed t ~sw
-  | Ofproto.Message.Flow_stats_reply { sw; flows; _ } ->
+  | Ofproto.Message.Flow_stats_reply { sw; xid; flows } ->
+    Hashtbl.remove t.outstanding xid;
     Snapshot.replace_flows t.snapshot ~sw ~now:(now t) flows;
     record t ~sw (Poll { flows = List.length flows; digest = Snapshot.digest t.snapshot });
     snapshot_changed t ~sw
-  | Ofproto.Message.Meter_stats_reply { sw; meters; _ } ->
+  | Ofproto.Message.Meter_stats_reply { sw; xid; meters } ->
+    Hashtbl.remove t.outstanding xid;
     Snapshot.replace_meters t.snapshot ~sw meters
   | Ofproto.Message.Packet_in { sw; in_port; header; payload; _ } ->
     let dst_port = Hspace.Header.get header Hspace.Field.Tp_dst in
@@ -101,12 +113,41 @@ let handle_message t (msg : Ofproto.Message.to_controller) =
   | Ofproto.Message.Error _ ->
     ()
 
+(* Send one stats request under a fresh xid, tracked in [t.outstanding]
+   until its reply arrives.  With [poll_retry = Some deadline], an
+   unanswered request is re-sent (again under a fresh xid) up to
+   [max_poll_attempts] total attempts — the recovery path for stats
+   exchanges lost on a faulty control channel. *)
+let rec send_stats_request t ~sw ~kind ~attempt =
+  t.next_xid <- t.next_xid + 1;
+  let xid = t.next_xid in
+  Hashtbl.replace t.outstanding xid { poll_sw = sw; poll_kind = kind; poll_attempt = attempt };
+  let msg =
+    match kind with
+    | `Flow -> Ofproto.Message.Flow_stats_request { xid }
+    | `Meter -> Ofproto.Message.Meter_stats_request { xid }
+  in
+  Netsim.Net.send t.net t.conn ~sw msg;
+  match t.poll_retry with
+  | None -> ()
+  | Some deadline ->
+    Netsim.Sim.schedule (Netsim.Net.sim t.net) ~delay:deadline (fun () ->
+        if Hashtbl.mem t.outstanding xid then begin
+          Hashtbl.remove t.outstanding xid;
+          if attempt + 1 < max_poll_attempts then begin
+            t.poll_retries <- t.poll_retries + 1;
+            send_stats_request t ~sw ~kind ~attempt:(attempt + 1)
+          end
+        end)
+
 let poll_all t =
   List.iter
     (fun sw ->
       t.polls_sent <- t.polls_sent + 1;
-      Netsim.Net.send t.net t.conn ~sw (Ofproto.Message.Flow_stats_request { xid = t.polls_sent });
-      Netsim.Net.send t.net t.conn ~sw (Ofproto.Message.Meter_stats_request { xid = t.polls_sent }))
+      (* Each message of a sweep under its own xid: a retry of one must
+         not be satisfied (or cancelled) by the reply to the other. *)
+      send_stats_request t ~sw ~kind:`Flow ~attempt:0;
+      send_stats_request t ~sw ~kind:`Meter ~attempt:0)
     (Netsim.Topology.switches (Netsim.Net.topology t.net))
 
 let next_gap t =
@@ -125,9 +166,14 @@ let rec schedule_poll t =
           schedule_poll t
         end)
 
-let create net ~conn_delay ?(loss_prob = 0.0) ?(history_capacity = 4096) ~polling () =
+let create net ~conn_delay ?(loss_prob = 0.0) ?faults ?poll_retry
+    ?(history_capacity = 4096) ~polling () =
+  (match poll_retry with
+  | Some d when d <= 0.0 -> invalid_arg "Monitor.create: poll_retry must be positive"
+  | _ -> ());
   let conn =
-    Netsim.Net.register_controller net ~name:"rvaas" ~delay:conn_delay ~loss_prob ()
+    Netsim.Net.register_controller net ~name:"rvaas" ~delay:conn_delay ~loss_prob
+      ?faults ()
   in
   let t =
     {
@@ -136,10 +182,14 @@ let create net ~conn_delay ?(loss_prob = 0.0) ?(history_capacity = 4096) ~pollin
       snapshot = Snapshot.create ();
       history = Support.Ring.create history_capacity;
       polling;
+      poll_retry;
       rng = Support.Rng.split (Netsim.Sim.rng (Netsim.Net.sim net));
       packet_in_handler = (fun ~sw:_ ~in_port:_ ~header:_ ~payload:_ -> ());
       polls_sent = 0;
       events_seen = 0;
+      next_xid = 0;
+      outstanding = Hashtbl.create 32;
+      poll_retries = 0;
       polling_active = true;
       wiring = None;
       snapshot_change_hooks = [];
@@ -153,6 +203,10 @@ let create net ~conn_delay ?(loss_prob = 0.0) ?(history_capacity = 4096) ~pollin
   t
 
 let verify_wiring t ~timeout ~on_complete =
+  (* One run at a time: a concurrent call would clobber the pending
+     probe table and mix the two reports. *)
+  if t.wiring <> None then
+    invalid_arg "Monitor.verify_wiring: a verification run is already in progress";
   let topo = Netsim.Net.topology t.net in
   (* Interception entry for probes, on every switch. *)
   List.iter
@@ -188,6 +242,15 @@ let verify_wiring t ~timeout ~on_complete =
         probes);
   Netsim.Sim.schedule (Netsim.Net.sim t.net) ~delay:timeout (fun () ->
       t.wiring <- None;
+      (* Retire the probe intercepts: they are only needed while a run
+         is live, and leaking one per run would grow every flow table
+         without bound.  The dedicated cookie leaves the service's
+         request/auth intercepts untouched. *)
+      List.iter
+        (fun sw ->
+          Netsim.Net.send t.net t.conn ~sw
+            (Ofproto.Message.Flow_mod (Ofproto.Message.Delete_by_cookie Wire.lldp_cookie)))
+        (Netsim.Topology.switches topo);
       let missing =
         Hashtbl.fold (fun _ origin acc -> origin :: acc) pending []
         |> List.sort compare
@@ -213,5 +276,9 @@ let history t = Support.Ring.to_list t.history
 let polls_sent t = t.polls_sent
 
 let events_seen t = t.events_seen
+
+let outstanding_polls t = Hashtbl.length t.outstanding
+
+let poll_retries t = t.poll_retries
 
 let stop_polling t = t.polling_active <- false

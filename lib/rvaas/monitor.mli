@@ -30,14 +30,23 @@ type history_entry = { at : float; sw : int; what : observation }
 
 type t
 
-(** [create net ~conn_delay ?loss_prob ?history_capacity ~polling ()]
-    registers the "rvaas" controller connection, attaches to every
-    switch with monitor subscription, and starts the polling schedule.
-    [loss_prob] models a degraded switch→controller channel. *)
+(** [create net ~conn_delay ?loss_prob ?faults ?poll_retry
+    ?history_capacity ~polling ()] registers the "rvaas" controller
+    connection, attaches to every switch with monitor subscription, and
+    starts the polling schedule.  [loss_prob] models a degraded
+    switch→controller channel for flow-monitor events only; [faults]
+    (see {!Netsim.Faults}) degrades {e every} message on the connection
+    in both directions.  [poll_retry] (default off) re-sends a stats
+    request whose reply has not arrived within the given deadline
+    (seconds), under a fresh xid, up to 3 total attempts — required for
+    snapshot convergence on a faulty channel.
+    @raise Invalid_argument when [poll_retry <= 0]. *)
 val create :
   Netsim.Net.t ->
   conn_delay:float ->
   ?loss_prob:float ->
+  ?faults:Netsim.Faults.t ->
+  ?poll_retry:float ->
   ?history_capacity:int ->
   polling:polling ->
   unit ->
@@ -66,6 +75,14 @@ val polls_sent : t -> int
 (** [events_seen t] counts monitor events received. *)
 val events_seen : t -> int
 
+(** [outstanding_polls t] counts stats requests (flow and meter, each
+    under its own xid) still awaiting a reply. *)
+val outstanding_polls : t -> int
+
+(** [poll_retries t] counts stats requests re-sent after their
+    reply deadline expired. *)
+val poll_retries : t -> int
+
 (** [stop_polling t] cancels future polls (the schedule checks this
     flag; already-queued simulator events become no-ops). *)
 val stop_polling : t -> unit
@@ -88,7 +105,10 @@ type probe_report = {
 }
 
 (** [verify_wiring t ~timeout ~on_complete] installs the LLDP
-    interception entry on every switch, emits one probe out of every
-    switch-to-switch port, and calls [on_complete] with the report
-    after [timeout] simulated seconds. *)
+    interception entry (cookie {!Wire.lldp_cookie}) on every switch,
+    emits one probe out of every switch-to-switch port, and calls
+    [on_complete] with the report after [timeout] simulated seconds.
+    The interception entries are deleted again when the run completes.
+    @raise Invalid_argument when a verification run is already in
+    progress. *)
 val verify_wiring : t -> timeout:float -> on_complete:(probe_report -> unit) -> unit

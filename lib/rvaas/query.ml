@@ -23,6 +23,8 @@ type answer = {
   endpoints : endpoint_report list;
   total_auth_requests : int;
   auth_replies : int;
+  auth_attempts : int;
+  degraded : bool;
   jurisdictions : string list;
   path_hops : (int * int) option;
   meters : (int * int) list;
@@ -67,8 +69,9 @@ let pp_endpoint fmt e =
 
 let pp_answer fmt a =
   Format.fprintf fmt
-    "@[<v>answer %a nonce=%s@ endpoints: %a@ auth %d/%d replies@ jurisdictions: %a%a%a@ snapshot_age=%.4fs@]"
+    "@[<v>answer %a nonce=%s%s@ endpoints: %a@ auth %d/%d replies@ jurisdictions: %a%a%a@ snapshot_age=%.4fs@]"
     pp_kind a.kind a.nonce
+    (if a.degraded then " DEGRADED" else "")
     (Format.pp_print_list ~pp_sep:(fun fmt () -> Format.fprintf fmt ", ") pp_endpoint)
     a.endpoints a.auth_replies a.total_auth_requests
     (Format.pp_print_list ~pp_sep:(fun fmt () -> Format.fprintf fmt ", ")

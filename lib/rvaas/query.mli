@@ -47,6 +47,16 @@ type answer = {
       (** the counting defence: lets the client detect suppressed
           endpoints (paper §IV-B.1) *)
   auth_replies : int;
+  auth_attempts : int;
+      (** auth-request transmissions for this query, retransmissions
+          included — the message overhead of the lossy-channel retry
+          layer ([= total_auth_requests] when nothing was retried) *)
+  degraded : bool;
+      (** the reply quorum was incomplete when the service finalized:
+          some probed endpoint never (verifiably) answered within the
+          retry budget.  The answer is still sound but may understate
+          authenticated endpoints — clients should re-query rather than
+          treat it as a clean verdict. *)
   jurisdictions : string list;
   path_hops : (int * int) option;  (** (observed hops, optimal hops) *)
   meters : (int * int) list;  (** (meter id, rate kbps) *)

@@ -2,14 +2,22 @@ type stats = {
   mutable queries_received : int;
   mutable queries_rejected : int;
   mutable auth_requests_sent : int;
+  mutable auth_retransmissions : int;
   mutable auth_replies_accepted : int;
+  mutable auth_replies_duplicate : int;
   mutable auth_replies_rejected : int;
   mutable answers_sent : int;
+  mutable intercepts_reinstalled : int;
 }
+
+type retry = { attempts : int; base_delay : float }
+
+let no_retry = { attempts = 1; base_delay = 0.0 }
 
 type probe = {
   target : Verifier.endpoint;
   challenge : string;
+  mutable attempts_made : int;
   mutable seen_authenticated : bool;
   mutable seen_ip : int option;
   mutable seen_client : int option;
@@ -24,6 +32,8 @@ type pending = {
   requester_ip : int;
   base : Query.answer;  (** logical part, endpoints filled at finalize *)
   probes : probe list;
+  mutable finalized : bool;
+      (* an early finalize (full quorum) races the scheduled one *)
 }
 
 type t = {
@@ -33,6 +43,7 @@ type t = {
   geo : Geo.Registry.t;
   keypair : Cryptosim.Keys.keypair;
   auth_timeout : float;
+  retry : retry;
   stats : stats;
   rng : Support.Rng.t;
   pending : (string, pending) Hashtbl.t; (* keyed by challenge *)
@@ -149,6 +160,8 @@ let empty_answer t ~nonce ~kind =
     endpoints = [];
     total_auth_requests = 0;
     auth_replies = 0;
+    auth_attempts = 0;
+    degraded = false;
     jurisdictions = [];
     path_hops = None;
     meters = [];
@@ -292,6 +305,8 @@ let send_answer t (p : pending) =
       Query.endpoints;
       total_auth_requests = List.length p.probes;
       auth_replies = replies;
+      auth_attempts = List.fold_left (fun acc pr -> acc + pr.attempts_made) 0 p.probes;
+      degraded = replies < List.length p.probes;
     }
   in
   let payload = Codec.encode_answer answer ~signer:t.keypair in
@@ -302,25 +317,51 @@ let send_answer t (p : pending) =
   t.stats.answers_sent <- t.stats.answers_sent + 1;
   packet_out t ~sw:p.requester_sw ~port:p.requester_port header payload
 
+let finalize t (p : pending) =
+  if not p.finalized then begin
+    p.finalized <- true;
+    List.iter (fun probe -> Hashtbl.remove t.pending probe.challenge) p.probes;
+    send_answer t p
+  end
+
+let quorum_complete (p : pending) =
+  List.for_all (fun pr -> pr.seen_authenticated) p.probes
+
+let send_auth_request t (probe : probe) =
+  let dst_ip =
+    Option.value ~default:0 (Directory.host_ip t.directory ~host:probe.target.Verifier.host)
+  in
+  let payload = Codec.encode_auth_request ~challenge:probe.challenge ~signer:t.keypair in
+  let header =
+    Hspace.Header.udp ~src_ip:Wire.service_ip ~dst_ip ~src_port:0
+      ~dst_port:Wire.auth_request_port
+  in
+  t.stats.auth_requests_sent <- t.stats.auth_requests_sent + 1;
+  if probe.attempts_made > 0 then
+    t.stats.auth_retransmissions <- t.stats.auth_retransmissions + 1;
+  probe.attempts_made <- probe.attempts_made + 1;
+  packet_out t ~sw:probe.target.Verifier.sw ~port:probe.target.Verifier.port header payload
+
+(* Attempt [k] retransmits every probe still unanswered; attempt [k+1]
+   follows after [base_delay * 2^k] (exponential backoff).  The answer
+   is finalized [auth_timeout] after the last attempt, or as soon as
+   the reply quorum is complete — a lossless run with retries enabled
+   costs no extra latency or messages. *)
 let dispatch_probes t (p : pending) =
-  List.iter
-    (fun probe ->
-      let dst_ip =
-        Option.value ~default:0
-          (Directory.host_ip t.directory ~host:probe.target.Verifier.host)
-      in
-      let payload = Codec.encode_auth_request ~challenge:probe.challenge ~signer:t.keypair in
-      let header =
-        Hspace.Header.udp ~src_ip:Wire.service_ip ~dst_ip ~src_port:0
-          ~dst_port:Wire.auth_request_port
-      in
-      t.stats.auth_requests_sent <- t.stats.auth_requests_sent + 1;
-      packet_out t ~sw:probe.target.Verifier.sw ~port:probe.target.Verifier.port header
-        payload)
-    p.probes;
-  Netsim.Sim.schedule (Netsim.Net.sim t.net) ~delay:t.auth_timeout (fun () ->
-      List.iter (fun probe -> Hashtbl.remove t.pending probe.challenge) p.probes;
-      send_answer t p)
+  let sim = Netsim.Net.sim t.net in
+  let rec attempt k =
+    if not p.finalized then begin
+      List.iter
+        (fun probe -> if not probe.seen_authenticated then send_auth_request t probe)
+        p.probes;
+      if k + 1 < t.retry.attempts then
+        Netsim.Sim.schedule sim
+          ~delay:(t.retry.base_delay *. (2.0 ** float_of_int k))
+          (fun () -> attempt (k + 1))
+      else Netsim.Sim.schedule sim ~delay:t.auth_timeout (fun () -> finalize t p)
+    end
+  in
+  attempt 0
 
 let handle_request t ~sw ~in_port ~header ~payload =
   t.stats.queries_received <- t.stats.queries_received + 1;
@@ -341,6 +382,7 @@ let handle_request t ~sw ~in_port ~header ~payload =
           {
             target;
             challenge = fresh_hex t;
+            attempts_made = 0;
             seen_authenticated = false;
             seen_ip = None;
             seen_client = None;
@@ -357,6 +399,7 @@ let handle_request t ~sw ~in_port ~header ~payload =
         requester_ip;
         base;
         probes;
+        finalized = false;
       }
     in
     if probes = [] then send_answer t p
@@ -382,12 +425,18 @@ let handle_auth_reply t ~sw ~in_port ~header ~payload =
       | Some probe ->
         (* The Packet-In ingress point is the authoritative access
            point: a reply is only accepted from the probed port. *)
-        if probe.target.Verifier.sw = sw && probe.target.Verifier.port = in_port then begin
-          t.stats.auth_replies_accepted <- t.stats.auth_replies_accepted + 1;
-          probe.seen_authenticated <- true;
-          probe.seen_ip <- Some (Hspace.Header.get header Hspace.Field.Ip_src);
-          probe.seen_client <- Some reply_client
-        end
+        if probe.target.Verifier.sw = sw && probe.target.Verifier.port = in_port then
+          if probe.seen_authenticated then
+            (* A duplicated delivery, or the reply to a retransmitted
+               challenge: counted once. *)
+            t.stats.auth_replies_duplicate <- t.stats.auth_replies_duplicate + 1
+          else begin
+            t.stats.auth_replies_accepted <- t.stats.auth_replies_accepted + 1;
+            probe.seen_authenticated <- true;
+            probe.seen_ip <- Some (Hspace.Header.get header Hspace.Field.Ip_src);
+            probe.seen_client <- Some reply_client;
+            if quorum_complete p then finalize t p
+          end
         else t.stats.auth_replies_rejected <- t.stats.auth_replies_rejected + 1))
 
 let handle_packet_in t ~sw ~in_port ~header ~payload =
@@ -407,8 +456,37 @@ let install_intercepts t =
         (Wire.intercept_specs ()))
     (Netsim.Topology.switches (topo t))
 
-let create ?pool ?(cache_capacity = 4096) net monitor ~directory ~geo ~keypair
-    ~auth_timeout () =
+(* The intercept Flow_mods travel the same faulty channel as every
+   other control message; a lost Add_flow would leave that switch
+   permanently blind to client requests and auth replies — a failure
+   mode no protocol-level retry can recover from.  So whenever the
+   believed configuration of a switch changes (monitor event or poll),
+   any intercept entry it is missing is re-sent; installs are
+   idempotent (same match + priority replaces), and the next poll
+   re-checks, so repair converges even when the repair itself is
+   lost. *)
+let repair_intercepts t ~sw =
+  let flows = Snapshot.flows (Monitor.snapshot t.monitor) ~sw in
+  List.iter
+    (fun (spec : Ofproto.Flow_entry.spec) ->
+      let present =
+        List.exists
+          (fun (e : Ofproto.Flow_entry.spec) ->
+            e.cookie = spec.cookie && e.priority = spec.priority
+            && Ofproto.Match_.equal e.match_ spec.match_)
+          flows
+      in
+      if not present then begin
+        t.stats.intercepts_reinstalled <- t.stats.intercepts_reinstalled + 1;
+        Netsim.Net.send t.net (Monitor.conn t.monitor) ~sw
+          (Ofproto.Message.Flow_mod (Ofproto.Message.Add_flow spec))
+      end)
+    (Wire.intercept_specs ())
+
+let create ?pool ?(cache_capacity = 4096) ?(retry = no_retry) net monitor ~directory
+    ~geo ~keypair ~auth_timeout () =
+  if retry.attempts < 1 then invalid_arg "Service.create: retry.attempts must be >= 1";
+  if retry.base_delay < 0.0 then invalid_arg "Service.create: negative retry.base_delay";
   let t =
     {
       net;
@@ -417,14 +495,18 @@ let create ?pool ?(cache_capacity = 4096) net monitor ~directory ~geo ~keypair
       geo;
       keypair;
       auth_timeout;
+      retry;
       stats =
         {
           queries_received = 0;
           queries_rejected = 0;
           auth_requests_sent = 0;
+          auth_retransmissions = 0;
           auth_replies_accepted = 0;
+          auth_replies_duplicate = 0;
           auth_replies_rejected = 0;
           answers_sent = 0;
+          intercepts_reinstalled = 0;
         };
       rng = Support.Rng.split (Netsim.Sim.rng (Netsim.Net.sim net));
       pending = Hashtbl.create 16;
@@ -439,7 +521,8 @@ let create ?pool ?(cache_capacity = 4096) net monitor ~directory ~geo ~keypair
   in
   Monitor.on_snapshot_change monitor (fun ~sw ->
       Verifier.invalidate_switch t.ctx ~sw;
-      Reach_cache.invalidate t.cache);
+      Reach_cache.invalidate t.cache;
+      repair_intercepts t ~sw);
   Monitor.set_packet_in_handler monitor (fun ~sw ~in_port ~header ~payload ->
       handle_packet_in t ~sw ~in_port ~header ~payload);
   install_intercepts t;

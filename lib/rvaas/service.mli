@@ -22,10 +22,32 @@ type stats = {
   mutable queries_received : int;
   mutable queries_rejected : int;
   mutable auth_requests_sent : int;
+      (** auth-request transmissions, retransmissions included *)
+  mutable auth_retransmissions : int;
+      (** of which: retransmissions of an unanswered challenge *)
   mutable auth_replies_accepted : int;
+  mutable auth_replies_duplicate : int;
+      (** valid replies to an already-answered challenge (duplicated
+          delivery or the answer to a retransmission) — counted once in
+          answers, tallied here *)
   mutable auth_replies_rejected : int;
   mutable answers_sent : int;
+  mutable intercepts_reinstalled : int;
+      (** intercept flow entries re-sent after the monitored snapshot
+          showed them missing (the original Add_flow was lost on a
+          faulty channel) *)
 }
+
+(** Auth-request retransmission policy for lossy control channels:
+    [attempts] total transmissions per probe (>= 1), the k-th
+    retransmission [base_delay * 2^k] seconds after the previous one
+    (exponential backoff).  The collection window ([auth_timeout])
+    starts after the last attempt; the answer finalizes early when
+    every probe has authenticated. *)
+type retry = { attempts : int; base_delay : float }
+
+(** One attempt, no backoff — the paper's baseline protocol. *)
+val no_retry : retry
 
 type t
 
@@ -38,10 +60,15 @@ type t
     [pool] (default {!Support.Pool.global}, sized by [RVAAS_JOBS] or
     the core count) runs the per-access-point sweeps of isolation
     queries in parallel.  [cache_capacity] (default 4096) bounds the
-    digest-keyed reach-result cache. *)
+    digest-keyed reach-result cache.  [retry] (default {!no_retry})
+    retransmits unanswered auth requests; when the reply quorum is
+    still incomplete at finalize the answer carries [degraded = true].
+    @raise Invalid_argument on a retry policy with [attempts < 1] or a
+    negative [base_delay]. *)
 val create :
   ?pool:Support.Pool.t ->
   ?cache_capacity:int ->
+  ?retry:retry ->
   Netsim.Net.t ->
   Monitor.t ->
   directory:Directory.t ->

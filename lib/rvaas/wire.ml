@@ -14,6 +14,8 @@ let intercept_priority = 1000
 
 let intercept_cookie = 0x57A5
 
+let lldp_cookie = 0x57A6
+
 let udp_dst_match port =
   Ofproto.Match_.any
   |> fun m ->
@@ -22,16 +24,26 @@ let udp_dst_match port =
   Ofproto.Match_.with_exact m Hspace.Field.Ip_proto Hspace.Header.proto_udp
   |> fun m -> Ofproto.Match_.with_exact m Hspace.Field.Tp_dst port
 
+(* Client→service messages are addressed to [service_ip]; without the
+   Ip_dst match the intercepts would hijack unrelated client-to-client
+   UDP traffic that happens to use the magic ports. *)
+let service_udp_match port =
+  Ofproto.Match_.with_exact (udp_dst_match port) Hspace.Field.Ip_dst service_ip
+
 let intercept_specs () =
   List.map
     (fun port ->
       Ofproto.Flow_entry.make_spec ~cookie:intercept_cookie
-        ~priority:intercept_priority (udp_dst_match port)
+        ~priority:intercept_priority (service_udp_match port)
         [ Ofproto.Action.To_controller ])
     [ request_port; auth_reply_port ]
 
+(* Wiring probes carry dst_ip 0, so the LLDP intercept matches on the
+   magic port alone.  Its cookie is distinct from [intercept_cookie] so
+   Monitor.verify_wiring can delete its own entries at run completion
+   without tearing down the service's request/auth intercepts. *)
 let lldp_intercept_spec () =
-  Ofproto.Flow_entry.make_spec ~cookie:intercept_cookie ~priority:intercept_priority
+  Ofproto.Flow_entry.make_spec ~cookie:lldp_cookie ~priority:intercept_priority
     (udp_dst_match lldp_port)
     [ Ofproto.Action.To_controller ]
 

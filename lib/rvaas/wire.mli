@@ -37,8 +37,16 @@ val intercept_priority : int
 (** Cookie tagging the interception entries. *)
 val intercept_cookie : int
 
+(** Cookie tagging the (temporary) LLDP wiring-probe intercepts,
+    distinct from {!intercept_cookie} so {!Monitor.verify_wiring} can
+    delete exactly its own entries when a run completes. *)
+val lldp_cookie : int
+
 (** [intercept_specs ()] are the two flow entries every switch needs:
-    match UDP on {!request_port} / {!auth_reply_port} → controller. *)
+    match UDP to {!service_ip} on {!request_port} / {!auth_reply_port}
+    → controller.  The exact Ip_dst match keeps ordinary
+    client-to-client UDP traffic on the magic ports out of the
+    service. *)
 val intercept_specs : unit -> Ofproto.Flow_entry.spec list
 
 (** [is_magic_port p] is true for any of the four protocol ports. *)

@@ -6,7 +6,12 @@ type spec = {
   provider_delay : float;
   rvaas_delay : float;
   rvaas_loss : float;
+  rvaas_faults : Netsim.Faults.t;
+  link_faults : Netsim.Faults.t;
   auth_timeout : float;
+  auth_retry : Rvaas.Service.retry;
+  poll_retry : float option;
+  agent_resend : float option;
   isolation : bool;
   whitelist : (int * int) list;
   jurisdictions : string list;
@@ -21,7 +26,12 @@ let default_spec topo =
     provider_delay = 1e-3;
     rvaas_delay = 1e-3;
     rvaas_loss = 0.0;
+    rvaas_faults = Netsim.Faults.none;
+    link_faults = Netsim.Faults.none;
     auth_timeout = 0.02;
+    auth_retry = Rvaas.Service.no_retry;
+    poll_retry = None;
+    agent_resend = None;
     isolation = true;
     whitelist = [];
     jurisdictions = [ "EU"; "US"; "CH" ];
@@ -86,15 +96,19 @@ let build spec =
           subnet = Some (Sdnctl.Addressing.subnet addressing ~client:c);
         })
     client_keys;
+  (* Degraded data plane, if requested: every switch-to-switch and
+     host-to-switch hop draws from the same fault model. *)
+  if not (Netsim.Faults.is_none spec.link_faults) then
+    Netsim.Net.set_default_link_faults net spec.link_faults;
   (* RVaaS monitor + service. *)
   let monitor =
     Rvaas.Monitor.create net ~conn_delay:spec.rvaas_delay ~loss_prob:spec.rvaas_loss
-      ~polling:spec.polling ()
+      ~faults:spec.rvaas_faults ?poll_retry:spec.poll_retry ~polling:spec.polling ()
   in
   let service_keypair = Cryptosim.Keys.generate rng ~owner:"rvaas" in
   let service =
-    Rvaas.Service.create net monitor ~directory ~geo:geo_truth ~keypair:service_keypair
-      ~auth_timeout:spec.auth_timeout ()
+    Rvaas.Service.create ~retry:spec.auth_retry net monitor ~directory ~geo:geo_truth
+      ~keypair:service_keypair ~auth_timeout:spec.auth_timeout ()
   in
   let service_public = Rvaas.Service.public service in
   (* One agent per host. *)
@@ -105,7 +119,7 @@ let build spec =
         let key = List.assoc info.client client_keys in
         let agent =
           Rvaas.Client_agent.create net ~host ~client:info.client ~ip:info.ip ~key
-            ~service_public ()
+            ~service_public ?resend_timeout:spec.agent_resend ()
         in
         (host, agent))
       hosts

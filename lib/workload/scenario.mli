@@ -13,16 +13,23 @@ type spec = {
   polling : Rvaas.Monitor.polling;
   provider_delay : float;  (** provider control-channel latency *)
   rvaas_delay : float;  (** RVaaS control-channel latency *)
-  rvaas_loss : float;  (** switch→RVaaS message loss probability *)
+  rvaas_loss : float;  (** switch→RVaaS message loss probability
+                           (legacy, monitor events only) *)
+  rvaas_faults : Netsim.Faults.t;
+      (** fault model for {e every} RVaaS control message *)
+  link_faults : Netsim.Faults.t;  (** fault model for every data-plane hop *)
   auth_timeout : float;
+  auth_retry : Rvaas.Service.retry;  (** auth-request retransmission policy *)
+  poll_retry : float option;  (** stats-poll retry deadline (seconds) *)
+  agent_resend : float option;  (** client answer-wait resend timeout *)
   isolation : bool;
   whitelist : (int * int) list;
   jurisdictions : string list;  (** ground-truth jurisdiction pool *)
 }
 
 (** [default_spec topo] — two clients, seed 42, randomized polling with
-    a 50 ms mean, 1 ms control channels, no loss, 20 ms auth timeout,
-    isolation on. *)
+    a 50 ms mean, 1 ms control channels, no loss or faults, no retries,
+    20 ms auth timeout, isolation on. *)
 val default_spec : Netsim.Topology.t -> spec
 
 type t = {

@@ -147,6 +147,8 @@ let sample_answer =
       ];
     total_auth_requests = 2;
     auth_replies = 1;
+    auth_attempts = 3;
+    degraded = true;
     jurisdictions = [ "EU"; "US" ];
     path_hops = Some (4, 3);
     meters = [ (5, 100) ];
@@ -165,6 +167,8 @@ let test_codec_answer_roundtrip () =
     check Alcotest.int "endpoints" 2 (List.length a.endpoints);
     check Alcotest.int "total auth" 2 a.total_auth_requests;
     check Alcotest.int "replies" 1 a.auth_replies;
+    check Alcotest.int "attempts" 3 a.auth_attempts;
+    check Alcotest.bool "degraded" true a.degraded;
     check (Alcotest.list Alcotest.string) "jurisdictions" [ "EU"; "US" ] a.jurisdictions;
     check Alcotest.bool "path" true (a.path_hops = Some (4, 3));
     check Alcotest.bool "meters" true (a.meters = [ (5, 100) ]);
@@ -242,6 +246,158 @@ let test_codec_truncation_rejected () =
            (Rvaas.Codec.decode_answer truncated
               ~service_public:(Cryptosim.Keys.public service_kp))))
     [ 0; 1; n / 4; n / 2; n - 1 ]
+
+(* Freshness must be explicit: an answer whose age line is missing or
+   unparseable is a decode error even under a valid signature —
+   regression for the silent [age = 0.0] default. *)
+let sign_body body = body ^ "\n" ^ "sig=" ^ Cryptosim.Keys.sign service_kp body
+
+let test_codec_answer_missing_age () =
+  let base =
+    [ "nonce=n1"; "kind=" ^ Rvaas.Query.kind_to_string Rvaas.Query.Isolation;
+      "total_auth=0"; "replies=0" ]
+  in
+  let decode lines =
+    Rvaas.Codec.decode_answer
+      (sign_body (String.concat "\n" lines))
+      ~service_public:(Cryptosim.Keys.public service_kp)
+  in
+  (match decode base with
+  | Error "missing or malformed answer age" -> ()
+  | Error e -> Alcotest.fail ("wrong error: " ^ e)
+  | Ok _ -> Alcotest.fail "missing age accepted");
+  (match decode (base @ [ "age=fresh" ]) with
+  | Error "missing or malformed answer age" -> ()
+  | Error e -> Alcotest.fail ("wrong error: " ^ e)
+  | Ok _ -> Alcotest.fail "malformed age accepted");
+  (* Control: the same body with a well-formed age decodes. *)
+  match decode (base @ [ "age=0.125000000" ]) with
+  | Error e -> Alcotest.fail e
+  | Ok a ->
+    check (Alcotest.float 1e-9) "age parsed" 0.125 a.snapshot_age;
+    (* Pre-retry answers carry no attempts/degraded lines: the count
+       defaults to one attempt per probe and a clean verdict. *)
+    check Alcotest.int "attempts default" a.total_auth_requests a.auth_attempts;
+    check Alcotest.bool "degraded default" false a.degraded
+
+(* ---- qcheck: codec round-trips ---- *)
+
+let short_string_gen =
+  QCheck2.Gen.(
+    string_size ~gen:(oneofl [ 'a'; 'b'; 'z'; '0'; '7'; '-'; '.' ]) (int_range 1 12))
+
+let kind_gen =
+  QCheck2.Gen.(
+    let* dst_ip = int_range 0 0xFFFF in
+    oneofl
+      Rvaas.Query.
+        [
+          Isolation; Geo; Fairness; Reachable_endpoints; Sources_reaching_me;
+          Transfer_summary; Path_length { dst_ip };
+        ])
+
+let endpoint_gen =
+  QCheck2.Gen.(
+    let* sw = int_range 0 99 and* port = int_range 0 15 in
+    let* ip = option (int_range 0 0xFFFF) and* authenticated = bool in
+    let* client = option (int_range 0 7) in
+    return { Rvaas.Query.sw; port; ip; authenticated; client })
+
+let answer_gen =
+  QCheck2.Gen.(
+    let* nonce = short_string_gen and* kind = kind_gen in
+    let* endpoints = list_size (int_range 0 4) endpoint_gen in
+    let* total_auth_requests = int_range 0 50 and* auth_replies = int_range 0 50 in
+    let* auth_attempts = int_range 0 200 and* degraded = bool in
+    let* jurisdictions = list_size (int_range 0 3) short_string_gen in
+    let* path_hops = option (pair (int_range 0 30) (int_range 0 30)) in
+    let* meters = list_size (int_range 0 3) (pair (int_range 0 9) (int_range 0 10_000)) in
+    let* cells = list_size (int_range 0 3) (pair (pair (int_range 0 9) (int_range 0 3)) (int_range 0 0xFFFF)) in
+    (* decode returns transfer sorted and grouped by (sw, port): feed it
+       distinct sorted keys so equality is exact. *)
+    let transfer =
+      List.map
+        (fun ((sw, port), ip) -> (sw, port, Rvaas.Verifier.dst_ip_hs ip))
+        (List.sort_uniq (fun (k, _) (k', _) -> compare k k') cells)
+    in
+    let* age_ns = int_range 0 1_000_000_000 in
+    return
+      {
+        Rvaas.Query.nonce; kind; endpoints; total_auth_requests; auth_replies;
+        auth_attempts; degraded; jurisdictions; path_hops; meters; transfer;
+        snapshot_age = float_of_int age_ns /. 1e6;
+      })
+
+let answer_equal (a : Rvaas.Query.answer) (b : Rvaas.Query.answer) =
+  a.nonce = b.nonce && a.kind = b.kind && a.endpoints = b.endpoints
+  && a.total_auth_requests = b.total_auth_requests
+  && a.auth_replies = b.auth_replies
+  && a.auth_attempts = b.auth_attempts
+  && a.degraded = b.degraded
+  && a.jurisdictions = b.jurisdictions
+  && a.path_hops = b.path_hops && a.meters = b.meters
+  && List.length a.transfer = List.length b.transfer
+  && List.for_all2
+       (fun (sw, port, hs) (sw', port', hs') ->
+         sw = sw' && port = port' && Hspace.Hs.equal hs hs')
+       a.transfer b.transfer
+  && Float.abs (a.snapshot_age -. b.snapshot_age) < 1e-6
+
+let prop_answer_roundtrip =
+  QCheck2.Test.make ~name:"answer encode-decode identity" ~count:300 answer_gen
+    (fun a ->
+      match
+        Rvaas.Codec.decode_answer
+          (Rvaas.Codec.encode_answer a ~signer:service_kp)
+          ~service_public:(Cryptosim.Keys.public service_kp)
+      with
+      | Error _ -> false
+      | Ok a' -> answer_equal a a')
+
+let prop_request_roundtrip =
+  QCheck2.Test.make ~name:"request encode-decode identity" ~count:300
+    QCheck2.Gen.(
+      let* client = int_range 0 1000 and* nonce = short_string_gen in
+      let* kind = kind_gen and* scope_ip = option (int_range 0 0xFFFF) in
+      return (client, nonce, kind, scope_ip))
+    (fun (client, nonce, kind, scope_ip) ->
+      let query =
+        { Rvaas.Query.kind; scope = Option.map Rvaas.Verifier.dst_ip_hs scope_ip }
+      in
+      let payload =
+        Rvaas.Codec.encode_request { Rvaas.Codec.client; nonce; query }
+          ~key:client_key ~recipient:(Cryptosim.Keys.public service_kp)
+      in
+      match
+        Rvaas.Codec.decode_request payload ~keypair:service_kp
+          ~lookup_key:(fun _ -> Some client_key)
+      with
+      | Error _ -> false
+      | Ok r ->
+        r.client = client && r.nonce = nonce && r.query.kind = kind
+        && (match r.query.scope, query.scope with
+           | None, None -> true
+           | Some a, Some b -> Hspace.Hs.equal a b
+           | _ -> false))
+
+let prop_auth_roundtrip =
+  QCheck2.Test.make ~name:"auth request/reply encode-decode identity" ~count:300
+    QCheck2.Gen.(
+      let* challenge = short_string_gen and* client = int_range 0 1000 in
+      return (challenge, client))
+    (fun (challenge, client) ->
+      let req =
+        Rvaas.Codec.decode_auth_request
+          (Rvaas.Codec.encode_auth_request ~challenge ~signer:service_kp)
+          ~service_public:(Cryptosim.Keys.public service_kp)
+      in
+      let reply =
+        Rvaas.Codec.decode_auth_reply
+          (Rvaas.Codec.encode_auth_reply ~client ~challenge ~key:client_key)
+          ~lookup_key:(fun _ -> Some client_key)
+      in
+      req = Ok challenge
+      && reply = Ok { Rvaas.Codec.reply_client = client; challenge })
 
 (* ---- Snapshot ---- *)
 
@@ -866,6 +1022,10 @@ let () =
           Alcotest.test_case "answer tamper" `Quick test_codec_answer_tamper_detected;
           Alcotest.test_case "garbage fuzz" `Quick test_codec_fuzz_garbage;
           Alcotest.test_case "truncation" `Quick test_codec_truncation_rejected;
+          Alcotest.test_case "missing age" `Quick test_codec_answer_missing_age;
+          QCheck_alcotest.to_alcotest prop_answer_roundtrip;
+          QCheck_alcotest.to_alcotest prop_request_roundtrip;
+          QCheck_alcotest.to_alcotest prop_auth_roundtrip;
         ] );
       ( "directory+history",
         [
