@@ -966,6 +966,133 @@ let e14 () =
     losses
 
 (* ---------------------------------------------------------------- *)
+(* E15: delta-aware reach cache under rolling single-switch updates  *)
+(* ---------------------------------------------------------------- *)
+
+let e15_rounds = 10
+
+let e15 () =
+  section
+    "E15: reach cache under rolling single-switch updates\n\
+     each round Flow-Mods one switch (round-robin) and then replays a fixed\n\
+     interactive workload: dst-scoped reach queries from 8 access points plus one\n\
+     isolation sweep.  full = any change flushes the whole cache (previous\n\
+     behaviour, emulated by an extra snapshot-change hook); delta = only entries\n\
+     whose reach pass traversed the modified switch are evicted.  hit rate is\n\
+     over the reach workload, warmup round excluded";
+  Printf.printf "%-14s %-6s %7s | %11s %11s | %8s %11s\n" "topology" "mode" "workers"
+    "reach (ms)" "isolate(ms)" "hit rate" "evict/flush";
+  let p = Workload.Topogen.default_params in
+  let rng = Support.Rng.create 7 in
+  let cases =
+    [
+      ("fat-tree-k6", Workload.Topogen.fat_tree p ~k:6);
+      ("waxman-40", Workload.Topogen.waxman p rng ~n:40 ~alpha:0.4 ~beta:0.4);
+    ]
+  in
+  List.iter
+    (fun (name, topo) ->
+      List.iter
+        (fun (mode, full_invalidate) ->
+          List.iter
+            (fun workers ->
+              let s = build_scenario topo in
+              Workload.Scenario.run s
+                ~until:(Netsim.Sim.now (Netsim.Net.sim s.net) +. 0.2);
+              let cache = Rvaas.Service.reach_cache s.service in
+              if full_invalidate then
+                (* Emulate the pre-delta behaviour: every actual change
+                   anywhere drops every cached result. *)
+                Rvaas.Monitor.on_snapshot_change s.monitor (fun ~sw:_ ~changed ->
+                    if changed then Rvaas.Reach_cache.invalidate cache);
+              let pool = Support.Pool.create workers in
+              Rvaas.Service.set_pool s.service pool;
+              let switches = Netsim.Topology.switches topo in
+              let points = Rvaas.Verifier.access_points topo in
+              let srcs = List.filteri (fun i _ -> i < 8) points in
+              (* Two destination addresses: dst-scoped passes have the
+                 sparse traversal sets that delta invalidation keeps. *)
+              let ip_of (ep : Rvaas.Verifier.endpoint) =
+                (Option.get (Sdnctl.Addressing.host s.addressing ~host:ep.host))
+                  .Sdnctl.Addressing.ip
+              in
+              let dsts =
+                [ ip_of (List.hd points); ip_of (List.hd (List.rev points)) ]
+              in
+              let att = List.hd points in
+              let query = Rvaas.Query.make Rvaas.Query.Isolation in
+              let st = Rvaas.Reach_cache.stats cache in
+              let reach_time = ref 0.0
+              and reach_n = ref 0
+              and iso_time = ref 0.0
+              and iso_n = ref 0
+              and hits = ref 0
+              and misses = ref 0 in
+              for round = 0 to e15_rounds - 1 do
+                let sw = List.nth switches (round mod List.length switches) in
+                let m =
+                  Ofproto.Match_.with_exact Ofproto.Match_.any Hspace.Field.Tp_src
+                    (7000 + round)
+                in
+                Netsim.Net.send s.net
+                  (Sdnctl.Provider.conn s.provider)
+                  ~sw
+                  (Ofproto.Message.Flow_mod
+                     (Ofproto.Message.Add_flow
+                        (Ofproto.Flow_entry.make_spec ~cookie:9 ~priority:55 m [])));
+                Workload.Scenario.run s
+                  ~until:(Netsim.Sim.now (Netsim.Net.sim s.net) +. 0.05);
+                let h0 = st.Rvaas.Reach_cache.hits
+                and m0 = st.Rvaas.Reach_cache.misses in
+                let (), reach_dt =
+                  wall (fun () ->
+                      List.iter
+                        (fun (src : Rvaas.Verifier.endpoint) ->
+                          List.iter
+                            (fun ip ->
+                              ignore
+                                (Rvaas.Service.reach s.service ~src_sw:src.sw
+                                   ~src_port:src.port
+                                   ~hs:(Rvaas.Verifier.dst_ip_hs ip)))
+                            dsts)
+                        srcs)
+                in
+                let dh = st.Rvaas.Reach_cache.hits - h0
+                and dm = st.Rvaas.Reach_cache.misses - m0 in
+                let (), iso_dt =
+                  wall (fun () ->
+                      ignore
+                        (Rvaas.Service.evaluate s.service ~client:0
+                           ~sw:att.Rvaas.Verifier.sw ~port:att.Rvaas.Verifier.port
+                           query))
+                in
+                if round > 0 then begin
+                  reach_time := !reach_time +. reach_dt;
+                  reach_n := !reach_n + (List.length srcs * List.length dsts);
+                  iso_time := !iso_time +. iso_dt;
+                  incr iso_n;
+                  hits := !hits + dh;
+                  misses := !misses + dm
+                end
+              done;
+              let hit_rate =
+                if !hits + !misses = 0 then 0.0
+                else float_of_int !hits /. float_of_int (!hits + !misses)
+              in
+              Printf.printf "%-14s %-6s %7d | %11.3f %11.3f | %7.0f%% %6d/%-4d\n%!"
+                name mode workers
+                (1000.0 *. !reach_time /. float_of_int (max 1 !reach_n))
+                (1000.0 *. !iso_time /. float_of_int (max 1 !iso_n))
+                (100.0 *. hit_rate)
+                st.Rvaas.Reach_cache.delta_evictions
+                st.Rvaas.Reach_cache.invalidations;
+              Support.Pool.shutdown pool;
+              Rvaas.Service.set_pool s.service (Support.Pool.create 1))
+            [ 1; 4 ])
+        [ ("full", true); ("delta", false) ])
+    cases
+
+(* ---------------------------------------------------------------- *)
 (* Micro-benchmarks (Bechamel)                                       *)
 (* ---------------------------------------------------------------- *)
 
@@ -1020,40 +1147,54 @@ let micro () =
       snapshot_age = 0.0;
     }
   in
-  let tests =
+  let kernels =
     [
-      Test.make ~name:"tern_inter" (Staged.stage (fun () -> Hspace.Tern.inter cube_a cube_b));
-      Test.make ~name:"tern_diff" (Staged.stage (fun () -> Hspace.Tern.diff cube_a cube_b));
-      Test.make ~name:"hs_inter" (Staged.stage (fun () -> Hspace.Hs.inter hs_a hs_b));
-      Test.make ~name:"hs_diff" (Staged.stage (fun () -> Hspace.Hs.diff hs_a hs_b));
-      Test.make ~name:"flow_lookup_100"
-        (Staged.stage (fun () -> Ofproto.Flow_table.lookup table ~in_port:0 header));
-      Test.make ~name:"reach_fattree_k4"
-        (Staged.stage (fun () ->
-             Rvaas.Verifier.reach ~flows_of topo ~src_sw
+      ("tern_inter", fun () -> ignore (Hspace.Tern.inter cube_a cube_b));
+      ("tern_diff", fun () -> ignore (Hspace.Tern.diff cube_a cube_b));
+      ("hs_inter", fun () -> ignore (Hspace.Hs.inter hs_a hs_b));
+      ("hs_diff", fun () -> ignore (Hspace.Hs.diff hs_a hs_b));
+      ( "flow_lookup_100",
+        fun () -> ignore (Ofproto.Flow_table.lookup table ~in_port:0 header) );
+      ( "reach_fattree_k4",
+        fun () ->
+          ignore
+            (Rvaas.Verifier.reach ~flows_of topo ~src_sw
                ~src_port:att.Netsim.Topology.port
-               ~hs:(Rvaas.Verifier.dst_ip_hs 0x0A000002)));
-      Test.make ~name:"snapshot_digest"
-        (Staged.stage (fun () -> Rvaas.Snapshot.digest snapshot));
-      Test.make ~name:"answer_codec"
-        (Staged.stage (fun () -> Rvaas.Codec.encode_answer empty_answer ~signer:service_kp));
+               ~hs:(Rvaas.Verifier.dst_ip_hs 0x0A000002)) );
+      ("snapshot_digest", fun () -> ignore (Rvaas.Snapshot.digest snapshot));
+      ( "answer_codec",
+        fun () -> ignore (Rvaas.Codec.encode_answer empty_answer ~signer:service_kp) );
     ]
+  in
+  (* Allocation pressure alongside latency: the mean minor-heap words
+     allocated per call, from [Gc.minor_words] deltas over a fixed
+     iteration count (Bechamel measures time only). *)
+  let minor_words_per_call f =
+    f ();
+    let iters = 50 in
+    let before = Gc.minor_words () in
+    for _ = 1 to iters do
+      f ()
+    done;
+    (Gc.minor_words () -. before) /. float_of_int iters
   in
   let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.25) ~kde:None () in
   let instance = Toolkit.Instance.monotonic_clock in
-  Printf.printf "%-22s %15s\n" "kernel" "ns/call";
+  Printf.printf "%-22s %15s %18s\n" "kernel" "ns/call" "minor words/call";
   List.iter
-    (fun test ->
+    (fun (kname, f) ->
+      let test = Test.make ~name:kname (Staged.stage f) in
       let raw = Benchmark.all cfg [ instance ] test in
       let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
       let results = Analyze.all ols instance raw in
+      let alloc = minor_words_per_call f in
       Hashtbl.iter
         (fun name ols_result ->
           match Analyze.OLS.estimates ols_result with
-          | Some [ ns ] -> Printf.printf "%-22s %15.1f\n" name ns
-          | Some _ | None -> Printf.printf "%-22s %15s\n" name "n/a")
+          | Some [ ns ] -> Printf.printf "%-22s %15.1f %18.0f\n" name ns alloc
+          | Some _ | None -> Printf.printf "%-22s %15s %18.0f\n" name "n/a" alloc)
         results)
-    tests
+    kernels
 
 (* ---------------------------------------------------------------- *)
 
@@ -1073,6 +1214,7 @@ let experiments =
     ("e12", e12);
     ("e13", e13);
     ("e14", e14);
+    ("e15", e15);
     ("micro", micro);
   ]
 

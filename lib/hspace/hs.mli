@@ -24,8 +24,19 @@ val of_cube : Tern.t -> t
     [width]. *)
 val of_cubes : int -> Tern.t list -> t
 
+(** [of_cubes_ref width cs] is [of_cubes] computed with the original
+    quadratic normaliser, kept as the oracle for differential tests of
+    the batch builder.  Semantically equal to [of_cubes width cs]. *)
+val of_cubes_ref : int -> Tern.t list -> t
+
 (** [cubes t] returns the normalised cube list. *)
 val cubes : t -> Tern.t list
+
+(** [bound t] is the smallest single cube containing [t] (the
+    {!Tern.join} of its cubes; all-[z] when empty).  Disjoint bounds
+    prove disjoint spaces, which the set operations exploit as a fast
+    path. *)
+val bound : t -> Tern.t
 
 (** [cube_count t] is the number of cubes in the representation — the
     size proxy for verification-cost experiments. *)
@@ -65,6 +76,12 @@ val equal : t -> t -> bool
 
 (** [overlaps a b] is true when the intersection is non-empty. *)
 val overlaps : t -> t -> bool
+
+(** [hash t] is an order-independent structural hash of the normalised
+    cube set, suitable as a compact reach-cache key component.
+    Structurally equal sets hash equally; semantically equal sets with
+    different normal forms may not. *)
+val hash : t -> int
 
 (** [sample rng t] draws some concrete header from [t], or [None] when
     empty.  Free bits are drawn uniformly. *)

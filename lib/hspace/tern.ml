@@ -24,6 +24,10 @@ let all_x width =
   if width <= 0 then invalid_arg "Tern.all_x: width must be positive";
   { width; words = Array.make (word_count width) full_word }
 
+let none width =
+  if width <= 0 then invalid_arg "Tern.none: width must be positive";
+  { width; words = Array.make (word_count width) 0 }
+
 let width t = t.width
 
 let encode = function Empty -> 0 | Zero -> 1 | One -> 2 | Any -> 3
@@ -78,6 +82,74 @@ let inter a b =
   check_width "Tern.inter" a b;
   { width = a.width; words = Array.map2 ( land ) a.words b.words }
 
+let join a b =
+  check_width "Tern.join" a b;
+  { width = a.width; words = Array.map2 ( lor ) a.words b.words }
+
+(* Non-allocating emptiness test of [inter a b]: word-wise [land] with
+   an early exit on the first word containing a 00 pair.  Equivalent to
+   [not (overlaps a b)] without building the intermediate vector. *)
+let disjoint a b =
+  check_width "Tern.disjoint" a b;
+  let n = Array.length a.words in
+  let rec go k =
+    if k >= n then false
+    else
+      let w = a.words.(k) land b.words.(k) in
+      let valid = evens_mask land valid_mask a.width k in
+      if (w lor (w lsr 1)) land valid <> valid then true else go (k + 1)
+  in
+  go 0
+
+let hash t =
+  (* FNV-style word mixer; pairs beyond [width] are canonically 11, so
+     structurally equal vectors hash equally. *)
+  let mix h w =
+    let h = (h lxor w) * 0x100000001B3 in
+    h lxor (h lsr 29)
+  in
+  Array.fold_left mix (mix 0x3B97A27C t.width) t.words
+
+(* Word indices where the cube constrains at least one header bit,
+   with the matching evens-mask slice — the "required bits" of the
+   cube.  A candidate set whose bounding cube satisfies every required
+   word overlaps the cube (up to z positions, which callers exclude);
+   checking only these words rejects non-overlapping rules with a
+   handful of word operations. *)
+type prefilter = {
+  pf_width : int;
+  pf_idx : int array;  (* word indices carrying fixed bits *)
+  pf_words : int array;  (* the cube's words at those indices *)
+  pf_valid : int array;  (* evens_mask ∧ valid_mask at those indices *)
+}
+
+let prefilter t =
+  let n = Array.length t.words in
+  let idx = ref [] in
+  for k = n - 1 downto 0 do
+    let valid = valid_mask t.width k in
+    if t.words.(k) land valid <> valid then idx := k :: !idx
+  done;
+  let idx = Array.of_list !idx in
+  {
+    pf_width = t.width;
+    pf_idx = idx;
+    pf_words = Array.map (fun k -> t.words.(k)) idx;
+    pf_valid = Array.map (fun k -> evens_mask land valid_mask t.width k) idx;
+  }
+
+let prefilter_disjoint pf c =
+  if pf.pf_width <> c.width then invalid_arg "Tern.prefilter_disjoint: width mismatch";
+  let n = Array.length pf.pf_idx in
+  let rec go i =
+    if i >= n then false
+    else
+      let w = pf.pf_words.(i) land c.words.(pf.pf_idx.(i)) in
+      let valid = pf.pf_valid.(i) in
+      if (w lor (w lsr 1)) land valid <> valid then true else go (i + 1)
+  in
+  go 0
+
 let subset a b =
   check_width "Tern.subset" a b;
   if is_empty a then true
@@ -96,22 +168,52 @@ let equal a b = a.width = b.width && a.words = b.words
 
 let compare a b = Stdlib.compare (a.width, a.words) (b.width, b.words)
 
+(* Trailing-zero count of a power of two by binary search — O(log
+   word-size) branchless steps, no table. *)
+let ctz_pow2 v =
+  let n = ref 0 and v = ref v in
+  if !v land 0xFFFFFFFF = 0 then begin
+    n := !n + 32;
+    v := !v lsr 32
+  end;
+  if !v land 0xFFFF = 0 then begin
+    n := !n + 16;
+    v := !v lsr 16
+  end;
+  if !v land 0xFF = 0 then begin
+    n := !n + 8;
+    v := !v lsr 8
+  end;
+  if !v land 0xF = 0 then begin
+    n := !n + 4;
+    v := !v lsr 4
+  end;
+  if !v land 0x3 = 0 then begin
+    n := !n + 2;
+    v := !v lsr 2
+  end;
+  if !v land 0x1 = 0 then incr n;
+  !n
+
 (* Iterate [f] over the positions of [t] holding a fixed (0/1) value,
    without scanning wildcard positions: enumerate set bits of the
-   per-word "exactly one encoding bit" mask. *)
+   per-word "exactly one encoding bit" mask.  The valid mask is the
+   full word except possibly for the last word, and bit positions come
+   from a constant-time ctz rather than a shift loop. *)
 let iter_fixed_bits t f =
   let n = Array.length t.words in
   for k = 0 to n - 1 do
     let w = t.words.(k) in
+    let valid = if k = n - 1 then valid_mask t.width k else full_word in
     let lo = w land evens_mask and hi = (w lsr 1) land evens_mask in
-    let fixed = ref ((lo lxor hi) land valid_mask t.width k land evens_mask) in
+    let fixed = ref ((lo lxor hi) land valid land evens_mask) in
+    let base = k * bits_per_word in
     while !fixed <> 0 do
       let lowest = !fixed land - !fixed in
       fixed := !fixed lxor lowest;
-      (* [lowest] is a single even bit 2*j; recover j by bit count. *)
-      let rec log2 v acc = if v = 1 then acc else log2 (v lsr 1) (acc + 1) in
-      let pair = log2 lowest 0 / 2 in
-      let i = (k * bits_per_word) + pair in
+      (* [lowest] is a single even bit 2*j. *)
+      let pair = ctz_pow2 lowest lsr 1 in
+      let i = base + pair in
       f i (decode ((w lsr (2 * pair)) land 3))
     done
   done
@@ -148,10 +250,26 @@ let mem concrete t =
   if not (is_concrete concrete) then invalid_arg "Tern.mem: vector is not concrete";
   subset concrete t
 
+(* Population count of a word whose set bits all sit at even positions
+   (so every 2-bit group already equals its own popcount and the first
+   SWAR halving step can be skipped; values never touch bit 62, keeping
+   the constants inside a 63-bit int). *)
+let popcount_evens v =
+  let v = (v land 0x3333333333333333) + ((v lsr 2) land 0x3333333333333333) in
+  let v = (v + (v lsr 4)) land 0x0F0F0F0F0F0F0F0F in
+  let v = v + (v lsr 8) in
+  let v = v + (v lsr 16) in
+  let v = v + (v lsr 32) in
+  v land 0x7F
+
 let count_fixed t =
+  let n = Array.length t.words in
   let count = ref 0 in
-  for i = 0 to t.width - 1 do
-    match get t i with Zero | One -> incr count | Any | Empty -> ()
+  for k = 0 to n - 1 do
+    let w = t.words.(k) in
+    let valid = if k = n - 1 then valid_mask t.width k else full_word in
+    let lo = w land evens_mask and hi = (w lsr 1) land evens_mask in
+    count := !count + popcount_evens ((lo lxor hi) land valid land evens_mask)
   done;
   !count
 

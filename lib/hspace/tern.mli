@@ -18,6 +18,11 @@ type bit = Zero | One | Any | Empty
 (** [all_x width] is the full space: every bit is [*]. *)
 val all_x : int -> t
 
+(** [none width] is the empty vector: every bit is [z].  It is the
+    identity of {!join} and is used as the bounding cube of an empty
+    header space. *)
+val none : int -> t
+
 (** [width t] is the number of header bits. *)
 val width : t -> int
 
@@ -47,6 +52,34 @@ val subset : t -> t -> bool
 
 (** [overlaps a b] is true when [inter a b] is non-empty. *)
 val overlaps : t -> t -> bool
+
+(** [disjoint a b] is [not (overlaps a b)] computed without allocating
+    the intermediate vector, with an early exit on the first
+    conflicting word — the hot-path form used by set bounding-cube
+    checks and rule prefilters. *)
+val disjoint : t -> t -> bool
+
+(** [join a b] is the smallest cube containing both [a] and [b]
+    (position-wise least upper bound; [z] is the bottom element).
+    @raise Invalid_argument on width mismatch. *)
+val join : t -> t -> t
+
+(** [hash t] is a well-mixed structural hash: equal vectors hash
+    equally.  Used for cube deduplication in the {!Hs} batch builder
+    and for 64-bit reach-cache keys. *)
+val hash : t -> int
+
+(** A precomputed "required bits" view of a cube: only the words in
+    which the cube fixes at least one bit, so disjointness against it
+    is a handful of word operations.  [prefilter_disjoint pf c] is
+    conservative: [true] guarantees [disjoint cube c]; [false] means
+    the full algebra must decide (exact whenever [c] has no [z]
+    positions). *)
+type prefilter
+
+val prefilter : t -> prefilter
+
+val prefilter_disjoint : prefilter -> t -> bool
 
 (** [equal a b] is structural equality (which coincides with set
     equality for non-empty vectors). *)

@@ -62,6 +62,13 @@ let domain_of t ~sw =
     (fun (name, st) -> if st.domain.member sw then Some name else None)
     t.domains
 
+(* Reach passes are bounded to domain members, so only the owning
+   domain's guard cache can hold entries for [sw]. *)
+let invalidate_switch t ~sw =
+  List.iter
+    (fun (_, st) -> if st.domain.member sw then Verifier.invalidate_switch st.ctx ~sw)
+    t.domains
+
 type result = {
   endpoints : (Verifier.endpoint * Hspace.Hs.t) list;
   jurisdictions : string list;

@@ -76,3 +76,10 @@ val reach :
 
 (** [domain_of t ~sw] names the domain owning [sw]. *)
 val domain_of : t -> sw:int -> string option
+
+(** [invalidate_switch t ~sw] drops the owning domain's cached rule
+    guards for [sw].  Call it when that domain's configuration view of
+    [sw] changes; other domains' contexts never read [sw]'s table
+    (reach passes are bounded to domain members) and are left intact.
+    A no-op when no domain owns [sw]. *)
+val invalidate_switch : t -> sw:int -> unit

@@ -45,7 +45,7 @@ type t = {
   mutable poll_retries : int;
   mutable polling_active : bool;
   mutable wiring : wiring_run option;
-  mutable snapshot_change_hooks : (sw:int -> unit) list;
+  mutable snapshot_change_hooks : (sw:int -> changed:bool -> unit) list;
 }
 
 (* Retransmission budget per stats request (first send included). *)
@@ -56,7 +56,14 @@ let now t = Netsim.Sim.now (Netsim.Net.sim t.net)
 let record t ~sw what =
   Support.Ring.push t.history { at = now t; sw; what }
 
-let snapshot_changed t ~sw = List.iter (fun f -> f ~sw) t.snapshot_change_hooks
+(* Hooks fire on every observation touching [sw], with [changed]
+   telling listeners whether the believed table actually differs
+   (digest comparison around the mutation).  Unchanged observations —
+   e.g. a poll confirming the current view — must still fire: the
+   service's intercept repair is poll-driven and has to run even when
+   nothing changed, while cache invalidation keys off [changed]. *)
+let snapshot_changed t ~sw ~changed =
+  List.iter (fun f -> f ~sw ~changed) t.snapshot_change_hooks
 
 (* A wiring probe surfaced at (sw, in_port): check it against the plan. *)
 let handle_probe t ~sw ~in_port ~payload =
@@ -90,18 +97,21 @@ let handle_message t (msg : Ofproto.Message.to_controller) =
   match msg with
   | Ofproto.Message.Monitor { sw; event } ->
     t.events_seen <- t.events_seen + 1;
+    let before = Snapshot.switch_digest t.snapshot ~sw in
     Snapshot.apply_event t.snapshot ~sw ~now:(now t) event;
     record t ~sw (Event event);
-    snapshot_changed t ~sw
+    snapshot_changed t ~sw ~changed:(Snapshot.switch_digest t.snapshot ~sw <> before)
   | Ofproto.Message.Flow_removed { sw; spec; _ } ->
+    let before = Snapshot.switch_digest t.snapshot ~sw in
     Snapshot.apply_flow_removed t.snapshot ~sw ~now:(now t) spec;
     record t ~sw (Removed spec);
-    snapshot_changed t ~sw
+    snapshot_changed t ~sw ~changed:(Snapshot.switch_digest t.snapshot ~sw <> before)
   | Ofproto.Message.Flow_stats_reply { sw; xid; flows } ->
     Hashtbl.remove t.outstanding xid;
+    let before = Snapshot.switch_digest t.snapshot ~sw in
     Snapshot.replace_flows t.snapshot ~sw ~now:(now t) flows;
     record t ~sw (Poll { flows = List.length flows; digest = Snapshot.digest t.snapshot });
-    snapshot_changed t ~sw
+    snapshot_changed t ~sw ~changed:(Snapshot.switch_digest t.snapshot ~sw <> before)
   | Ofproto.Message.Meter_stats_reply { sw; xid; meters } ->
     Hashtbl.remove t.outstanding xid;
     Snapshot.replace_meters t.snapshot ~sw meters

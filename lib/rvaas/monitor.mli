@@ -61,10 +61,15 @@ val conn : t -> Netsim.Net.conn
 val set_packet_in_handler :
   t -> (sw:int -> in_port:int -> header:Hspace.Header.t -> payload:string -> unit) -> unit
 
-(** [on_snapshot_change t f] registers [f] to run whenever switch
-    [sw]'s believed configuration changes — used by the service to
-    invalidate its incremental verification context. *)
-val on_snapshot_change : t -> (sw:int -> unit) -> unit
+(** [on_snapshot_change t f] registers [f] to run whenever an
+    observation touches switch [sw].  [changed] is true when the
+    believed flow table actually differs from before the observation
+    (per-switch digest comparison) and false for confirming
+    observations such as a poll matching the current view.  Hooks fire
+    either way — the service's intercept repair is poll-driven and
+    must run on unchanged polls too — while verifier and reach-cache
+    invalidation key off [changed]. *)
+val on_snapshot_change : t -> (sw:int -> changed:bool -> unit) -> unit
 
 (** [history t] returns observations, oldest first. *)
 val history : t -> history_entry list

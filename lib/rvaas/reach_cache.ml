@@ -1,55 +1,123 @@
+type key = { k_sw : int; k_port : int; k_hs : int }
+
+module Key = struct
+  type t = key
+
+  let equal a b = a.k_sw = b.k_sw && a.k_port = b.k_port && a.k_hs = b.k_hs
+
+  let hash { k_sw; k_port; k_hs } =
+    let h = (k_hs lxor (k_sw * 0x9E3779B1) lxor (k_port * 0x85EBCA77)) in
+    h lxor (h lsr 27)
+end
+
+module Table = Hashtbl.Make (Key)
+
+type entry = {
+  result : Verifier.reach_result;
+  deps : (int * int64) array;
+      (* (switch, table digest at computation time) for every switch the
+         pass traversed — the complete freshness dependency set *)
+  mutable referenced : bool;  (* second-chance bit, set on every hit *)
+}
+
 type stats = {
   mutable hits : int;
   mutable misses : int;
   mutable invalidations : int;
+  mutable delta_evictions : int;
+  mutable capacity_evictions : int;
 }
 
 type t = {
-  table : (string, Verifier.reach_result) Hashtbl.t;
+  table : entry Table.t;
+  clock : key Queue.t;
+      (* insertion-ordered ring for the second-chance sweep; may hold
+         stale keys of already-evicted entries, skipped when popped *)
   capacity : int;
   stats : stats;
 }
 
 let create ?(capacity = 4096) () =
   {
-    table = Hashtbl.create 64;
+    table = Table.create 64;
+    clock = Queue.create ();
     capacity = max 1 capacity;
-    stats = { hits = 0; misses = 0; invalidations = 0 };
+    stats =
+      {
+        hits = 0;
+        misses = 0;
+        invalidations = 0;
+        delta_evictions = 0;
+        capacity_evictions = 0;
+      };
   }
 
-let key ~snapshot ~src_sw ~src_port ~hs =
-  let buf = Buffer.create 256 in
-  Buffer.add_string buf (string_of_int src_sw);
-  Buffer.add_char buf '.';
-  Buffer.add_string buf (string_of_int src_port);
-  (* The cube list is normalised but its order depends on construction
-     history; sort so structurally equal spaces key identically. *)
-  List.iter
-    (fun c ->
-      Buffer.add_char buf '|';
-      Buffer.add_string buf c)
-    (List.sort String.compare (List.map Hspace.Tern.to_string (Hspace.Hs.cubes hs)));
-  List.iter
-    (fun (sw, d) -> Buffer.add_string buf (Printf.sprintf ";%d:%Lx" sw d))
-    (Snapshot.digest_vector snapshot);
-  Buffer.contents buf
+let key ~src_sw ~src_port ~hs =
+  { k_sw = src_sw; k_port = src_port; k_hs = Hspace.Hs.hash hs }
 
 let find t key =
-  match Hashtbl.find_opt t.table key with
-  | Some r ->
+  match Table.find_opt t.table key with
+  | Some e ->
+    e.referenced <- true;
     t.stats.hits <- t.stats.hits + 1;
-    Some r
+    Some e.result
   | None ->
     t.stats.misses <- t.stats.misses + 1;
     None
 
-let add t key result =
-  if Hashtbl.length t.table >= t.capacity then Hashtbl.reset t.table;
-  Hashtbl.replace t.table key result
+(* Pop clock keys until one names a live, not-recently-hit entry; that
+   entry is evicted.  Referenced entries get their bit cleared and a
+   second chance at the back of the ring, so the loop terminates: every
+   pass over the ring clears bits and the ring holds at least one live
+   entry when the table is non-empty. *)
+let evict_one t =
+  let evicted = ref false in
+  while not !evicted && not (Queue.is_empty t.clock) do
+    let k = Queue.pop t.clock in
+    match Table.find_opt t.table k with
+    | None -> () (* stale: already removed by a delta invalidation *)
+    | Some e ->
+      if e.referenced then begin
+        e.referenced <- false;
+        Queue.add k t.clock
+      end
+      else begin
+        Table.remove t.table k;
+        t.stats.capacity_evictions <- t.stats.capacity_evictions + 1;
+        evicted := true
+      end
+  done
+
+let add t key ~snapshot (result : Verifier.reach_result) =
+  if not (Table.mem t.table key) then begin
+    if Table.length t.table >= t.capacity then evict_one t;
+    let deps =
+      Array.of_list
+        (List.map
+           (fun sw -> (sw, Snapshot.switch_digest snapshot ~sw))
+           result.Verifier.traversed)
+    in
+    Table.replace t.table key { result; deps; referenced = false };
+    Queue.add key t.clock
+  end
+
+let invalidate_switch t ~sw ~digest =
+  let stale =
+    Table.fold
+      (fun k e acc ->
+        let depends_changed =
+          Array.exists (fun (s, d) -> s = sw && not (Int64.equal d digest)) e.deps
+        in
+        if depends_changed then k :: acc else acc)
+      t.table []
+  in
+  List.iter (Table.remove t.table) stale;
+  t.stats.delta_evictions <- t.stats.delta_evictions + List.length stale
 
 let invalidate t =
-  if Hashtbl.length t.table > 0 then begin
-    Hashtbl.reset t.table;
+  if Table.length t.table > 0 then begin
+    Table.reset t.table;
+    Queue.clear t.clock;
     t.stats.invalidations <- t.stats.invalidations + 1
   end
 
@@ -59,4 +127,4 @@ let hit_rate t =
   let total = t.stats.hits + t.stats.misses in
   if total = 0 then 0.0 else float_of_int t.stats.hits /. float_of_int total
 
-let length t = Hashtbl.length t.table
+let length t = Table.length t.table

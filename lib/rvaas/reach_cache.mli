@@ -1,49 +1,70 @@
-(** Incremental, digest-keyed reachability result cache.
+(** Incremental, delta-invalidated reachability result cache.
 
     Client queries between reconfigurations are highly repetitive: an
     isolation query alone costs one full reach pass per access point,
     and clients re-ask the same questions (paper §IV-A.2's interactive
-    workload).  This cache keys a {!Verifier.reach_result} by
+    workload).  This cache keys a {!Verifier.reach_result} by the
+    injection point (source switch, source port) and a 64-bit
+    structural hash of the queried header space.
 
-    - the injection point (source switch, source port),
-    - the queried header space, and
-    - the per-switch flow-table digest vector of the believed
-      configuration ({!Snapshot.digest_vector}),
+    Freshness is tracked per entry rather than baked into the key: each
+    entry records the switches the reach pass {e traversed} and their
+    flow-table digests at computation time.  A reach result depends
+    only on the tables of traversed switches — a rule on a switch the
+    pass never visited cannot alter it — so when a Flow-Mod lands on
+    switch [s], {!invalidate_switch} evicts exactly the entries that
+    traversed [s] (and whose recorded digest actually differs, so a
+    reverted table keeps its entries).  Under rolling single-switch
+    updates this retains the large majority of the cache, where the
+    previous digest-vector key invalidated everything.
 
-    so a hit is only possible when the *entire* configuration view is
-    byte-identical to when the result was computed — staleness is
-    structurally impossible, no invalidation subtleties.  The
-    digest-vector component is cheap because {!Snapshot} memoises
-    per-switch digests between mutations.
-
-    {!Service} additionally clears the cache from the monitor's
-    snapshot-change hook: entries keyed by a superseded digest vector
-    can never hit again and would only occupy memory. *)
+    Capacity is enforced by second-chance (clock) eviction: entries hit
+    since their last consideration get another round instead of the
+    whole cache being dropped. *)
 
 type t
+
+(** Lookup key: injection point plus the header-space hash.  Compact
+    (three words) where the previous scheme serialised the cube list
+    and digest vector into a multi-KB string. *)
+type key
 
 type stats = {
   mutable hits : int;
   mutable misses : int;
-  mutable invalidations : int;  (** full clears (snapshot changes) *)
+  mutable invalidations : int;  (** full clears ({!invalidate}) *)
+  mutable delta_evictions : int;
+      (** entries evicted by {!invalidate_switch} deltas *)
+  mutable capacity_evictions : int;
+      (** entries evicted by the second-chance sweep at capacity *)
 }
 
-(** [create ?capacity ()] makes an empty cache.  When more than
-    [capacity] (default 4096) results accumulate under one
-    configuration, the cache is cleared rather than grown. *)
+(** [create ?capacity ()] makes an empty cache holding at most
+    [capacity] (default 4096) results; beyond that, second-chance
+    eviction replaces the least recently hit entries one at a time. *)
 val create : ?capacity:int -> unit -> t
 
-(** [key ~snapshot ~src_sw ~src_port ~hs] builds the lookup key for a
-    reach pass over [snapshot]'s believed configuration. *)
-val key : snapshot:Snapshot.t -> src_sw:int -> src_port:int -> hs:Hspace.Hs.t -> string
+(** [key ~src_sw ~src_port ~hs] builds the lookup key for a reach pass
+    injected at [(src_sw, src_port)] with header space [hs]. *)
+val key : src_sw:int -> src_port:int -> hs:Hspace.Hs.t -> key
 
-(** [find t key] returns the cached result and counts a hit/miss. *)
-val find : t -> string -> Verifier.reach_result option
+(** [find t key] returns the cached result and counts a hit/miss.  A
+    hit marks the entry recently-used for the second-chance sweep. *)
+val find : t -> key -> Verifier.reach_result option
 
-(** [add t key result] stores a computed result. *)
-val add : t -> string -> Verifier.reach_result -> unit
+(** [add t key ~snapshot result] stores a computed result, recording
+    the digest of every switch in [result.traversed] as read from
+    [snapshot] — the entry's freshness dependencies. *)
+val add : t -> key -> snapshot:Snapshot.t -> Verifier.reach_result -> unit
 
-(** [invalidate t] drops every entry (the snapshot changed). *)
+(** [invalidate_switch t ~sw ~digest] evicts every entry that traversed
+    [sw] and recorded a digest other than [digest] (the switch's
+    current table digest).  Entries that never consulted [sw], or that
+    saw the identical table, remain valid and are kept. *)
+val invalidate_switch : t -> sw:int -> digest:int64 -> unit
+
+(** [invalidate t] drops every entry (e.g. a topology-level change or
+    a test forcing the non-incremental behaviour). *)
 val invalidate : t -> unit
 
 val stats : t -> stats

@@ -54,8 +54,8 @@ type t = {
   mutable pool : Support.Pool.t;
       (* worker pool for per-access-point sweeps (isolation queries) *)
   cache : Reach_cache.t;
-      (* reach results keyed by (src, hs, per-switch digest vector);
-         cleared from the snapshot-change hook *)
+      (* reach results keyed by (src, hs-hash); the snapshot-change
+         hook evicts only entries that traversed the changed switch *)
 }
 
 let code_identity = "rvaas-service-v1"
@@ -81,12 +81,12 @@ let pool t = t.pool
 let reach_cache t = t.cache
 
 let reach t ~src_sw ~src_port ~hs =
-  let key = Reach_cache.key ~snapshot:(Monitor.snapshot t.monitor) ~src_sw ~src_port ~hs in
+  let key = Reach_cache.key ~src_sw ~src_port ~hs in
   match Reach_cache.find t.cache key with
   | Some r -> r
   | None ->
     let r = Verifier.reach_in t.ctx ~src_sw ~src_port ~hs in
-    Reach_cache.add t.cache key r;
+    Reach_cache.add t.cache key ~snapshot:(Monitor.snapshot t.monitor) r;
     r
 
 (* A frozen, read-only copy of the believed per-switch rule lists:
@@ -107,7 +107,7 @@ let reach_each t ~hs points =
   let looked_up =
     List.map
       (fun (p : Verifier.endpoint) ->
-        let key = Reach_cache.key ~snapshot ~src_sw:p.sw ~src_port:p.port ~hs in
+        let key = Reach_cache.key ~src_sw:p.sw ~src_port:p.port ~hs in
         (p, key, Reach_cache.find t.cache key))
       points
   in
@@ -137,7 +137,7 @@ let reach_each t ~hs points =
   let fresh = Hashtbl.create 16 in
   List.iter2
     (fun ((p : Verifier.endpoint), key) r ->
-      Reach_cache.add t.cache key r;
+      Reach_cache.add t.cache key ~snapshot r;
       Hashtbl.replace fresh p r)
     missing computed;
   List.map
@@ -519,9 +519,17 @@ let create ?pool ?(cache_capacity = 4096) ?(retry = no_retry) net monitor ~direc
       cache = Reach_cache.create ~capacity:cache_capacity ();
     }
   in
-  Monitor.on_snapshot_change monitor (fun ~sw ->
-      Verifier.invalidate_switch t.ctx ~sw;
-      Reach_cache.invalidate t.cache;
+  Monitor.on_snapshot_change monitor (fun ~sw ~changed ->
+      if changed then begin
+        Verifier.invalidate_switch t.ctx ~sw;
+        (* Delta invalidation: only entries whose reach pass traversed
+           [sw] can be stale; everything else survives the Flow-Mod. *)
+        Reach_cache.invalidate_switch t.cache ~sw
+          ~digest:(Snapshot.switch_digest (Monitor.snapshot monitor) ~sw)
+      end;
+      (* Intercept repair runs on every observation, changed or not:
+         it is poll-driven and must converge even when the repair
+         Flow-Mod itself was lost (see [repair_intercepts]). *)
       repair_intercepts t ~sw);
   Monitor.set_packet_in_handler monitor (fun ~sw ~in_port ~header ~payload ->
       handle_packet_in t ~sw ~in_port ~header ~payload);

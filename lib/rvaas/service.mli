@@ -86,12 +86,18 @@ val set_pool : t -> Support.Pool.t -> unit
 val pool : t -> Support.Pool.t
 
 (** [reach_cache t] exposes the incremental reach-result cache — its
-    hit/miss statistics are the subject of experiment E13, and tests
-    clear it to force cold evaluations.  Entries are invalidated
-    whenever the monitored snapshot changes; on top of that, keys embed
-    the per-switch digest vector, so a stale entry can never be
-    returned even between hook deliveries. *)
+    hit/miss statistics are the subject of experiments E13 and E15, and
+    tests clear it to force cold evaluations.  When the monitored
+    snapshot of switch [s] changes, only the cached results whose reach
+    pass traversed [s] are evicted (see {!Reach_cache}); results that
+    never consulted [s]'s table remain valid by construction. *)
 val reach_cache : t -> Reach_cache.t
+
+(** [reach t ~src_sw ~src_port ~hs] runs one cache-first reach pass on
+    the service's verification context — the building block of every
+    query kind; exposed for tests and benchmarks. *)
+val reach :
+  t -> src_sw:int -> src_port:int -> hs:Hspace.Hs.t -> Verifier.reach_result
 
 (** [public t] is the service's public key (distributed to clients out
     of band). *)

@@ -20,6 +20,10 @@ type guarded = {
   g_spec : Ofproto.Flow_entry.spec;
   g_cube : Hspace.Tern.t;
   g_shadow : Hspace.Tern.t list;
+  g_pre : Hspace.Tern.prefilter;
+      (* required-bits view of [g_cube]: lets {!rule_slice} reject an
+         incoming space whose bounding cube misses the rule with a
+         few word operations, before any cube-product work *)
 }
 
 let guarded_rules flows_of sw port =
@@ -41,7 +45,14 @@ let guarded_rules flows_of sw port =
         let fully_shadowed = List.exists (fun c -> Hspace.Tern.subset cube c) shadow in
         let acc =
           if fully_shadowed then acc
-          else { g_spec = spec; g_cube = cube; g_shadow = shadow } :: acc
+          else
+            {
+              g_spec = spec;
+              g_cube = cube;
+              g_shadow = shadow;
+              g_pre = Hspace.Tern.prefilter cube;
+            }
+            :: acc
         in
         (cube :: above, acc))
       ([], []) applicable
@@ -49,7 +60,10 @@ let guarded_rules flows_of sw port =
   List.rev guarded
 
 (* [hs ∩ cube \ shadow] — the packet set this rule actually handles. *)
-let rule_slice hs { g_cube; g_shadow; _ } =
+let rule_slice hs { g_cube; g_shadow; g_pre; _ } =
+  if Hspace.Tern.prefilter_disjoint g_pre (Hspace.Hs.bound hs) then
+    Hspace.Hs.empty width
+  else
   let matched = Hspace.Hs.inter_cube hs g_cube in
   List.fold_left
     (fun acc c -> if Hspace.Hs.is_empty acc then acc else Hspace.Hs.diff_cube acc c)

@@ -1,0 +1,177 @@
+(* Tier-1 coverage for the delta-aware reach cache.
+
+   - Second-chance eviction: a full cache replaces stale entries one at
+     a time and keeps recently-hit ones (the previous implementation
+     dropped the whole table at capacity).
+   - Delta invalidation: a Flow-Mod on switch [s] evicts exactly the
+     entries whose reach pass traversed [s]; surviving entries still
+     hit and agree with a fresh recomputation by the eager-guard
+     reference verifier. *)
+
+let check = Alcotest.check
+
+(* ---- unit level: eviction and delta semantics on synthetic entries ---- *)
+
+let fake_result traversed =
+  {
+    Rvaas.Verifier.endpoints = [];
+    controller_hits = [];
+    traversed;
+    sample_paths = [];
+    handoffs = [];
+    rule_visits = 0;
+  }
+
+let key_of i =
+  Rvaas.Reach_cache.key ~src_sw:i ~src_port:1 ~hs:(Rvaas.Verifier.ip_traffic_hs ())
+
+let test_second_chance_eviction () =
+  let cache = Rvaas.Reach_cache.create ~capacity:4 () in
+  let snapshot = Rvaas.Snapshot.create () in
+  for i = 0 to 3 do
+    Rvaas.Reach_cache.add cache (key_of i) ~snapshot (fake_result [ i ])
+  done;
+  check Alcotest.int "at capacity" 4 (Rvaas.Reach_cache.length cache);
+  (* Hit 0 and 1: they are now recently used. *)
+  check Alcotest.bool "hit 0" true (Rvaas.Reach_cache.find cache (key_of 0) <> None);
+  check Alcotest.bool "hit 1" true (Rvaas.Reach_cache.find cache (key_of 1) <> None);
+  (* Two inserts beyond capacity must displace the un-hit entries 2 and
+     3, never the recently-hit ones. *)
+  Rvaas.Reach_cache.add cache (key_of 4) ~snapshot (fake_result [ 4 ]);
+  Rvaas.Reach_cache.add cache (key_of 5) ~snapshot (fake_result [ 5 ]);
+  check Alcotest.int "still at capacity" 4 (Rvaas.Reach_cache.length cache);
+  check Alcotest.bool "recently-hit entry 0 retained" true
+    (Rvaas.Reach_cache.find cache (key_of 0) <> None);
+  check Alcotest.bool "recently-hit entry 1 retained" true
+    (Rvaas.Reach_cache.find cache (key_of 1) <> None);
+  check Alcotest.bool "stale entry displaced" true
+    (Rvaas.Reach_cache.find cache (key_of 2) = None
+    || Rvaas.Reach_cache.find cache (key_of 3) = None);
+  let stats = Rvaas.Reach_cache.stats cache in
+  check Alcotest.int "two capacity evictions" 2
+    stats.Rvaas.Reach_cache.capacity_evictions
+
+let test_delta_eviction_unit () =
+  let cache = Rvaas.Reach_cache.create () in
+  let snapshot = Rvaas.Snapshot.create () in
+  (* Entry A traversed switches 0-1, entry B switches 2-3; the empty
+     snapshot digests every switch as 0L. *)
+  Rvaas.Reach_cache.add cache (key_of 0) ~snapshot (fake_result [ 0; 1 ]);
+  Rvaas.Reach_cache.add cache (key_of 2) ~snapshot (fake_result [ 2; 3 ]);
+  (* A confirming observation (digest unchanged) evicts nothing. *)
+  Rvaas.Reach_cache.invalidate_switch cache ~sw:1 ~digest:0L;
+  check Alcotest.int "unchanged digest keeps both" 2 (Rvaas.Reach_cache.length cache);
+  (* A real change on switch 1 evicts exactly the entry that read it. *)
+  Rvaas.Reach_cache.invalidate_switch cache ~sw:1 ~digest:42L;
+  check Alcotest.int "one entry evicted" 1 (Rvaas.Reach_cache.length cache);
+  check Alcotest.bool "traversing entry gone" true
+    (Rvaas.Reach_cache.find cache (key_of 0) = None);
+  check Alcotest.bool "independent entry kept" true
+    (Rvaas.Reach_cache.find cache (key_of 2) <> None);
+  let stats = Rvaas.Reach_cache.stats cache in
+  check Alcotest.int "delta eviction counted" 1 stats.Rvaas.Reach_cache.delta_evictions
+
+(* ---- system level: Flow-Mod on one switch, queries on others ---- *)
+
+let build topo =
+  let s =
+    Workload.Scenario.build
+      { (Workload.Scenario.default_spec topo) with clients = 2; isolation = false }
+  in
+  Workload.Scenario.run s ~until:(Netsim.Sim.now (Netsim.Net.sim s.net) +. 0.3);
+  s
+
+let endpoints_fingerprint (r : Rvaas.Verifier.reach_result) =
+  List.map
+    (fun ((ep : Rvaas.Verifier.endpoint), hs) ->
+      Printf.sprintf "%d/%d/%d:%s" ep.host ep.sw ep.port
+        (String.concat "+"
+           (List.sort String.compare
+              (List.map Hspace.Tern.to_string (Hspace.Hs.cubes hs)))))
+    r.Rvaas.Verifier.endpoints
+
+let test_delta_invalidation_end_to_end () =
+  let topo = Workload.Topogen.linear Workload.Topogen.default_params 6 in
+  let s = build topo in
+  let cache = Rvaas.Service.reach_cache s.service in
+  let stats = Rvaas.Reach_cache.stats cache in
+  let points = Rvaas.Verifier.access_points (Netsim.Net.topology s.net) in
+  let near = List.hd points in
+  (* Scope the query to a neighbouring host's address so the reach pass
+     stays local to the low end of the line. *)
+  let far_host = (List.hd (List.rev points)).Rvaas.Verifier.host in
+  let near_peer =
+    (List.nth points 1).Rvaas.Verifier.host
+  in
+  let ip_of host =
+    (Option.get (Sdnctl.Addressing.host s.addressing ~host)).Sdnctl.Addressing.ip
+  in
+  let hs_near = Rvaas.Verifier.dst_ip_hs (ip_of near_peer) in
+  let r_near =
+    Rvaas.Service.reach s.service ~src_sw:near.Rvaas.Verifier.sw
+      ~src_port:near.Rvaas.Verifier.port ~hs:hs_near
+  in
+  (* A second cached entry that does traverse the far switch. *)
+  let hs_far = Rvaas.Verifier.dst_ip_hs (ip_of far_host) in
+  let r_far =
+    Rvaas.Service.reach s.service ~src_sw:near.Rvaas.Verifier.sw
+      ~src_port:near.Rvaas.Verifier.port ~hs:hs_far
+  in
+  (* Pick a switch the near query never consulted but the far one did:
+     the Flow-Mod target. *)
+  let mod_sw =
+    List.find
+      (fun sw -> not (List.mem sw r_near.Rvaas.Verifier.traversed))
+      (List.rev r_far.Rvaas.Verifier.traversed)
+  in
+  let conn = Sdnctl.Provider.conn s.provider in
+  let m = Ofproto.Match_.with_exact Ofproto.Match_.any Hspace.Field.Tp_src 7777 in
+  Netsim.Net.send s.net conn ~sw:mod_sw
+    (Ofproto.Message.Flow_mod
+       (Ofproto.Message.Add_flow (Ofproto.Flow_entry.make_spec ~cookie:9 ~priority:55 m [])));
+  Workload.Scenario.run s ~until:(Netsim.Sim.now (Netsim.Net.sim s.net) +. 0.2);
+  check Alcotest.bool "change evicted the traversing entry" true
+    (stats.Rvaas.Reach_cache.delta_evictions > 0);
+  (* The untouched entry still hits... *)
+  let hits0 = stats.Rvaas.Reach_cache.hits in
+  let r_near' =
+    Rvaas.Service.reach s.service ~src_sw:near.Rvaas.Verifier.sw
+      ~src_port:near.Rvaas.Verifier.port ~hs:hs_near
+  in
+  check Alcotest.bool "surviving entry served from cache" true
+    (stats.Rvaas.Reach_cache.hits > hits0);
+  check
+    Alcotest.(list string)
+    "survivor unchanged" (endpoints_fingerprint r_near) (endpoints_fingerprint r_near');
+  (* ...and agrees with a fresh pass of the eager-guard reference
+     verifier over the believed configuration. *)
+  let snapshot = Rvaas.Monitor.snapshot s.monitor in
+  let flows_of sw = Rvaas.Snapshot.flows snapshot ~sw in
+  let r_ref =
+    Rvaas.Verifier_ref.reach ~flows_of (Netsim.Net.topology s.net)
+      ~src_sw:near.Rvaas.Verifier.sw ~src_port:near.Rvaas.Verifier.port ~hs:hs_near
+  in
+  check
+    Alcotest.(list string)
+    "survivor matches reference recomputation" (endpoints_fingerprint r_ref)
+    (endpoints_fingerprint r_near');
+  (* The traversing entry was evicted: same query misses and recomputes. *)
+  let misses0 = stats.Rvaas.Reach_cache.misses in
+  let _ =
+    Rvaas.Service.reach s.service ~src_sw:near.Rvaas.Verifier.sw
+      ~src_port:near.Rvaas.Verifier.port ~hs:hs_far
+  in
+  check Alcotest.bool "evicted entry recomputed" true
+    (stats.Rvaas.Reach_cache.misses > misses0)
+
+let () =
+  Alcotest.run "cache"
+    [
+      ( "reach-cache",
+        [
+          Alcotest.test_case "second-chance eviction" `Quick test_second_chance_eviction;
+          Alcotest.test_case "delta eviction (unit)" `Quick test_delta_eviction_unit;
+          Alcotest.test_case "delta invalidation end-to-end" `Quick
+            test_delta_invalidation_end_to_end;
+        ] );
+    ]

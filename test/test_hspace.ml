@@ -316,6 +316,77 @@ let prop_inter_matches_naive =
       if String.contains naive 'z' then T.is_empty (T.inter (t_of a) (t_of b))
       else String.equal packed naive)
 
+(* ---- qcheck: Hs algebra vs brute-force enumeration ---- *)
+
+(* Width 8 keeps the concrete universe (256 vectors) fully enumerable,
+   so every set operation can be checked against literal membership of
+   the whole space rather than sampled vectors. *)
+let bw = 8
+
+let enum_all =
+  List.init (1 lsl bw) (fun v ->
+      t_of (String.init bw (fun i -> if (v lsr i) land 1 = 1 then '1' else '0')))
+
+let cube8_gen =
+  QCheck2.Gen.(
+    map
+      (fun chars -> t_of (String.init bw (List.nth chars)))
+      (* the occasional z exercises empty-cube dropping *)
+      (list_repeat bw (frequencyl [ (3, '0'); (3, '1'); (4, 'x'); (1, 'z') ])))
+
+let cubes8_gen = QCheck2.Gen.(list_size (int_range 0 4) cube8_gen)
+
+let prop_hs_ops_brute_force =
+  QCheck2.Test.make ~name:"union/inter/diff/complement = enumeration" ~count:200
+    QCheck2.Gen.(pair cubes8_gen cubes8_gen)
+    (fun (ca, cb) ->
+      let a = Hs.of_cubes bw ca and b = Hs.of_cubes bw cb in
+      let u = Hs.union a b
+      and i = Hs.inter a b
+      and d = Hs.diff a b
+      and c = Hs.complement a in
+      List.for_all
+        (fun v ->
+          let ma = Hs.mem v a and mb = Hs.mem v b in
+          Hs.mem v u = (ma || mb)
+          && Hs.mem v i = (ma && mb)
+          && Hs.mem v d = (ma && not mb)
+          && Hs.mem v c = not ma)
+        enum_all)
+
+let prop_hs_subset_brute_force =
+  QCheck2.Test.make ~name:"subset = enumeration" ~count:200
+    QCheck2.Gen.(pair cubes8_gen cubes8_gen)
+    (fun (ca, cb) ->
+      let a = Hs.of_cubes bw ca and b = Hs.of_cubes bw cb in
+      Hs.subset a b
+      = List.for_all (fun v -> (not (Hs.mem v a)) || Hs.mem v b) enum_all)
+
+let prop_builder_matches_ref =
+  (* The batch builder and the original quadratic normaliser must agree
+     on the normal form itself (the set of maximal cubes is unique), not
+     merely denote the same set. *)
+  QCheck2.Test.make ~name:"batch builder = reference normalise" ~count:300
+    QCheck2.Gen.(list_size (int_range 0 8) cube8_gen)
+    (fun cs ->
+      let fast = Hs.of_cubes bw cs and slow = Hs.of_cubes_ref bw cs in
+      let sorted hs = List.sort T.compare (Hs.cubes hs) in
+      List.equal T.equal (sorted fast) (sorted slow) && Hs.equal fast slow)
+
+let prop_bound_contains_cubes =
+  QCheck2.Test.make ~name:"bound contains every cube" ~count:200 cubes8_gen
+    (fun cs ->
+      let a = Hs.of_cubes bw cs in
+      List.for_all (fun c -> T.subset c (Hs.bound a)) (Hs.cubes a))
+
+let prop_hash_respects_structure =
+  QCheck2.Test.make ~name:"structurally equal sets hash equally" ~count:200
+    cubes8_gen
+    (fun cs ->
+      (* Same cubes presented in reverse order must reach the same
+         normal form and therefore the same (order-independent) hash. *)
+      Hs.hash (Hs.of_cubes bw cs) = Hs.hash (Hs.of_cubes bw (List.rev cs)))
+
 let () =
   Alcotest.run "hspace"
     [
@@ -339,6 +410,11 @@ let () =
           Alcotest.test_case "empty/full" `Quick test_hs_empty_full;
           Alcotest.test_case "normalisation" `Quick test_hs_normalisation;
           Alcotest.test_case "no subsumed cubes" `Quick test_hs_no_subsumed_cubes;
+          QCheck_alcotest.to_alcotest prop_hs_ops_brute_force;
+          QCheck_alcotest.to_alcotest prop_hs_subset_brute_force;
+          QCheck_alcotest.to_alcotest prop_builder_matches_ref;
+          QCheck_alcotest.to_alcotest prop_bound_contains_cubes;
+          QCheck_alcotest.to_alcotest prop_hash_respects_structure;
         ] );
       ( "field+header",
         [
