@@ -1093,6 +1093,142 @@ let e15 () =
     cases
 
 (* ---------------------------------------------------------------- *)
+(* E16: controller crash mid-attack — recovery time & verdict parity *)
+(* ---------------------------------------------------------------- *)
+
+let e16_trials = 5
+
+let e16_config =
+  {
+    Rvaas.Failover.heartbeat_period = 0.01;
+    takeover_timeout = 0.05;
+    check_period = 0.01;
+    checkpoint_every = 32;
+  }
+
+let e16_scenario ~seed =
+  let topo = Workload.Topogen.linear Workload.Topogen.default_params 4 in
+  Workload.Scenario.build
+    {
+      (Workload.Scenario.default_spec topo) with
+      seed;
+      polling = Rvaas.Monitor.Periodic 0.02;
+      (* The output-commit window: a crash can eat an answer that was
+         already journalled closed and on the wire.  The client-side
+         resend (same nonce, fires after the standby's takeover bound)
+         is the end-to-end cover. *)
+      agent_resend = Some 0.12;
+      ha = Some e16_config;
+    }
+
+type e16_verdict = { v_endpoints : int; v_auth : int; v_alarms : string list }
+
+let e16_verdict_of s (outcome : Rvaas.Client_agent.outcome) =
+  let answer = outcome.Rvaas.Client_agent.answer in
+  let alarms =
+    Rvaas.Detector.check_answer (Workload.Scenario.policy_for s ~client:0) answer
+  in
+  {
+    v_endpoints = List.length answer.Rvaas.Query.endpoints;
+    v_auth = answer.Rvaas.Query.total_auth_requests;
+    v_alarms = List.sort String.compare (List.map Rvaas.Detector.describe alarms);
+  }
+
+(* One trial: persistent join attack (it must survive the blind window,
+   unlike E3's transients), then an isolation query with the controller
+   crashed [crash_offset] seconds after the query went out.
+   [crash_offset = None] is the fault-free twin the verdict is compared
+   against. *)
+let e16_trial ~seed ~crash_offset =
+  let s = e16_scenario ~seed in
+  let now () = Netsim.Sim.now (Netsim.Net.sim s.net) in
+  Workload.Scenario.run s ~until:0.4;
+  Sdnctl.Attack.launch s.net s.addressing
+    ~conn:(Sdnctl.Provider.conn s.provider)
+    (Sdnctl.Attack.Join { victim_client = 0; attacker_host = 1 });
+  Workload.Scenario.run s ~until:0.5;
+  let agent = Workload.Scenario.agent s ~host:0 in
+  let result = ref None in
+  Rvaas.Client_agent.set_answer_callback agent (fun o -> result := Some o);
+  let nonce =
+    Rvaas.Client_agent.send_query agent (Rvaas.Query.make Rvaas.Query.Isolation)
+  in
+  (match crash_offset with
+  | Some dt ->
+    Workload.Scenario.run s ~until:(0.5 +. dt);
+    Rvaas.Failover.crash (Workload.Scenario.controller s);
+    Rvaas.Failover.enable_standby (Workload.Scenario.controller s)
+  | None -> ());
+  let matched (o : Rvaas.Client_agent.outcome) =
+    String.equal o.Rvaas.Client_agent.answer.Rvaas.Query.nonce nonce
+  in
+  let deadline = 2.0 in
+  while
+    (match !result with Some o -> not (matched o) | None -> true)
+    && now () < deadline
+  do
+    Workload.Scenario.run s ~until:(now () +. 0.01)
+  done;
+  (* Let the resync watchdog observe the drained poll sweep. *)
+  Workload.Scenario.run s ~until:(now () +. 0.25);
+  let verdict =
+    match !result with Some o when matched o -> Some (e16_verdict_of s o) | _ -> None
+  in
+  (s, verdict)
+
+let e16 () =
+  section
+    "E16: controller crash at a random point of the attack workload (linear-4,\n\
+     persistent join attack, isolation query in flight; standby: 10 ms\n\
+     heartbeats, 50 ms takeover timeout, 10 ms watchdog).  detect = crash ->\n\
+     takeover; blind = crash -> post-takeover poll sweep drained; parity =\n\
+     verdict equals the fault-free twin (same seed, no crash)";
+  Printf.printf "%-5s %10s | %10s %10s | %8s %8s %4s | %-7s %s\n" "seed" "crash (ms)"
+    "detect(ms)" "blind (ms)" "replayed" "reissued" "gen" "answer" "parity";
+  let strict = Sys.getenv_opt "RVAAS_E16_STRICT" <> None in
+  let failures = ref 0 in
+  for seed = 1 to e16_trials do
+    let rng = Support.Rng.create (seed * 7919) in
+    (* The window starts after the Packet-In lands (the query is open
+       and journalled) and ends before the auth round completes, so the
+       crash usually catches the query in flight. *)
+    let crash_offset = 0.0015 +. Support.Rng.float rng 0.0025 in
+    let _, expected = e16_trial ~seed ~crash_offset:None in
+    let s, verdict = e16_trial ~seed ~crash_offset:(Some crash_offset) in
+    let ctrl = Workload.Scenario.controller s in
+    match Rvaas.Failover.last_takeover ctrl with
+    | None ->
+      incr failures;
+      Printf.printf "%-5d %10.1f | standby never took over\n" seed
+        (1000.0 *. crash_offset)
+    | Some r ->
+      let detect = r.Rvaas.Failover.detected_at -. r.Rvaas.Failover.crashed_at in
+      let blind =
+        if r.Rvaas.Failover.resynced_at > 0.0 then
+          r.Rvaas.Failover.resynced_at -. r.Rvaas.Failover.crashed_at
+        else nan
+      in
+      let answered = verdict <> None in
+      let parity =
+        match (verdict, expected) with Some got, Some want -> got = want | _ -> false
+      in
+      if (not answered) || not parity then incr failures;
+      if strict && (detect > 0.08 || not (blind <= 0.2)) then incr failures;
+      Printf.printf "%-5d %10.1f | %10.1f %10.1f | %8d %8d %4d | %-7s %s\n" seed
+        (1000.0 *. crash_offset) (1000.0 *. detect) (1000.0 *. blind)
+        r.Rvaas.Failover.replayed_entries r.Rvaas.Failover.reissued_queries
+        r.Rvaas.Failover.generation
+        (if answered then "ok" else "LOST")
+        (if parity then "ok" else "MISMATCH")
+  done;
+  if strict then
+    if !failures > 0 then begin
+      Printf.printf "E16 strict: %d failing trial(s)\n" !failures;
+      exit 1
+    end
+    else print_endline "E16 strict: all trials recovered within bounds"
+
+(* ---------------------------------------------------------------- *)
 (* Micro-benchmarks (Bechamel)                                       *)
 (* ---------------------------------------------------------------- *)
 
@@ -1215,6 +1351,7 @@ let experiments =
     ("e13", e13);
     ("e14", e14);
     ("e15", e15);
+    ("e16", e16);
     ("micro", micro);
   ]
 

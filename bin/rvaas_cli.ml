@@ -326,10 +326,94 @@ let traceback_cmd =
       const run $ topo_arg $ size_arg $ clients_arg $ seed_arg $ polling_arg
       $ poll_period_arg $ loss_arg $ attack_arg)
 
+(* ---- failover subcommand ---- *)
+
+let crash_after_arg =
+  Arg.(
+    value & opt float 0.003
+    & info [ "crash-after" ] ~docv:"SECONDS"
+        ~doc:"How long after the query goes out the primary is killed.")
+
+let failover_cmd =
+  let run kind size clients seed polling period loss host qkind crash_after =
+    let topo = make_topo kind size in
+    let s =
+      Workload.Scenario.build
+        {
+          (Workload.Scenario.default_spec topo) with
+          clients;
+          seed;
+          polling = make_polling polling period;
+          rvaas_loss = loss;
+          agent_resend = Some 0.12;
+          ha = Some Rvaas.Failover.default_config;
+        }
+    in
+    let now () = Netsim.Sim.now (Netsim.Net.sim s.net) in
+    let stamp fmt =
+      Printf.printf "%8.1f ms  " (1000.0 *. now ());
+      Printf.printf fmt
+    in
+    Workload.Scenario.run s ~until:(now () +. 0.2);
+    let ctrl = Workload.Scenario.controller s in
+    let agent = Workload.Scenario.agent s ~host in
+    let result = ref None in
+    Rvaas.Client_agent.set_answer_callback agent (fun o -> result := Some o);
+    ignore (Rvaas.Client_agent.send_query agent (to_query qkind));
+    stamp "query issued from host %d (generation %d serving)\n" host
+      (Rvaas.Failover.generation ctrl);
+    Workload.Scenario.run s ~until:(now () +. crash_after);
+    Rvaas.Failover.crash ctrl;
+    stamp "primary crashed: service dead, polling stopped, session down\n";
+    Rvaas.Failover.enable_standby ctrl;
+    stamp "warm standby armed (takeover after %.0f ms of journal silence)\n"
+      (1000.0 *. Rvaas.Failover.default_config.takeover_timeout);
+    let deadline = now () +. 2.0 in
+    while !result = None && now () < deadline do
+      Workload.Scenario.run s ~until:(now () +. 0.01)
+    done;
+    Workload.Scenario.run s ~until:(now () +. 0.2);
+    (match Rvaas.Failover.last_takeover ctrl with
+    | None -> print_endline "standby never took over"
+    | Some r ->
+      Printf.printf "%8.1f ms  standby detected the silence (%.1f ms after the crash)\n"
+        (1000.0 *. r.Rvaas.Failover.detected_at)
+        (1000.0 *. (r.Rvaas.Failover.detected_at -. r.Rvaas.Failover.crashed_at));
+      Printf.printf
+        "%8.1f ms  takeover: generation %d, %d journal entries replayed, %d \
+         in-flight quer%s re-issued\n"
+        (1000.0 *. r.Rvaas.Failover.detected_at)
+        r.Rvaas.Failover.generation r.Rvaas.Failover.replayed_entries
+        r.Rvaas.Failover.reissued_queries
+        (if r.Rvaas.Failover.reissued_queries = 1 then "y" else "ies");
+      if r.Rvaas.Failover.resynced_at > 0.0 then
+        Printf.printf "%8.1f ms  resynchronised: poll sweep drained (blind window %.1f ms)\n"
+          (1000.0 *. r.Rvaas.Failover.resynced_at)
+          (1000.0 *. (r.Rvaas.Failover.resynced_at -. r.Rvaas.Failover.crashed_at)));
+    match !result with
+    | None ->
+      print_endline "no answer (timeout)";
+      1
+    | Some outcome ->
+      Printf.printf "%8.1f ms  answer delivered to host %d\n"
+        (1000.0 *. outcome.Rvaas.Client_agent.answered_at)
+        host;
+      Format.printf "%a@." Rvaas.Query.pp_answer outcome.Rvaas.Client_agent.answer;
+      0
+  in
+  Cmd.v
+    (Cmd.info "failover"
+       ~doc:
+         "Kill the primary RVaaS controller mid-query and print the warm standby's \
+          takeover timeline.")
+    Term.(
+      const run $ topo_arg $ size_arg $ clients_arg $ seed_arg $ polling_arg
+      $ poll_period_arg $ loss_arg $ host_arg $ kind_arg $ crash_after_arg)
+
 let main =
   Cmd.group
     (Cmd.info "rvaas-cli" ~version:"1.0.0"
        ~doc:"Routing-Verification-as-a-Service: deployments, queries and attacks.")
-    [ topo_cmd; query_cmd; attack_cmd; monitor_cmd; wiring_cmd; traceback_cmd ]
+    [ topo_cmd; query_cmd; attack_cmd; monitor_cmd; wiring_cmd; traceback_cmd; failover_cmd ]
 
 let () = exit (Cmd.eval' main)

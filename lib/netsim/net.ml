@@ -12,6 +12,7 @@ type stats = {
   mutable ctrl_faults_duplicated : int;
   mutable link_faults_lost : int;
   mutable link_faults_duplicated : int;
+  mutable session_drops : int;
 }
 
 type conn = {
@@ -20,6 +21,8 @@ type conn = {
   loss_prob : float;
   faults : Faults.t;
   mutable handler : Ofproto.Message.to_controller -> unit;
+  mutable up : bool; (* session alive?  down = crash or partition *)
+  mutable sessions : int; (* establishments: 1 + reconnect count *)
   mutable switches : int list;
   mutable monitored : int list;
   mutable tx : int; (* controller -> switch messages sent *)
@@ -95,16 +98,26 @@ let ctrl_copies t conn =
    - [faults] applies uniformly to {e every} message in both
      directions: the degraded-channel regime the retry layers of the
      protocol are built against. *)
+let session_drop t conn =
+  conn.lost <- conn.lost + 1;
+  t.stats.session_drops <- t.stats.session_drops + 1
+
 let to_controller t conn msg =
   let lossy = match msg with Ofproto.Message.Monitor _ -> true | _ -> false in
-  if lossy && conn.loss_prob > 0.0 && Support.Rng.bernoulli t.loss_rng conn.loss_prob
+  if not conn.up then session_drop t conn
+  else if lossy && conn.loss_prob > 0.0 && Support.Rng.bernoulli t.loss_rng conn.loss_prob
   then conn.lost <- conn.lost + 1
   else
     List.iter
       (fun extra ->
         Sim.schedule t.sim ~delay:(conn.delay +. extra) (fun () ->
-            conn.rx <- conn.rx + 1;
-            conn.handler msg))
+            (* Checked again on delivery: messages in flight when the
+               session drops are lost with it. *)
+            if not conn.up then session_drop t conn
+            else begin
+              conn.rx <- conn.rx + 1;
+              conn.handler msg
+            end))
       (ctrl_copies t conn)
 
 let monitoring_conns t sw =
@@ -265,6 +278,8 @@ let register_controller t ~name ~delay ?(loss_prob = 0.0) ?(faults = Faults.none
       loss_prob;
       faults;
       handler = (fun _ -> ());
+      up = true;
+      sessions = 1;
       switches = [];
       monitored = [];
       tx = 0;
@@ -289,11 +304,34 @@ let send t conn ~sw msg =
   if not (List.mem sw conn.switches) then
     invalid_arg "Net.send: connection not attached to switch";
   conn.tx <- conn.tx + 1;
-  List.iter
-    (fun extra ->
-      Sim.schedule t.sim ~delay:(conn.delay +. extra) (fun () ->
-          apply_to_switch t conn sw msg))
-    (ctrl_copies t conn)
+  if not conn.up then session_drop t conn
+  else
+    List.iter
+      (fun extra ->
+        Sim.schedule t.sim ~delay:(conn.delay +. extra) (fun () ->
+            if not conn.up then session_drop t conn
+            else apply_to_switch t conn sw msg))
+      (ctrl_copies t conn)
+
+(* Session teardown/re-establishment.  [disconnect] models a controller
+   crash or control-channel partition: the session stays registered (so
+   counters and attachment lists survive) but every message in either
+   direction — including those already in flight — is dropped until
+   [reconnect].  Switch state is untouched: flow tables keep forwarding
+   (OpenFlow fail-standalone mode), which is exactly why a recovering
+   controller must resynchronise from its journal rather than assume a
+   blank network. *)
+let disconnect _t conn = conn.up <- false
+
+let reconnect _t conn =
+  if not conn.up then begin
+    conn.up <- true;
+    conn.sessions <- conn.sessions + 1
+  end
+
+let conn_up conn = conn.up
+
+let conn_sessions conn = conn.sessions
 
 let set_link_faults t endpoint faults = Hashtbl.replace t.link_faults endpoint faults
 
@@ -331,6 +369,7 @@ let create ~seed topo =
           ctrl_faults_duplicated = 0;
           link_faults_lost = 0;
           link_faults_duplicated = 0;
+          session_drops = 0;
         };
       conns = [];
       drop_observers = [];

@@ -36,6 +36,8 @@ type stats = {
       (** data-plane packets dropped by injected link faults *)
   mutable link_faults_duplicated : int;
       (** extra data-plane copies delivered by injected link faults *)
+  mutable session_drops : int;
+      (** messages dropped because a controller session was down *)
 }
 
 (** [create ~seed topo] builds the runtime.  The topology must not be
@@ -112,6 +114,32 @@ val conn_lost : conn -> int
 
 (** [conn_faults conn] is the connection's fault config. *)
 val conn_faults : conn -> Faults.t
+
+(** {1 Session teardown and re-establishment}
+
+    Crash-recovery primitives (paper stance: verification must outlive
+    the provider it audits).  A disconnected session silently drops
+    every message in both directions — including those already in
+    flight — while switch state keeps forwarding untouched (OpenFlow
+    fail-standalone mode).  Attachment lists and counters survive, so
+    a recovering controller re-attaches by calling {!reconnect} and
+    resynchronising state itself. *)
+
+(** [disconnect t conn] tears the session down: models a controller
+    crash or control-channel partition. *)
+val disconnect : t -> conn -> unit
+
+(** [reconnect t conn] re-establishes a torn-down session (idempotent;
+    bumps the session count). *)
+val reconnect : t -> conn -> unit
+
+(** [conn_up conn] is [true] while the session is established. *)
+val conn_up : conn -> bool
+
+(** [conn_sessions conn] counts session establishments (1 + successful
+    reconnects) — lets tests and the failover report distinguish a
+    resumed session from the original. *)
+val conn_sessions : conn -> int
 
 (** {1 Injected faults}
 

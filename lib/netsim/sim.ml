@@ -44,6 +44,16 @@ let run ?until t =
   (match until with Some limit when limit > t.clock -> t.clock <- limit | _ -> ());
   !count
 
+(* Periodic driver for heartbeats / watchdogs: [f] returns [true] to
+   keep ticking.  First tick after one [period]. *)
+let every ?until t ~period f =
+  if period <= 0.0 then invalid_arg "Sim.every: period must be > 0";
+  let rec tick () =
+    let expired = match until with Some limit -> t.clock > limit | None -> false in
+    if (not expired) && f () then schedule t ~delay:period tick
+  in
+  schedule t ~delay:period tick
+
 let pending t = Support.Pqueue.length t.queue
 
 let executed t = t.executed

@@ -28,6 +28,13 @@ val schedule_at : t -> time:float -> (unit -> unit) -> unit
     executed. *)
 val run : ?until:float -> t -> int
 
+(** [every ?until t ~period f] runs [f] every [period] seconds (first
+    tick one period from now) for as long as [f] returns [true] and
+    [now] has not passed [until].  The periodic driver behind session
+    heartbeats and failover watchdogs.
+    @raise Invalid_argument when [period <= 0]. *)
+val every : ?until:float -> t -> period:float -> (unit -> bool) -> unit
+
 (** [step t] executes the next event; false when the queue is empty. *)
 val step : t -> bool
 

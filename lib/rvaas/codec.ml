@@ -52,6 +52,10 @@ let parse_query pairs =
     in
     Ok { Query.kind; scope }
 
+let query_to_string q = join_lines (query_lines q)
+
+let query_of_string s = parse_query (parse_all s)
+
 let encode_request r ~key ~recipient =
   let body =
     join_lines
@@ -262,3 +266,195 @@ let decode_answer payload ~service_public =
         | _ -> Error "malformed answer"
       end
     | _ -> Error "malformed answer")
+
+(* ---- binary primitives ----
+
+   Compact little-endian encoders for the durable layer (snapshot
+   images, journal payloads).  Kept next to the text codecs so every
+   byte that crosses a persistence or wire boundary is defined in one
+   module. *)
+
+module Bin = struct
+  exception Malformed of string
+
+  let w_u8 b v = Buffer.add_char b (Char.chr (v land 0xff))
+
+  let w_i64 b v =
+    for i = 0 to 7 do
+      w_u8 b (Int64.to_int (Int64.logand (Int64.shift_right_logical v (8 * i)) 0xffL))
+    done
+
+  let w_int b v = w_i64 b (Int64.of_int v)
+
+  let w_float b v = w_i64 b (Int64.bits_of_float v)
+
+  let w_string b s =
+    w_int b (String.length s);
+    Buffer.add_string b s
+
+  let w_opt w b = function
+    | None -> w_u8 b 0
+    | Some v ->
+      w_u8 b 1;
+      w b v
+
+  let w_list w b xs =
+    w_int b (List.length xs);
+    List.iter (w b) xs
+
+  type reader = { src : string; mutable pos : int }
+
+  let reader src = { src; pos = 0 }
+
+  let at_end r = r.pos >= String.length r.src
+
+  let r_u8 r =
+    if r.pos >= String.length r.src then raise (Malformed "truncated");
+    let v = Char.code r.src.[r.pos] in
+    r.pos <- r.pos + 1;
+    v
+
+  let r_i64 r =
+    let v = ref 0L in
+    for i = 0 to 7 do
+      v := Int64.logor !v (Int64.shift_left (Int64.of_int (r_u8 r)) (8 * i))
+    done;
+    !v
+
+  let r_int r = Int64.to_int (r_i64 r)
+
+  let r_float r = Int64.float_of_bits (r_i64 r)
+
+  let r_string r =
+    let n = r_int r in
+    if n < 0 || r.pos + n > String.length r.src then raise (Malformed "truncated string");
+    let v = String.sub r.src r.pos n in
+    r.pos <- r.pos + n;
+    v
+
+  let r_opt rd r = match r_u8 r with 0 -> None | 1 -> Some (rd r) | _ -> raise (Malformed "bad option tag")
+
+  let r_list rd r =
+    let n = r_int r in
+    if n < 0 then raise (Malformed "bad list length");
+    List.init n (fun _ -> rd r)
+
+  (* ---- flow-entry specs ---- *)
+
+  let field_index f =
+    let rec go i = function
+      | [] -> raise (Malformed "unknown field")
+      | g :: rest -> if g = f then i else go (i + 1) rest
+    in
+    go 0 Hspace.Field.all
+
+  let field_of_index i =
+    match List.nth_opt Hspace.Field.all i with
+    | Some f -> f
+    | None -> raise (Malformed "bad field index")
+
+  let w_action b = function
+    | Ofproto.Action.Output p ->
+      w_u8 b 0;
+      w_int b p
+    | Ofproto.Action.In_port -> w_u8 b 1
+    | Ofproto.Action.Flood -> w_u8 b 2
+    | Ofproto.Action.To_controller -> w_u8 b 3
+    | Ofproto.Action.Set_field (f, v) ->
+      w_u8 b 4;
+      w_int b (field_index f);
+      w_int b v
+    | Ofproto.Action.Set_queue q ->
+      w_u8 b 5;
+      w_int b q
+
+  let r_action r =
+    match r_u8 r with
+    | 0 -> Ofproto.Action.Output (r_int r)
+    | 1 -> Ofproto.Action.In_port
+    | 2 -> Ofproto.Action.Flood
+    | 3 -> Ofproto.Action.To_controller
+    | 4 ->
+      let f = field_of_index (r_int r) in
+      let v = r_int r in
+      Ofproto.Action.Set_field (f, v)
+    | 5 -> Ofproto.Action.Set_queue (r_int r)
+    | _ -> raise (Malformed "bad action tag")
+
+  let w_match b m =
+    w_opt w_int b (Ofproto.Match_.in_port m);
+    w_list
+      (fun b (f, { Ofproto.Match_.value; mask }) ->
+        w_int b (field_index f);
+        w_int b value;
+        w_int b mask)
+      b (Ofproto.Match_.fields m)
+
+  let r_match r =
+    let in_port = r_opt r_int r in
+    let fields =
+      r_list
+        (fun r ->
+          let f = field_of_index (r_int r) in
+          let value = r_int r in
+          let mask = r_int r in
+          (f, value, mask))
+        r
+    in
+    let m =
+      List.fold_left
+        (fun m (f, value, mask) -> Ofproto.Match_.with_field m f ~value ~mask)
+        Ofproto.Match_.any fields
+    in
+    match in_port with None -> m | Some p -> Ofproto.Match_.with_in_port m p
+
+  let w_spec b (s : Ofproto.Flow_entry.spec) =
+    w_int b s.priority;
+    w_int b s.cookie;
+    w_opt w_int b s.meter;
+    w_opt w_float b s.hard_timeout;
+    w_match b s.match_;
+    w_list w_action b s.actions
+
+  let r_spec r =
+    let priority = r_int r in
+    let cookie = r_int r in
+    let meter = r_opt r_int r in
+    let hard_timeout = r_opt r_float r in
+    let match_ = r_match r in
+    let actions = r_list r_action r in
+    Ofproto.Flow_entry.make_spec ~cookie ?meter ?hard_timeout ~priority match_ actions
+
+  let w_event b = function
+    | Ofproto.Message.Flow_added spec ->
+      w_u8 b 0;
+      w_spec b spec
+    | Ofproto.Message.Flow_deleted spec ->
+      w_u8 b 1;
+      w_spec b spec
+    | Ofproto.Message.Flow_modified spec ->
+      w_u8 b 2;
+      w_spec b spec
+
+  let r_event r =
+    match r_u8 r with
+    | 0 -> Ofproto.Message.Flow_added (r_spec r)
+    | 1 -> Ofproto.Message.Flow_deleted (r_spec r)
+    | 2 -> Ofproto.Message.Flow_modified (r_spec r)
+    | _ -> raise (Malformed "bad event tag")
+
+  let w_meters b meters =
+    w_list
+      (fun b (id, { Ofproto.Meter.rate_kbps }) ->
+        w_int b id;
+        w_int b rate_kbps)
+      b meters
+
+  let r_meters r =
+    r_list
+      (fun r ->
+        let id = r_int r in
+        let rate_kbps = r_int r in
+        (id, { Ofproto.Meter.rate_kbps }))
+      r
+end

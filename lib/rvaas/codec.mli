@@ -56,3 +56,71 @@ val encode_answer : Query.answer -> signer:Cryptosim.Keys.keypair -> string
     signature and parses. *)
 val decode_answer :
   string -> service_public:Cryptosim.Keys.public -> (Query.answer, string) result
+
+(** [query_to_string] / [query_of_string]: the bare query in the same
+    line format used inside requests — used by the durable journal to
+    record open queries so a recovering controller can re-issue them. *)
+val query_to_string : Query.t -> string
+
+val query_of_string : string -> (Query.t, string) result
+
+(** Compact little-endian binary encoders for the durable layer
+    (snapshot images, journal payloads).  Kept in [Codec] so every
+    byte crossing a persistence or wire boundary is defined in one
+    module.  Readers raise {!Bin.Malformed} on any structural error —
+    callers at trust boundaries must catch it. *)
+module Bin : sig
+  exception Malformed of string
+
+  val w_u8 : Buffer.t -> int -> unit
+
+  val w_int : Buffer.t -> int -> unit
+
+  val w_i64 : Buffer.t -> int64 -> unit
+
+  val w_float : Buffer.t -> float -> unit
+
+  val w_string : Buffer.t -> string -> unit
+
+  val w_opt : (Buffer.t -> 'a -> unit) -> Buffer.t -> 'a option -> unit
+
+  val w_list : (Buffer.t -> 'a -> unit) -> Buffer.t -> 'a list -> unit
+
+  type reader
+
+  val reader : string -> reader
+
+  (** [at_end r] is [true] once every byte has been consumed. *)
+  val at_end : reader -> bool
+
+  val r_u8 : reader -> int
+
+  val r_int : reader -> int
+
+  val r_i64 : reader -> int64
+
+  val r_float : reader -> float
+
+  val r_string : reader -> string
+
+  val r_opt : (reader -> 'a) -> reader -> 'a option
+
+  val r_list : (reader -> 'a) -> reader -> 'a list
+
+  (** Flow-entry specs, monitor events and meter tables — the payloads
+      of snapshot checkpoints and journal observations.  Round-trip
+      preserves {!Ofproto.Flow_entry.spec_equal} and the fingerprints
+      {!Snapshot.switch_digest} is built from. *)
+
+  val w_spec : Buffer.t -> Ofproto.Flow_entry.spec -> unit
+
+  val r_spec : reader -> Ofproto.Flow_entry.spec
+
+  val w_event : Buffer.t -> Ofproto.Message.monitor_event -> unit
+
+  val r_event : reader -> Ofproto.Message.monitor_event
+
+  val w_meters : Buffer.t -> (int * Ofproto.Meter.band) list -> unit
+
+  val r_meters : reader -> (int * Ofproto.Meter.band) list
+end

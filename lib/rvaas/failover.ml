@@ -1,0 +1,229 @@
+type config = {
+  heartbeat_period : float;
+  takeover_timeout : float;
+  check_period : float;
+  checkpoint_every : int;
+}
+
+let default_config =
+  {
+    heartbeat_period = 0.01;
+    takeover_timeout = 0.05;
+    check_period = 0.01;
+    checkpoint_every = 64;
+  }
+
+type report = {
+  crashed_at : float;
+  detected_at : float;
+  mutable resynced_at : float;
+  replayed_entries : int;
+  reissued_queries : int;
+  generation : int;
+}
+
+type build =
+  journal:Journal.t ->
+  snapshot:Snapshot.t option ->
+  prefill:Monitor.history_entry list ->
+  conn:Netsim.Net.conn option ->
+  Monitor.t * Service.t
+
+type t = {
+  net : Netsim.Net.t;
+  config : config;
+  journal : Journal.t;
+  build : build;
+  mutable monitor : Monitor.t;
+  mutable service : Service.t;
+  mutable crashed_at : float option;
+  mutable takeovers : report list; (* newest first *)
+  mutable resyncs : int; (* same-instance session re-establishments *)
+  mutable standby_armed : bool;
+}
+
+let sim t = Netsim.Net.sim t.net
+
+let now t = Netsim.Sim.now (sim t)
+
+let monitor t = t.monitor
+
+let service t = t.service
+
+let journal t = t.journal
+
+let generation t = Support.Journal.generation (Journal.log t.journal)
+
+let takeovers t = List.rev t.takeovers
+
+let last_takeover t = match t.takeovers with [] -> None | r :: _ -> Some r
+
+let resyncs t = t.resyncs
+
+(* Observations in the journal's valid prefix, as history entries: a
+   recovered controller keeps the audit trail the detector reads. *)
+let prefill_of_journal log =
+  List.filter_map
+    (fun (e : Support.Journal.entry) ->
+      match Journal.decode_entry e with
+      | Ok (Journal.Observation { sw; event }) ->
+        Some { Monitor.at = e.at; sw; what = Monitor.Event event }
+      | Ok _ | Error _ -> None)
+    (Support.Journal.valid_prefix log)
+
+(* The heartbeat keeps [last_at] of the journal fresh while this
+   incarnation lives — its silence is what a standby's staleness check
+   detects.  Piggybacked echoes exercise the control channel so the
+   session guard has a liveness signal too. *)
+let arm_heartbeat t =
+  let service = t.service in
+  Netsim.Sim.every (sim t) ~period:t.config.heartbeat_period (fun () ->
+      if Service.live service then begin
+        Journal.heartbeat t.journal ~at:(now t);
+        Monitor.send_echo t.monitor;
+        true
+      end
+      else false)
+
+(* Same-instance session guard: a partition (session down, service
+   still live) is healed by re-establishing the session and
+   resynchronising — fresh stats sweep, interception re-install,
+   retransmission of every unanswered challenge under fresh
+   challenges. *)
+let arm_session_guard t =
+  let service = t.service in
+  Netsim.Sim.every (sim t) ~period:t.config.check_period (fun () ->
+      if not (Service.live service) then false
+      else begin
+        let conn = Monitor.conn t.monitor in
+        if not (Netsim.Net.conn_up conn) then begin
+          t.resyncs <- t.resyncs + 1;
+          Netsim.Net.reconnect t.net conn;
+          Service.reinstall_intercepts service;
+          Monitor.poll_now t.monitor;
+          Service.retransmit_pending service
+        end;
+        true
+      end)
+
+let arm_resync_watch t (r : report) =
+  let monitor = t.monitor in
+  Netsim.Sim.every (sim t) ~period:t.config.check_period (fun () ->
+      if Monitor.outstanding_polls monitor = 0 then begin
+        if r.resynced_at < r.detected_at then r.resynced_at <- now t;
+        false
+      end
+      else true)
+
+(* Takeover: bump the generation (journalled — the log is an audit
+   trail of incarnations), replay the valid prefix into a fresh
+   snapshot, re-attach over the existing session registration,
+   re-install interception, resynchronise with an immediate poll
+   sweep, and re-issue every query that was in flight at the crash. *)
+let takeover t ~detected_at =
+  let log = Journal.log t.journal in
+  let generation = Support.Journal.begin_generation log ~at:(now t) in
+  let recovery = Journal.recover log in
+  let old_conn = Monitor.conn t.monitor in
+  Netsim.Net.reconnect t.net old_conn;
+  let monitor, service =
+    t.build ~journal:t.journal ~snapshot:(Some recovery.snapshot)
+      ~prefill:(prefill_of_journal log) ~conn:(Some old_conn)
+  in
+  t.monitor <- monitor;
+  t.service <- service;
+  Monitor.poll_now monitor;
+  List.iter (fun q -> Service.reissue service q) recovery.open_queries;
+  Journal.checkpoint t.journal ~at:(now t) ~snapshot:(Monitor.snapshot monitor);
+  let report =
+    {
+      crashed_at = Option.value ~default:(now t) t.crashed_at;
+      detected_at;
+      resynced_at = 0.0;
+      replayed_entries = recovery.replayed;
+      reissued_queries = List.length recovery.open_queries;
+      generation;
+    }
+  in
+  t.takeovers <- report :: t.takeovers;
+  t.crashed_at <- None;
+  arm_heartbeat t;
+  arm_session_guard t;
+  arm_resync_watch t report;
+  report
+
+let restart t = takeover t ~detected_at:(now t)
+
+(* Warm standby: tails the journal; when the newest entry (heartbeats
+   included) is older than [takeover_timeout], the primary is declared
+   dead and the standby takes over.  The blind window is therefore
+   bounded by [takeover_timeout + check_period] plus resync latency. *)
+let enable_standby t =
+  if not t.standby_armed then begin
+    t.standby_armed <- true;
+    let log = Journal.log t.journal in
+    Netsim.Sim.every (sim t) ~period:t.config.check_period (fun () ->
+        let stale =
+          match Support.Journal.last_at log with
+          | None -> false
+          | Some at -> now t -. at > t.config.takeover_timeout
+        in
+        if stale && not (Service.live t.service) then begin
+          ignore (takeover t ~detected_at:(now t));
+          t.standby_armed <- false;
+          false
+        end
+        else true)
+  end
+
+let crash t =
+  if Service.live t.service then begin
+    t.crashed_at <- Some (now t);
+    Service.kill t.service;
+    Monitor.stop_polling t.monitor;
+    Netsim.Net.disconnect t.net (Monitor.conn t.monitor)
+  end
+
+let partition t = Netsim.Net.disconnect t.net (Monitor.conn t.monitor)
+
+let start ?journal:existing ?(config = default_config) ~build net =
+  if config.heartbeat_period <= 0.0 || config.takeover_timeout <= 0.0
+     || config.check_period <= 0.0
+  then invalid_arg "Failover.start: periods must be positive";
+  let journal =
+    match existing with
+    | Some j -> j
+    | None -> Journal.create ~checkpoint_every:config.checkpoint_every ()
+  in
+  let log = Journal.log journal in
+  let fresh = Support.Journal.length log = 0 in
+  let monitor, service =
+    if fresh then build ~journal ~snapshot:None ~prefill:[] ~conn:None
+    else begin
+      (* Restart from a persisted journal: replay, then attach fresh. *)
+      ignore (Support.Journal.begin_generation log ~at:0.0);
+      let recovery = Journal.recover log in
+      build ~journal ~snapshot:(Some recovery.snapshot)
+        ~prefill:(prefill_of_journal log) ~conn:None
+    end
+  in
+  let t =
+    {
+      net;
+      config;
+      journal;
+      build;
+      monitor;
+      service;
+      crashed_at = None;
+      takeovers = [];
+      resyncs = 0;
+      standby_armed = false;
+    }
+  in
+  (* The log always opens with an image: recovery never has to replay
+     from an empty snapshot across the whole history. *)
+  Journal.checkpoint journal ~at:(now t) ~snapshot:(Monitor.snapshot monitor);
+  arm_heartbeat t;
+  arm_session_guard t;
+  t

@@ -1,0 +1,107 @@
+(** Crash recovery and warm-standby failover for the RVaaS controller.
+
+    The paper's trust argument hangs on one attested controller; this
+    module makes that controller restartable and replaceable without
+    widening the attack's blind window unboundedly.  Three layers:
+
+    - a {b heartbeat} keeps the durable {!Journal} fresh (and echoes
+      the switches) while the current incarnation lives;
+    - a {b session guard} heals partitions of a live controller:
+      reconnect, re-install interception, immediate poll sweep,
+      retransmit unanswered challenges;
+    - a {b warm standby} tails the journal and, once it goes stale for
+      longer than [takeover_timeout], replays it and takes over under
+      a new generation number — re-attaching every switch, re-issuing
+      every in-flight query.
+
+    The blind window (time the network is unwatched) is bounded by
+    [takeover_timeout + check_period] plus resync latency; experiment
+    E16 measures it. *)
+
+type config = {
+  heartbeat_period : float;  (** journal heartbeat + switch echo cadence *)
+  takeover_timeout : float;
+      (** journal staleness after which a standby declares the primary
+          dead *)
+  check_period : float;  (** watchdog polling cadence *)
+  checkpoint_every : int;  (** snapshot image cadence (journal records) *)
+}
+
+(** 10ms heartbeats, 50ms takeover, 10ms checks, checkpoint every 64
+    records. *)
+val default_config : config
+
+(** One takeover, as measured by the recovering side. *)
+type report = {
+  crashed_at : float;  (** when {!crash} was called (or takeover time) *)
+  detected_at : float;  (** when staleness crossed the threshold *)
+  mutable resynced_at : float;
+      (** when the post-takeover poll sweep had fully drained (0 until
+          then) *)
+  replayed_entries : int;  (** journal mutations replayed over the image *)
+  reissued_queries : int;  (** in-flight queries re-driven *)
+  generation : int;  (** the new incarnation's generation number *)
+}
+
+(** How a controller incarnation is built.  Supplied by the scenario
+    layer (it owns directory, geo registry, keys, pool): called with
+    the shared journal, the recovered snapshot (or [None] on a fresh
+    start), recovered history for the ring, and the existing session
+    registration to re-attach over (or [None] to register fresh). *)
+type build =
+  journal:Journal.t ->
+  snapshot:Snapshot.t option ->
+  prefill:Monitor.history_entry list ->
+  conn:Netsim.Net.conn option ->
+  Monitor.t * Service.t
+
+type t
+
+(** [start ?journal ?config ~build net] builds the primary controller
+    and arms heartbeat + session guard.  With an existing non-empty
+    [journal] (e.g. decoded from a persisted image) the primary is
+    {e restarted}: generation bumped, state replayed, switches
+    attached fresh.  A checkpoint is imaged immediately so the log
+    never has an imageless prefix.
+    @raise Invalid_argument on non-positive periods. *)
+val start : ?journal:Journal.t -> ?config:config -> build:build -> Netsim.Net.t -> t
+
+val monitor : t -> Monitor.t
+
+val service : t -> Service.t
+
+val journal : t -> Journal.t
+
+(** [generation t] is the current incarnation's generation number. *)
+val generation : t -> int
+
+(** [crash t] kills the current incarnation: service dead, polling
+    stopped, session torn down.  Switch tables keep forwarding
+    (fail-standalone); nothing answers queries until a standby takes
+    over or {!restart} is called. *)
+val crash : t -> unit
+
+(** [partition t] tears the session down {e without} killing the
+    controller — the session guard heals it within [check_period]. *)
+val partition : t -> unit
+
+(** [restart t] recovers immediately on the same harness (a restarted
+    primary): journal replayed, switches re-attached, interception
+    re-installed, in-flight queries re-issued.  Returns the takeover
+    report. *)
+val restart : t -> report
+
+(** [enable_standby t] arms the warm standby.  It tails the journal
+    every [check_period]; when the newest entry is older than
+    [takeover_timeout] and the primary is dead, it takes over (once —
+    re-arm after the next crash if desired). *)
+val enable_standby : t -> unit
+
+(** [takeovers t] lists takeover reports, oldest first. *)
+val takeovers : t -> report list
+
+(** [last_takeover t] is the most recent takeover report, if any. *)
+val last_takeover : t -> report option
+
+(** [resyncs t] counts partition healings by the session guard. *)
+val resyncs : t -> int

@@ -114,7 +114,10 @@ let local_answer_with ctx st ~src_sw ~src_port ~hs =
 let local_answer st ~src_sw ~src_port ~hs =
   local_answer_with st.ctx st ~src_sw ~src_port ~hs
 
-let reach ?pool t ~start_domain ~src_sw ~src_port ~hs =
+let reach ?pool ?deadline t ~start_domain ~src_sw ~src_port ~hs =
+  (match deadline with
+  | Some d when d <= 0.0 -> invalid_arg "Federation.reach: deadline must be positive"
+  | Some _ | None -> ());
   let start =
     match state t start_domain with
     | Some st -> st
@@ -155,7 +158,12 @@ let reach ?pool t ~start_domain ~src_sw ~src_port ~hs =
   let evaluate_round batch =
     match pool with
     | Some p when Support.Pool.size p > 1 && Array.length batch > 1 ->
-      Support.Pool.parmap_init p
+      let parmap ~init ~f xs =
+        match deadline with
+        | Some deadline -> Support.Pool.parmap_supervised p ~deadline ~init ~f xs
+        | None -> Support.Pool.parmap_init p ~init ~f xs
+      in
+      parmap
         ~init:(fun () -> Hashtbl.create 4)
         ~f:(fun ctxs (domain_name, sw, port, hs) ->
           match state t domain_name with

@@ -63,10 +63,14 @@ type result = {
     per-worker verification contexts; signature checks and answer
     merging stay sequential, so the result is identical to a
     sequential run.  Domains' [flows_of] must then be safe to call
-    concurrently (pure reads).  @raise Invalid_argument when
-    [start_domain] is unknown or [src_sw] is not one of its members. *)
+    concurrently (pure reads).  [deadline] (seconds, requires [pool])
+    runs each frontier supervised: a raising or wedged worker costs one
+    sequential retry instead of stalling the federated query.
+    @raise Invalid_argument when [start_domain] is unknown, [src_sw] is
+    not one of its members, or [deadline <= 0]. *)
 val reach :
   ?pool:Support.Pool.t ->
+  ?deadline:float ->
   t ->
   start_domain:string ->
   src_sw:int ->

@@ -32,6 +32,7 @@ type t = {
   net : Netsim.Net.t;
   conn : Netsim.Net.conn;
   snapshot : Snapshot.t;
+  journal : Journal.t option;
   history : history_entry Support.Ring.t;
   polling : polling;
   poll_retry : float option;
@@ -46,6 +47,7 @@ type t = {
   mutable polling_active : bool;
   mutable wiring : wiring_run option;
   mutable snapshot_change_hooks : (sw:int -> changed:bool -> unit) list;
+  mutable last_echo : float option;
 }
 
 (* Retransmission budget per stats request (first send included). *)
@@ -64,6 +66,13 @@ let record t ~sw what =
    nothing changed, while cache invalidation keys off [changed]. *)
 let snapshot_changed t ~sw ~changed =
   List.iter (fun f -> f ~sw ~changed) t.snapshot_change_hooks
+
+(* Every snapshot mutation is journalled before recovery can need it;
+   the journal itself decides when to image a checkpoint. *)
+let journal_record t record =
+  match t.journal with
+  | None -> ()
+  | Some j -> Journal.append j ~at:(now t) ~snapshot:t.snapshot record
 
 (* A wiring probe surfaced at (sw, in_port): check it against the plan. *)
 let handle_probe t ~sw ~in_port ~payload =
@@ -100,28 +109,34 @@ let handle_message t (msg : Ofproto.Message.to_controller) =
     let before = Snapshot.switch_digest t.snapshot ~sw in
     Snapshot.apply_event t.snapshot ~sw ~now:(now t) event;
     record t ~sw (Event event);
+    journal_record t (Journal.Observation { sw; event });
     snapshot_changed t ~sw ~changed:(Snapshot.switch_digest t.snapshot ~sw <> before)
   | Ofproto.Message.Flow_removed { sw; spec; _ } ->
     let before = Snapshot.switch_digest t.snapshot ~sw in
     Snapshot.apply_flow_removed t.snapshot ~sw ~now:(now t) spec;
     record t ~sw (Removed spec);
+    journal_record t (Journal.Observation { sw; event = Ofproto.Message.Flow_deleted spec });
     snapshot_changed t ~sw ~changed:(Snapshot.switch_digest t.snapshot ~sw <> before)
   | Ofproto.Message.Flow_stats_reply { sw; xid; flows } ->
     Hashtbl.remove t.outstanding xid;
     let before = Snapshot.switch_digest t.snapshot ~sw in
     Snapshot.replace_flows t.snapshot ~sw ~now:(now t) flows;
     record t ~sw (Poll { flows = List.length flows; digest = Snapshot.digest t.snapshot });
+    journal_record t (Journal.Flows_polled { sw; flows });
     snapshot_changed t ~sw ~changed:(Snapshot.switch_digest t.snapshot ~sw <> before)
   | Ofproto.Message.Meter_stats_reply { sw; xid; meters } ->
     Hashtbl.remove t.outstanding xid;
-    Snapshot.replace_meters t.snapshot ~sw meters
+    Snapshot.replace_meters t.snapshot ~sw meters;
+    journal_record t (Journal.Meters_polled { sw; meters })
   | Ofproto.Message.Packet_in { sw; in_port; header; payload; _ } ->
     let dst_port = Hspace.Header.get header Hspace.Field.Tp_dst in
     if dst_port = Wire.lldp_port then handle_probe t ~sw ~in_port ~payload
     else t.packet_in_handler ~sw ~in_port ~header ~payload
-  | Ofproto.Message.Echo_reply _ | Ofproto.Message.Barrier_reply _
-  | Ofproto.Message.Error _ ->
-    ()
+  | Ofproto.Message.Echo_reply _ ->
+    (* Liveness signal for the session watchdog: any echo that makes
+       it back proves the control channel is up. *)
+    t.last_echo <- Some (now t)
+  | Ofproto.Message.Barrier_reply _ | Ofproto.Message.Error _ -> ()
 
 (* Send one stats request under a fresh xid, tracked in [t.outstanding]
    until its reply arrives.  With [poll_retry = Some deadline], an
@@ -177,19 +192,23 @@ let rec schedule_poll t =
         end)
 
 let create net ~conn_delay ?(loss_prob = 0.0) ?faults ?poll_retry
-    ?(history_capacity = 4096) ~polling () =
+    ?(history_capacity = 4096) ?snapshot ?journal ?(prefill = []) ?conn ~polling () =
   (match poll_retry with
   | Some d when d <= 0.0 -> invalid_arg "Monitor.create: poll_retry must be positive"
   | _ -> ());
   let conn =
-    Netsim.Net.register_controller net ~name:"rvaas" ~delay:conn_delay ~loss_prob
-      ?faults ()
+    match conn with
+    | Some conn -> conn (* a recovering controller re-uses the registered session *)
+    | None ->
+      Netsim.Net.register_controller net ~name:"rvaas" ~delay:conn_delay ~loss_prob
+        ?faults ()
   in
   let t =
     {
       net;
       conn;
-      snapshot = Snapshot.create ();
+      snapshot = (match snapshot with Some s -> s | None -> Snapshot.create ());
+      journal;
       history = Support.Ring.create history_capacity;
       polling;
       poll_retry;
@@ -203,8 +222,10 @@ let create net ~conn_delay ?(loss_prob = 0.0) ?faults ?poll_retry
       polling_active = true;
       wiring = None;
       snapshot_change_hooks = [];
+      last_echo = None;
     }
   in
+  List.iter (fun entry -> Support.Ring.push t.history entry) prefill;
   Netsim.Net.set_handler conn (handle_message t);
   List.iter
     (fun sw -> Netsim.Net.attach net conn ~sw ~monitor:true)
@@ -292,3 +313,24 @@ let outstanding_polls t = Hashtbl.length t.outstanding
 let poll_retries t = t.poll_retries
 
 let stop_polling t = t.polling_active <- false
+
+let resume_polling t =
+  if not t.polling_active then begin
+    t.polling_active <- true;
+    schedule_poll t
+  end
+
+let poll_now t = poll_all t
+
+let journal t = t.journal
+
+let last_echo t = t.last_echo
+
+(* One echo per switch: the cheapest probe that exercises the whole
+   session round trip.  Replies land in [last_echo]. *)
+let send_echo t =
+  List.iter
+    (fun sw ->
+      t.next_xid <- t.next_xid + 1;
+      Netsim.Net.send t.net t.conn ~sw (Ofproto.Message.Echo_request { xid = t.next_xid }))
+    (Netsim.Topology.switches (Netsim.Net.topology t.net))

@@ -40,6 +40,14 @@ type t
     request whose reply has not arrived within the given deadline
     (seconds), under a fresh xid, up to 3 total attempts — required for
     snapshot convergence on a faulty channel.
+
+    Recovery hooks: [snapshot] starts from a restored snapshot instead
+    of an empty one; [journal] records every snapshot mutation (and
+    periodic checkpoints) into the durable log; [prefill] seeds the
+    history ring (observations recovered from a journal); [conn]
+    re-uses an already-registered controller session instead of
+    registering a fresh one — how a restarted controller re-attaches
+    to the switches it had before the crash.
     @raise Invalid_argument when [poll_retry <= 0]. *)
 val create :
   Netsim.Net.t ->
@@ -48,6 +56,10 @@ val create :
   ?faults:Netsim.Faults.t ->
   ?poll_retry:float ->
   ?history_capacity:int ->
+  ?snapshot:Snapshot.t ->
+  ?journal:Journal.t ->
+  ?prefill:history_entry list ->
+  ?conn:Netsim.Net.conn ->
   polling:polling ->
   unit ->
   t
@@ -91,6 +103,27 @@ val poll_retries : t -> int
 (** [stop_polling t] cancels future polls (the schedule checks this
     flag; already-queued simulator events become no-ops). *)
 val stop_polling : t -> unit
+
+(** [resume_polling t] restarts the polling schedule after
+    {!stop_polling} (idempotent). *)
+val resume_polling : t -> unit
+
+(** [poll_now t] fires one immediate stats sweep of every switch —
+    the resynchronisation step after a session is re-established. *)
+val poll_now : t -> unit
+
+(** [journal t] is the durable journal, when one was supplied. *)
+val journal : t -> Journal.t option
+
+(** {1 Session liveness} *)
+
+(** [send_echo t] sends one Echo request to every switch; any reply
+    updates {!last_echo}. *)
+val send_echo : t -> unit
+
+(** [last_echo t] is the time the most recent Echo reply arrived —
+    the signal the failover watchdog compares against its timeout. *)
+val last_echo : t -> float option
 
 (** {1 Active wiring verification (paper §IV-A.1)}
 

@@ -8,6 +8,8 @@ type stats = {
   mutable auth_replies_rejected : int;
   mutable answers_sent : int;
   mutable intercepts_reinstalled : int;
+  mutable queries_reissued : int;
+  mutable sweep_faults : int;
 }
 
 type retry = { attempts : int; base_delay : float }
@@ -16,7 +18,9 @@ let no_retry = { attempts = 1; base_delay = 0.0 }
 
 type probe = {
   target : Verifier.endpoint;
-  challenge : string;
+  mutable challenge : string;
+      (* re-keyed on retransmission after a session loss: a challenge
+         that may have leaked with the dead session is never re-used *)
   mutable attempts_made : int;
   mutable seen_authenticated : bool;
   mutable seen_ip : int option;
@@ -31,9 +35,14 @@ type pending = {
   requester_port : int;
   requester_ip : int;
   base : Query.answer;  (** logical part, endpoints filled at finalize *)
+  query : Query.t;  (** the parsed query, journalled for re-issue *)
   probes : probe list;
   mutable finalized : bool;
       (* an early finalize (full quorum) races the scheduled one *)
+  mutable deadline_at : float;
+      (* the currently-armed finalize deadline; a timer firing for an
+         older deadline (pre-retransmission) must not finalize with
+         partial results *)
 }
 
 type t = {
@@ -44,9 +53,16 @@ type t = {
   keypair : Cryptosim.Keys.keypair;
   auth_timeout : float;
   retry : retry;
+  sweep_deadline : float option;
+      (* per-task wall-clock deadline for pool sweeps; enables the
+         supervised pool path so a wedged worker cannot stall answers *)
+  mutable live : bool;
+      (* cleared by [kill]: a crashed controller's queued timers and
+         handlers must become no-ops, not ghost answers *)
   stats : stats;
   rng : Support.Rng.t;
   pending : (string, pending) Hashtbl.t; (* keyed by challenge *)
+  open_queries : (string, pending) Hashtbl.t; (* keyed by nonce, until answered *)
   measurement : Cryptosim.Attest.measurement;
   mutable ctx : Verifier.ctx;
       (* incremental verification context: guards cached across queries,
@@ -122,11 +138,19 @@ let reach_each t ~hs points =
     | _ when Support.Pool.size t.pool > 1 && List.length missing > 1 ->
       let flows_of = frozen_flows t in
       let topology = topo t in
-      Support.Pool.parmap_init t.pool
-        ~init:(fun () -> Verifier.context ~flows_of topology)
-        ~f:(fun ctx ((p : Verifier.endpoint), _key) ->
-          Verifier.reach_in ctx ~src_sw:p.sw ~src_port:p.port ~hs)
-        (Array.of_list missing)
+      let init () = Verifier.context ~flows_of topology in
+      let f ctx ((p : Verifier.endpoint), _key) =
+        Verifier.reach_in ctx ~src_sw:p.sw ~src_port:p.port ~hs
+      in
+      let xs = Array.of_list missing in
+      (match t.sweep_deadline with
+      | Some deadline ->
+        (* Supervised: a worker that raises or wedges past [deadline]
+           costs one sequential retry, never a stuck answer. *)
+        Support.Pool.parmap_supervised t.pool ~deadline
+          ~on_fault:(fun _ -> t.stats.sweep_faults <- t.stats.sweep_faults + 1)
+          ~init ~f xs
+      | None -> Support.Pool.parmap_init t.pool ~init ~f xs)
       |> Array.to_list
     | _ ->
       List.map
@@ -317,12 +341,26 @@ let send_answer t (p : pending) =
   t.stats.answers_sent <- t.stats.answers_sent + 1;
   packet_out t ~sw:p.requester_sw ~port:p.requester_port header payload
 
+let journal_record t record =
+  match Monitor.journal t.monitor with
+  | None -> ()
+  | Some j -> Journal.append j ~at:(now t) ~snapshot:(Monitor.snapshot t.monitor) record
+
 let finalize t (p : pending) =
-  if not p.finalized then begin
-    p.finalized <- true;
-    List.iter (fun probe -> Hashtbl.remove t.pending probe.challenge) p.probes;
-    send_answer t p
-  end
+  if t.live && not p.finalized then
+    if not (Netsim.Net.conn_up (Monitor.conn t.monitor)) then
+      (* Session down: the answer Packet-Out would vanish with it.
+         Hold the query open — [retransmit_pending] re-drives it once
+         the session is back (or a standby re-issues it from the
+         journal). *)
+      ()
+    else begin
+      p.finalized <- true;
+      List.iter (fun probe -> Hashtbl.remove t.pending probe.challenge) p.probes;
+      Hashtbl.remove t.open_queries p.nonce;
+      send_answer t p;
+      journal_record t (Journal.Query_closed { nonce = p.nonce })
+    end
 
 let quorum_complete (p : pending) =
   List.for_all (fun pr -> pr.seen_authenticated) p.probes
@@ -347,10 +385,20 @@ let send_auth_request t (probe : probe) =
    is finalized [auth_timeout] after the last attempt, or as soon as
    the reply quorum is complete — a lossless run with retries enabled
    costs no extra latency or messages. *)
+(* Arm (or re-arm) the finalize deadline.  A timer armed before a
+   retransmission round must not finalize with the partial results of
+   the old round: each timer only fires [finalize] when its own
+   deadline is still the current one. *)
+let arm_finalize t (p : pending) =
+  let deadline = now t +. t.auth_timeout in
+  p.deadline_at <- deadline;
+  Netsim.Sim.schedule (Netsim.Net.sim t.net) ~delay:t.auth_timeout (fun () ->
+      if p.deadline_at <= deadline then finalize t p)
+
 let dispatch_probes t (p : pending) =
   let sim = Netsim.Net.sim t.net in
   let rec attempt k =
-    if not p.finalized then begin
+    if t.live && not p.finalized then begin
       List.iter
         (fun probe -> if not probe.seen_authenticated then send_auth_request t probe)
         p.probes;
@@ -358,10 +406,61 @@ let dispatch_probes t (p : pending) =
         Netsim.Sim.schedule sim
           ~delay:(t.retry.base_delay *. (2.0 ** float_of_int k))
           (fun () -> attempt (k + 1))
-      else Netsim.Sim.schedule sim ~delay:t.auth_timeout (fun () -> finalize t p)
+      else arm_finalize t p
     end
   in
   attempt 0
+
+(* Evaluate a query and drive its auth-probe round.  Shared by the
+   in-band request path and by [reissue] (a recovering controller
+   re-driving a query recorded in the journal). *)
+let open_query t ~client ~nonce ~sw ~port ~ip query =
+  let base, targets = evaluate t ~client ~sw ~port query in
+  let base = { base with Query.nonce } in
+  let probes =
+    List.map
+      (fun target ->
+        {
+          target;
+          challenge = fresh_hex t;
+          attempts_made = 0;
+          seen_authenticated = false;
+          seen_ip = None;
+          seen_client = None;
+        })
+      targets
+  in
+  let p =
+    {
+      nonce;
+      kind = query.Query.kind;
+      requester_client = client;
+      requester_sw = sw;
+      requester_port = port;
+      requester_ip = ip;
+      base;
+      query;
+      probes;
+      finalized = false;
+      deadline_at = 0.0;
+    }
+  in
+  Hashtbl.replace t.open_queries nonce p;
+  journal_record t
+    (Journal.Query_opened
+       {
+         q_nonce = nonce;
+         q_client = client;
+         q_sw = sw;
+         q_port = port;
+         q_ip = Some ip;
+         q_query = query;
+       });
+  if probes = [] then finalize t p
+  else begin
+    List.iter (fun probe -> Hashtbl.replace t.pending probe.challenge p) probes;
+    dispatch_probes t p
+  end
 
 let handle_request t ~sw ~in_port ~header ~payload =
   t.stats.queries_received <- t.stats.queries_received + 1;
@@ -372,41 +471,8 @@ let handle_request t ~sw ~in_port ~header ~payload =
   | Error _ -> t.stats.queries_rejected <- t.stats.queries_rejected + 1
   | Ok request ->
     let requester_ip = Hspace.Header.get header Hspace.Field.Ip_src in
-    let base, targets =
-      evaluate t ~client:request.client ~sw ~port:in_port request.query
-    in
-    let base = { base with Query.nonce = request.nonce } in
-    let probes =
-      List.map
-        (fun target ->
-          {
-            target;
-            challenge = fresh_hex t;
-            attempts_made = 0;
-            seen_authenticated = false;
-            seen_ip = None;
-            seen_client = None;
-          })
-        targets
-    in
-    let p =
-      {
-        nonce = request.nonce;
-        kind = request.query.kind;
-        requester_client = request.client;
-        requester_sw = sw;
-        requester_port = in_port;
-        requester_ip;
-        base;
-        probes;
-        finalized = false;
-      }
-    in
-    if probes = [] then send_answer t p
-    else begin
-      List.iter (fun probe -> Hashtbl.replace t.pending probe.challenge p) probes;
-      dispatch_probes t p
-    end
+    open_query t ~client:request.client ~nonce:request.nonce ~sw ~port:in_port
+      ~ip:requester_ip request.query
 
 let handle_auth_reply t ~sw ~in_port ~header ~payload =
   match
@@ -483,10 +549,13 @@ let repair_intercepts t ~sw =
       end)
     (Wire.intercept_specs ())
 
-let create ?pool ?(cache_capacity = 4096) ?(retry = no_retry) net monitor ~directory
-    ~geo ~keypair ~auth_timeout () =
+let create ?pool ?(cache_capacity = 4096) ?(retry = no_retry) ?sweep_deadline net
+    monitor ~directory ~geo ~keypair ~auth_timeout () =
   if retry.attempts < 1 then invalid_arg "Service.create: retry.attempts must be >= 1";
   if retry.base_delay < 0.0 then invalid_arg "Service.create: negative retry.base_delay";
+  (match sweep_deadline with
+  | Some d when d <= 0.0 -> invalid_arg "Service.create: sweep_deadline must be positive"
+  | _ -> ());
   let t =
     {
       net;
@@ -496,6 +565,8 @@ let create ?pool ?(cache_capacity = 4096) ?(retry = no_retry) net monitor ~direc
       keypair;
       auth_timeout;
       retry;
+      sweep_deadline;
+      live = true;
       stats =
         {
           queries_received = 0;
@@ -507,9 +578,12 @@ let create ?pool ?(cache_capacity = 4096) ?(retry = no_retry) net monitor ~direc
           auth_replies_rejected = 0;
           answers_sent = 0;
           intercepts_reinstalled = 0;
+          queries_reissued = 0;
+          sweep_faults = 0;
         };
       rng = Support.Rng.split (Netsim.Sim.rng (Netsim.Net.sim net));
       pending = Hashtbl.create 16;
+      open_queries = Hashtbl.create 16;
       measurement = Cryptosim.Attest.measure ~code_identity;
       ctx =
         Verifier.context
@@ -535,3 +609,47 @@ let create ?pool ?(cache_capacity = 4096) ?(retry = no_retry) net monitor ~direc
       handle_packet_in t ~sw ~in_port ~header ~payload);
   install_intercepts t;
   t
+
+(* ---- crash recovery ---- *)
+
+let kill t = t.live <- false
+
+let live t = t.live
+
+let open_query_count t = Hashtbl.length t.open_queries
+
+let reinstall_intercepts t = install_intercepts t
+
+(* Re-drive an integrity query recovered from the journal: fresh
+   challenges (the old ones died — possibly observably — with the old
+   session), a fresh evaluation against the resynchronised snapshot,
+   and a fresh finalize deadline. *)
+let reissue t (q : Journal.query_open) =
+  t.stats.queries_reissued <- t.stats.queries_reissued + 1;
+  open_query t ~client:q.q_client ~nonce:q.q_nonce ~sw:q.q_sw ~port:q.q_port
+    ~ip:(Option.value ~default:0 q.q_ip) q.q_query
+
+(* After a session re-establishment on the *same* controller instance
+   (partition healed): every still-open query retransmits its
+   unanswered challenges — re-keyed, so a reply to a challenge that
+   leaked during the partition is rejected — and re-arms its finalize
+   deadline. *)
+let retransmit_pending t =
+  let open_now = Hashtbl.fold (fun _ p acc -> p :: acc) t.open_queries [] in
+  List.iter
+    (fun p ->
+      if not p.finalized then
+        if p.probes = [] then finalize t p
+        else begin
+          List.iter
+            (fun probe ->
+              if not probe.seen_authenticated then begin
+                Hashtbl.remove t.pending probe.challenge;
+                probe.challenge <- fresh_hex t;
+                Hashtbl.replace t.pending probe.challenge p;
+                send_auth_request t probe
+              end)
+            p.probes;
+          arm_finalize t p
+        end)
+    open_now

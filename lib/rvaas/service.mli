@@ -36,6 +36,11 @@ type stats = {
       (** intercept flow entries re-sent after the monitored snapshot
           showed them missing (the original Add_flow was lost on a
           faulty channel) *)
+  mutable queries_reissued : int;
+      (** in-flight queries re-driven after a crash or failover *)
+  mutable sweep_faults : int;
+      (** worker faults (raise/deadline) absorbed by the supervised
+          pool during isolation sweeps *)
 }
 
 (** Auth-request retransmission policy for lossy control channels:
@@ -63,12 +68,16 @@ type t
     digest-keyed reach-result cache.  [retry] (default {!no_retry})
     retransmits unanswered auth requests; when the reply quorum is
     still incomplete at finalize the answer carries [degraded = true].
-    @raise Invalid_argument on a retry policy with [attempts < 1] or a
-    negative [base_delay]. *)
+    [sweep_deadline] (default off) runs pool sweeps supervised with the
+    given per-task wall-clock deadline, so a raising or wedged worker
+    domain costs one sequential retry instead of stalling the answer.
+    @raise Invalid_argument on a retry policy with [attempts < 1], a
+    negative [base_delay], or [sweep_deadline <= 0]. *)
 val create :
   ?pool:Support.Pool.t ->
   ?cache_capacity:int ->
   ?retry:retry ->
+  ?sweep_deadline:float ->
   Netsim.Net.t ->
   Monitor.t ->
   directory:Directory.t ->
@@ -129,3 +138,40 @@ val evaluate :
   port:int ->
   Query.t ->
   Query.answer * Verifier.endpoint list
+
+(** {1 Crash recovery}
+
+    The primitives {!Failover} builds the takeover protocol from.  A
+    killed service must never act again (its timers become no-ops); a
+    recovering or standby service re-installs interception, re-issues
+    journalled queries, and retransmits whatever a healed session left
+    unanswered. *)
+
+(** [kill t] marks the service dead: every queued timer and handler of
+    this instance becomes a no-op.  Used together with
+    {!Netsim.Net.disconnect} to model a controller crash. *)
+val kill : t -> unit
+
+(** [live t] is [false] after {!kill}. *)
+val live : t -> bool
+
+(** [open_query_count t] counts queries accepted but not yet
+    answered. *)
+val open_query_count : t -> int
+
+(** [reinstall_intercepts t] re-sends the interception flow entries to
+    every switch (idempotent installs) — the first step after a
+    session is re-established. *)
+val reinstall_intercepts : t -> unit
+
+(** [reissue t q] re-drives a journalled in-flight query on this
+    (recovered or standby) instance: fresh evaluation, fresh
+    challenges, fresh finalize deadline.  The answer reaches the
+    requester under the original nonce. *)
+val reissue : t -> Journal.query_open -> unit
+
+(** [retransmit_pending t] re-drives every still-open query of this
+    same instance after its session came back: unanswered challenges
+    are re-keyed (a challenge that leaked with the dead session is
+    never re-used) and re-sent, finalize deadlines re-armed. *)
+val retransmit_pending : t -> unit

@@ -99,6 +99,51 @@ let digest t =
   in
   Cryptosim.Hash.digest (String.concat "\n" (List.sort String.compare lines))
 
+(* ---- binary persistence ----
+
+   A checkpoint image for the durable journal: a restarted controller
+   restores to the exact pre-crash digest vector.  Per-switch we store
+   the believed flow specs (in table order), the meter list and the
+   refresh time; digests are memos recomputed on demand, so preserving
+   the specs preserves the digests. *)
+
+let image_magic = "RVSS1"
+
+let to_bytes t =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b image_magic;
+  let sws = switches t in
+  Codec.Bin.w_int b (List.length sws);
+  List.iter
+    (fun sw ->
+      let v = view t sw in
+      Codec.Bin.w_int b sw;
+      Codec.Bin.w_float b v.refreshed;
+      Codec.Bin.w_list Codec.Bin.w_spec b (Ofproto.Flow_table.specs v.table);
+      Codec.Bin.w_meters b v.meter_list)
+    sws;
+  Buffer.contents b
+
+let of_bytes s =
+  let n = String.length image_magic in
+  if String.length s < n || not (String.equal (String.sub s 0 n) image_magic) then
+    Error "Snapshot.of_bytes: bad magic"
+  else
+    try
+      let r = Codec.Bin.reader (String.sub s n (String.length s - n)) in
+      let t = create () in
+      let count = Codec.Bin.r_int r in
+      for _ = 1 to count do
+        let sw = Codec.Bin.r_int r in
+        let refreshed = Codec.Bin.r_float r in
+        let specs = Codec.Bin.r_list Codec.Bin.r_spec r in
+        let meters = Codec.Bin.r_meters r in
+        replace_flows t ~sw ~now:refreshed specs;
+        replace_meters t ~sw meters
+      done;
+      Ok t
+    with Codec.Bin.Malformed msg -> Error ("Snapshot.of_bytes: " ^ msg)
+
 let multiset specs = List.sort String.compare (List.map spec_fingerprint specs)
 
 let divergence t ~actual =

@@ -62,3 +62,14 @@ val digest_vector : t -> (int * int64) list
 (** [divergence t ~actual] counts switches whose believed rule set
     differs from [actual sw] (compared as multisets of specs). *)
 val divergence : t -> actual:(int -> Ofproto.Flow_entry.spec list) -> int
+
+(** {1 Binary persistence}
+
+    Checkpoint images for the durable journal ({!Journal}): a restarted
+    or standby controller restores to the exact pre-crash state —
+    [of_bytes (to_bytes t)] preserves {!flows}, {!meters},
+    {!last_refresh}, {!switch_digest}, {!digest_vector} and {!digest}. *)
+
+val to_bytes : t -> string
+
+val of_bytes : string -> (t, string) result

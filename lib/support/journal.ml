@@ -1,0 +1,205 @@
+type entry = {
+  gen : int;
+  seq : int;
+  at : float;
+  tag : string;
+  payload : string;
+  checksum : int64;
+}
+
+type t = {
+  mutable rev_entries : entry list;
+  mutable count : int;
+  mutable gen : int;
+  mutable next_seq : int;
+  mutable tail_checksum : int64; (* checksum of the last entry (chain state) *)
+}
+
+(* FNV-1a, 64 bit.  Self-contained: [support] sits below [cryptosim]
+   in the dependency order, so the journal carries its own hash.  The
+   chain makes each checksum depend on every prior entry, so torn
+   writes, reordering and in-place tampering all surface as a break at
+   the first bad entry. *)
+let fnv_offset = 0xcbf29ce484222325L
+
+let fnv_prime = 0x100000001b3L
+
+let fnv_byte h b = Int64.mul (Int64.logxor h (Int64.of_int b)) fnv_prime
+
+let fnv_string h s =
+  let h = ref h in
+  String.iter (fun c -> h := fnv_byte !h (Char.code c)) s;
+  !h
+
+let fnv_int64 h v =
+  let h = ref h in
+  for i = 0 to 7 do
+    h := fnv_byte !h (Int64.to_int (Int64.logand (Int64.shift_right_logical v (8 * i)) 0xffL))
+  done;
+  !h
+
+let fnv_int h v = fnv_int64 h (Int64.of_int v)
+
+let entry_checksum ~prev ~gen ~seq ~at ~tag ~payload =
+  let h = fnv_int64 fnv_offset prev in
+  let h = fnv_int h gen in
+  let h = fnv_int h seq in
+  let h = fnv_int64 h (Int64.bits_of_float at) in
+  let h = fnv_string h tag in
+  let h = fnv_int h (String.length payload) in
+  fnv_string h payload
+
+let create () =
+  { rev_entries = []; count = 0; gen = 1; next_seq = 0; tail_checksum = fnv_offset }
+
+let generation t = t.gen
+
+let length t = t.count
+
+let last_seq t = t.next_seq - 1
+
+let last_at t = match t.rev_entries with [] -> None | e :: _ -> Some e.at
+
+let append t ~at ~tag ~payload =
+  let seq = t.next_seq in
+  let checksum =
+    entry_checksum ~prev:t.tail_checksum ~gen:t.gen ~seq ~at ~tag ~payload
+  in
+  let e = { gen = t.gen; seq; at; tag; payload; checksum } in
+  t.next_seq <- seq + 1;
+  t.tail_checksum <- checksum;
+  t.rev_entries <- e :: t.rev_entries;
+  t.count <- t.count + 1;
+  e
+
+let generation_tag = "generation"
+
+(* A generation bump is itself journalled so the log records every
+   controller incarnation (audit trail for the takeover protocol). *)
+let begin_generation t ~at =
+  t.gen <- t.gen + 1;
+  ignore (append t ~at ~tag:generation_tag ~payload:"");
+  t.gen
+
+let entries t = List.rev t.rev_entries
+
+(* Walk the log oldest-first, re-deriving the checksum chain; stop at
+   the first entry whose checksum, sequence number or generation does
+   not fit.  This gives torn-write semantics: a crash mid-append (or a
+   tampered suffix) invalidates exactly the suffix, never the prefix. *)
+let valid_prefix t =
+  let rec go acc prev expected_seq min_gen = function
+    | [] -> List.rev acc
+    | (e : entry) :: rest ->
+      let expect =
+        entry_checksum ~prev ~gen:e.gen ~seq:e.seq ~at:e.at ~tag:e.tag ~payload:e.payload
+      in
+      if e.seq <> expected_seq || e.gen < min_gen || not (Int64.equal expect e.checksum)
+      then List.rev acc
+      else go (e :: acc) e.checksum (expected_seq + 1) e.gen rest
+  in
+  go [] fnv_offset 0 1 (entries t)
+
+let verify t =
+  let valid = valid_prefix t in
+  List.length valid = t.count
+
+let iter_valid t ~f =
+  let valid = valid_prefix t in
+  List.iter f valid;
+  List.length valid
+
+(* ---- binary persistence ---- *)
+
+let magic = "RVJL1"
+
+let w_u8 b v = Buffer.add_char b (Char.chr (v land 0xff))
+
+let w_i64 b v =
+  for i = 0 to 7 do
+    w_u8 b (Int64.to_int (Int64.logand (Int64.shift_right_logical v (8 * i)) 0xffL))
+  done
+
+let w_int b v = w_i64 b (Int64.of_int v)
+
+let w_float b v = w_i64 b (Int64.bits_of_float v)
+
+let w_string b s =
+  w_int b (String.length s);
+  Buffer.add_string b s
+
+exception Truncated
+
+let r_u8 s pos =
+  if !pos >= String.length s then raise Truncated;
+  let v = Char.code s.[!pos] in
+  incr pos;
+  v
+
+let r_i64 s pos =
+  let v = ref 0L in
+  for i = 0 to 7 do
+    v := Int64.logor !v (Int64.shift_left (Int64.of_int (r_u8 s pos)) (8 * i))
+  done;
+  !v
+
+let r_int s pos = Int64.to_int (r_i64 s pos)
+
+let r_float s pos = Int64.float_of_bits (r_i64 s pos)
+
+let r_string s pos =
+  let n = r_int s pos in
+  if n < 0 || !pos + n > String.length s then raise Truncated;
+  let v = String.sub s !pos n in
+  pos := !pos + n;
+  v
+
+let encode t =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b magic;
+  w_int b t.count;
+  List.iter
+    (fun (e : entry) ->
+      w_int b e.gen;
+      w_int b e.seq;
+      w_float b e.at;
+      w_string b e.tag;
+      w_string b e.payload;
+      w_i64 b e.checksum)
+    (entries t);
+  Buffer.contents b
+
+(* Decode keeps the checksum-valid prefix and silently drops any
+   corrupt or truncated tail — the durable-log recovery contract. *)
+let decode s =
+  let n = String.length magic in
+  if String.length s < n || not (String.equal (String.sub s 0 n) magic) then
+    Error "Journal.decode: bad magic"
+  else begin
+    let pos = ref n in
+    let t = create () in
+    (try
+       let count = r_int s pos in
+       let stop = ref false in
+       let i = ref 0 in
+       while (not !stop) && !i < count do
+         let gen = r_int s pos in
+         let seq = r_int s pos in
+         let at = r_float s pos in
+         let tag = r_string s pos in
+         let payload = r_string s pos in
+         let checksum = r_i64 s pos in
+         let expect =
+           entry_checksum ~prev:t.tail_checksum ~gen ~seq ~at ~tag ~payload
+         in
+         if seq <> t.next_seq || gen < t.gen || not (Int64.equal expect checksum) then
+           stop := true
+         else begin
+           t.gen <- gen;
+           ignore (append t ~at ~tag ~payload);
+           incr i
+         end
+       done
+     with Truncated -> ());
+    Ok t
+  end

@@ -1,0 +1,87 @@
+(** Append-only, checksummed, generation-numbered event journal.
+
+    The durable backbone of crash recovery: a controller appends every
+    observation (and periodic snapshot checkpoints) here; a restarted
+    or standby controller replays the journal to reconstruct the exact
+    pre-crash state.  The module is deliberately generic — entries
+    carry an opaque [payload] under a short [tag]; the typed record
+    layer lives in [Rvaas.Journal].
+
+    Integrity: each entry's checksum chains over the previous entry's
+    checksum and all of its own fields (FNV-1a, self-contained so
+    [support] stays dependency-free).  A torn write, reordering, or
+    in-place tampering breaks the chain at the first bad entry;
+    {!valid_prefix}/{!iter_valid} recover exactly the prefix written
+    before the fault.
+
+    Generations: every controller incarnation appending to the journal
+    gets a generation number; {!begin_generation} bumps it and records
+    the takeover itself as a journal entry (tag {!generation_tag}), so
+    the log is also an audit trail of failovers.  Within the valid
+    prefix, sequence numbers are strictly increasing and generations
+    are non-decreasing. *)
+
+type entry = {
+  gen : int;  (** generation of the writing controller incarnation *)
+  seq : int;  (** strictly increasing over the whole journal *)
+  at : float;  (** timestamp supplied by the writer (simulated time) *)
+  tag : string;  (** record kind, e.g. ["obs"], ["ckpt"] *)
+  payload : string;  (** opaque binary payload *)
+  checksum : int64;  (** chained FNV-1a over prev checksum + fields *)
+}
+
+type t
+
+val create : unit -> t
+
+(** [append t ~at ~tag ~payload] stamps generation, sequence number
+    and chained checksum, appends, and returns the entry. *)
+val append : t -> at:float -> tag:string -> payload:string -> entry
+
+(** [generation t] is the current writer generation (starts at 1). *)
+val generation : t -> int
+
+(** [begin_generation t ~at] increments the generation — called by a
+    recovering or standby controller when it takes over — appends a
+    {!generation_tag} entry recording the takeover, and returns the
+    new generation. *)
+val begin_generation : t -> at:float -> int
+
+(** The tag of entries appended by {!begin_generation}. *)
+val generation_tag : string
+
+val length : t -> int
+
+(** [last_seq t] is the sequence number of the newest entry (-1 when
+    empty). *)
+val last_seq : t -> int
+
+(** [last_at t] is the timestamp of the newest entry — the signal a
+    warm standby tails to detect a dead primary (heartbeat records
+    keep it fresh while the primary lives). *)
+val last_at : t -> float option
+
+(** [entries t] returns all entries, oldest first, without integrity
+    checking (use {!valid_prefix} for recovery). *)
+val entries : t -> entry list
+
+(** [valid_prefix t] returns the longest prefix whose checksum chain,
+    sequence numbers and generation monotonicity all hold. *)
+val valid_prefix : t -> entry list
+
+(** [verify t] is [true] when every entry is in the valid prefix. *)
+val verify : t -> bool
+
+(** [iter_valid t ~f] applies [f] to the valid prefix in order and
+    returns how many entries were replayed. *)
+val iter_valid : t -> f:(entry -> unit) -> int
+
+(** {1 Binary persistence}
+
+    [decode (encode t)] round-trips; [decode] of a truncated or
+    tampered image keeps the checksum-valid prefix and drops the rest
+    (never fails once the magic matches). *)
+
+val encode : t -> string
+
+val decode : string -> (t, string) result

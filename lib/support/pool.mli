@@ -53,11 +53,70 @@ val parmap : t -> ('a -> 'b) -> 'a array -> 'b array
     its first task of this call) and its result is passed to every
     [f] invocation that domain executes.  Used to give each worker its
     own {!Rvaas.Verifier} context — their guard caches are not
-    thread-safe to share. *)
+    thread-safe to share.  An [init] that raises poisons its slot for
+    the rest of the call (it is not re-run per task) and the exception
+    is re-raised in the caller exactly like a task exception. *)
 val parmap_init : t -> init:(unit -> 'c) -> f:('c -> 'a -> 'b) -> 'a array -> 'b array
 
 (** [map_list t f xs] is [parmap] over a list. *)
 val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
+
+(** {1 Supervised sweeps}
+
+    {!parmap_supervised} trades a little latency for liveness: the
+    caller acts as a supervisor instead of taking tasks, so a worker
+    that raises — or wedges past a wall-clock deadline — costs one
+    sequential retry rather than the whole sweep.  This is what keeps
+    the verification service answering queries when a verifier context
+    hits a pathological input (the paper's availability requirement:
+    the verifier must outlive the faults of what it audits). *)
+
+(** Why a task left the parallel path. *)
+type fault_reason =
+  | Task_raised of exn  (** the task function raised *)
+  | Init_raised of exn  (** the worker's [init] raised (slot poisoned) *)
+  | Deadline_exceeded of float
+      (** ran past the deadline (seconds); its domain was abandoned *)
+
+type fault = {
+  fault_index : int;  (** input index of the affected task *)
+  fault_slot : int;  (** pool slot of the domain that ran it *)
+  reason : fault_reason;
+}
+
+val pp_fault_reason : Format.formatter -> fault_reason -> unit
+
+(** [parmap_supervised t ?deadline ?poll_interval ?on_fault ~init ~f xs]
+    is {!parmap_init} under supervision:
+
+    - a task that raises (or lands on a slot whose [init] raised) is
+      retried sequentially in the caller; only a retry that {e also}
+      fails re-raises (smallest input index first, like {!parmap});
+    - with [?deadline] (wall-clock seconds per task), a task running
+      past it is abandoned: its domain is marked zombie (OCaml domains
+      cannot be killed — any late result is discarded), a replacement
+      domain is spawned on a fresh slot, and the task is retried
+      sequentially in the caller;
+    - every incident is reported to [?on_fault] from the caller's
+      domain before the sweep returns;
+    - results are order-preserving and identical to a sequential run.
+
+    [?poll_interval] (default 1ms) is how often the supervisor scans
+    for deadline overruns.  Degrades to a sequential map exactly when
+    {!parmap} would. *)
+val parmap_supervised :
+  t ->
+  ?deadline:float ->
+  ?poll_interval:float ->
+  ?on_fault:(fault -> unit) ->
+  init:(unit -> 'c) ->
+  f:('c -> 'a -> 'b) ->
+  'a array ->
+  'b array
+
+(** [respawns t] counts worker domains respawned after deadline
+    abandonment over the pool's lifetime. *)
+val respawns : t -> int
 
 (** [shutdown t] stops and joins the worker domains.  Subsequent calls
     on [t] degrade to sequential maps; shutdown is idempotent. *)

@@ -15,6 +15,7 @@ type spec = {
   isolation : bool;
   whitelist : (int * int) list;
   jurisdictions : string list;
+  ha : Rvaas.Failover.config option;
 }
 
 let default_spec topo =
@@ -35,6 +36,7 @@ let default_spec topo =
     isolation = true;
     whitelist = [];
     jurisdictions = [ "EU"; "US"; "CH" ];
+    ha = None;
   }
 
 type t = {
@@ -44,6 +46,7 @@ type t = {
   provider : Sdnctl.Provider.t;
   monitor : Rvaas.Monitor.t;
   service : Rvaas.Service.t;
+  controller : Rvaas.Failover.t option;
   directory : Rvaas.Directory.t;
   geo_truth : Geo.Registry.t;
   agents : (int * Rvaas.Client_agent.t) list;
@@ -100,15 +103,37 @@ let build spec =
      host-to-switch hop draws from the same fault model. *)
   if not (Netsim.Faults.is_none spec.link_faults) then
     Netsim.Net.set_default_link_faults net spec.link_faults;
-  (* RVaaS monitor + service. *)
-  let monitor =
-    Rvaas.Monitor.create net ~conn_delay:spec.rvaas_delay ~loss_prob:spec.rvaas_loss
-      ~faults:spec.rvaas_faults ?poll_retry:spec.poll_retry ~polling:spec.polling ()
-  in
+  (* RVaaS monitor + service.  The same keypair serves every controller
+     incarnation under HA, so clients' [service_public] stays valid
+     across takeovers (the standby holds the same attested identity). *)
   let service_keypair = Cryptosim.Keys.generate rng ~owner:"rvaas" in
-  let service =
-    Rvaas.Service.create ~retry:spec.auth_retry net monitor ~directory ~geo:geo_truth
-      ~keypair:service_keypair ~auth_timeout:spec.auth_timeout ()
+  let build_controller ~journal ~snapshot ~prefill ~conn =
+    let monitor =
+      Rvaas.Monitor.create net ~conn_delay:spec.rvaas_delay ~loss_prob:spec.rvaas_loss
+        ~faults:spec.rvaas_faults ?poll_retry:spec.poll_retry ?snapshot ~journal ~prefill
+        ?conn ~polling:spec.polling ()
+    in
+    let service =
+      Rvaas.Service.create ~retry:spec.auth_retry net monitor ~directory ~geo:geo_truth
+        ~keypair:service_keypair ~auth_timeout:spec.auth_timeout ()
+    in
+    (monitor, service)
+  in
+  let monitor, service, controller =
+    match spec.ha with
+    | None ->
+      let monitor =
+        Rvaas.Monitor.create net ~conn_delay:spec.rvaas_delay ~loss_prob:spec.rvaas_loss
+          ~faults:spec.rvaas_faults ?poll_retry:spec.poll_retry ~polling:spec.polling ()
+      in
+      let service =
+        Rvaas.Service.create ~retry:spec.auth_retry net monitor ~directory ~geo:geo_truth
+          ~keypair:service_keypair ~auth_timeout:spec.auth_timeout ()
+      in
+      (monitor, service, None)
+    | Some config ->
+      let ctrl = Rvaas.Failover.start ~config ~build:build_controller net in
+      (Rvaas.Failover.monitor ctrl, Rvaas.Failover.service ctrl, Some ctrl)
   in
   let service_public = Rvaas.Service.public service in
   (* One agent per host. *)
@@ -132,6 +157,7 @@ let build spec =
       provider;
       monitor;
       service;
+      controller;
       directory;
       geo_truth;
       agents;
@@ -144,10 +170,24 @@ let build spec =
 
 let run t ~until = ignore (Netsim.Sim.run (Netsim.Net.sim t.net) ~until)
 
+(* Under HA the controller incarnation can change (takeover); these
+   accessors always resolve to the live one.  Without HA they are the
+   record fields. *)
+let monitor t =
+  match t.controller with Some c -> Rvaas.Failover.monitor c | None -> t.monitor
+
+let service t =
+  match t.controller with Some c -> Rvaas.Failover.service c | None -> t.service
+
+let controller t =
+  match t.controller with
+  | Some c -> c
+  | None -> invalid_arg "Scenario.controller: spec.ha is None"
+
 let agent t ~host = List.assoc host t.agents
 
 let baseline t =
-  let snapshot = Rvaas.Monitor.snapshot t.monitor in
+  let snapshot = Rvaas.Monitor.snapshot (monitor t) in
   Rvaas.Detector.baseline_of_flows
     (List.map
        (fun sw -> (sw, Rvaas.Snapshot.flows snapshot ~sw))

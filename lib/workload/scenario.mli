@@ -25,6 +25,10 @@ type spec = {
   isolation : bool;
   whitelist : (int * int) list;
   jurisdictions : string list;  (** ground-truth jurisdiction pool *)
+  ha : Rvaas.Failover.config option;
+      (** when set, the controller is built through {!Rvaas.Failover}:
+          journalled, heartbeated, crash/partition-able, with a warm
+          standby available via {!controller} *)
 }
 
 (** [default_spec topo] — two clients, seed 42, randomized polling with
@@ -38,7 +42,10 @@ type t = {
   addressing : Sdnctl.Addressing.t;
   provider : Sdnctl.Provider.t;
   monitor : Rvaas.Monitor.t;
-  service : Rvaas.Service.t;
+      (** the {e initial} incarnation — under HA prefer {!val-monitor},
+          which tracks takeovers *)
+  service : Rvaas.Service.t;  (** initial incarnation; see {!val-service} *)
+  controller : Rvaas.Failover.t option;  (** present iff [spec.ha] was set *)
   directory : Rvaas.Directory.t;
   geo_truth : Geo.Registry.t;
   agents : (int * Rvaas.Client_agent.t) list;  (** host id → agent *)
@@ -52,6 +59,18 @@ val build : spec -> t
 
 (** [run t ~until] advances simulation to absolute time [until]. *)
 val run : t -> until:float -> unit
+
+(** [monitor t] is the {e live} monitor: the current controller
+    incarnation's under HA (takeovers swap it), the built one
+    otherwise. *)
+val monitor : t -> Rvaas.Monitor.t
+
+(** [service t] is the live service (see {!val-monitor}). *)
+val service : t -> Rvaas.Service.t
+
+(** [controller t] is the failover harness.
+    @raise Invalid_argument when [spec.ha] was [None]. *)
+val controller : t -> Rvaas.Failover.t
 
 (** [agent t ~host] returns the host's agent.
     @raise Not_found for unknown hosts. *)
