@@ -1104,6 +1104,8 @@ let e16_config =
     takeover_timeout = 0.05;
     check_period = 0.01;
     checkpoint_every = 32;
+    standbys = 1;
+    auto_compact = false;
   }
 
 let e16_scenario ~seed =
@@ -1229,6 +1231,157 @@ let e16 () =
     else print_endline "E16 strict: all trials recovered within bounds"
 
 (* ---------------------------------------------------------------- *)
+(* E17: durable persistence — compaction, recovery latency, quorum   *)
+(* ---------------------------------------------------------------- *)
+
+(* One monitored run of [duration] simulated seconds with the journal
+   mirrored to a temp file; returns (entries, file bytes, recover µs,
+   digest parity with the live snapshot). *)
+let e17_persistence_run ~seed ~duration ~auto_compact =
+  let topo = Workload.Topogen.linear Workload.Topogen.default_params 4 in
+  let s =
+    Workload.Scenario.build
+      {
+        (Workload.Scenario.default_spec topo) with
+        seed;
+        polling = Rvaas.Monitor.Periodic 0.02;
+        ha =
+          Some
+            {
+              Rvaas.Failover.default_config with
+              checkpoint_every = 32;
+              auto_compact;
+            };
+      }
+  in
+  let ctrl = Workload.Scenario.controller s in
+  let log = Rvaas.Journal.log (Rvaas.Failover.journal ctrl) in
+  let path = Filename.temp_file "rvaas_e17" ".rvjl" in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun p -> try Sys.remove p with Sys_error _ -> ())
+        [ path; path ^ ".tmp" ])
+    (fun () ->
+      let file = Support.Journal_file.attach log ~path in
+      Workload.Scenario.run s ~until:duration;
+      Support.Journal_file.sync file;
+      let bytes = (Unix.stat path).Unix.st_size in
+      let live =
+        Rvaas.Snapshot.digest_vector
+          (Rvaas.Monitor.snapshot (Workload.Scenario.monitor s))
+      in
+      match Support.Journal_file.recover_from_file path with
+      | Error e -> failwith ("E17: recover_from_file: " ^ e)
+      | Ok log' ->
+        let t0 = Unix.gettimeofday () in
+        let reps = 20 in
+        let r = ref (Rvaas.Journal.recover log') in
+        for _ = 2 to reps do
+          r := Rvaas.Journal.recover log'
+        done;
+        let recover_us =
+          1e6 *. (Unix.gettimeofday () -. t0) /. float_of_int reps
+        in
+        let parity =
+          live = Rvaas.Snapshot.digest_vector !r.Rvaas.Journal.snapshot
+        in
+        (Support.Journal.length log', bytes, recover_us, parity))
+
+(* One crash trial with [standbys] warm standbys; returns the takeover
+   report (quorum election among the standbys decides the winner). *)
+let e17_takeover_trial ~seed ~standbys =
+  let topo = Workload.Topogen.linear Workload.Topogen.default_params 4 in
+  let s =
+    Workload.Scenario.build
+      {
+        (Workload.Scenario.default_spec topo) with
+        seed;
+        polling = Rvaas.Monitor.Periodic 0.02;
+        ha = Some { e16_config with standbys };
+      }
+  in
+  let ctrl = Workload.Scenario.controller s in
+  let now () = Netsim.Sim.now (Netsim.Net.sim s.net) in
+  (* Jitter the crash instant off the heartbeat grid so trials differ. *)
+  let rng = Support.Rng.create (seed * 6007) in
+  Workload.Scenario.run s ~until:(0.4 +. Support.Rng.float rng 0.01);
+  Rvaas.Failover.crash ctrl;
+  let deadline = now () +. 1.0 in
+  while Rvaas.Failover.last_takeover ctrl = None && now () < deadline do
+    Workload.Scenario.run s ~until:(now () +. 0.01)
+  done;
+  Workload.Scenario.run s ~until:(now () +. 0.25);
+  Rvaas.Failover.last_takeover ctrl
+
+let e17 () =
+  section
+    "E17: durable persistence (linear-4, 20 ms polling, checkpoint every 32).\n\
+     (a) on-disk journal growth and recovery latency with compaction off vs\n\
+     on; (b) takeover latency with 1 vs 3 warm standbys (journalled-claim\n\
+     quorum election, 10 ms heartbeats, 50 ms takeover timeout)";
+  let strict = Sys.getenv_opt "RVAAS_E17_STRICT" <> None in
+  let failures = ref 0 in
+  Printf.printf "%-9s %-8s | %8s %10s %12s %7s\n" "duration" "compact" "entries"
+    "bytes" "recover(us)" "parity";
+  let compact_bytes = Hashtbl.create 8 in
+  List.iter
+    (fun duration ->
+      List.iter
+        (fun auto_compact ->
+          let entries, bytes, recover_us, parity =
+            e17_persistence_run ~seed:42 ~duration ~auto_compact
+          in
+          if not parity then incr failures;
+          if strict && auto_compact && entries > 64 then incr failures;
+          Hashtbl.replace compact_bytes (duration, auto_compact) bytes;
+          Printf.printf "%7.1fs %-9s | %8d %10d %12.1f %7s\n" duration
+            (if auto_compact then "on" else "off")
+            entries bytes recover_us
+            (if parity then "ok" else "MISMATCH"))
+        [ false; true ])
+    [ 0.5; 1.0; 2.0 ];
+  (match
+     ( Hashtbl.find_opt compact_bytes (2.0, true),
+       Hashtbl.find_opt compact_bytes (2.0, false) )
+   with
+  | Some on, Some off when strict && on >= off ->
+    incr failures;
+    Printf.printf "E17 strict: compaction did not shrink the image (%d >= %d)\n"
+      on off
+  | _ -> ());
+  Printf.printf "%-5s %8s | %10s %10s %6s %4s\n" "seed" "standbys" "detect(ms)"
+    "blind (ms)" "winner" "gen";
+  List.iter
+    (fun standbys ->
+      for seed = 1 to 5 do
+        match e17_takeover_trial ~seed ~standbys with
+        | None ->
+          incr failures;
+          Printf.printf "%-5d %8d | no takeover\n" seed standbys
+        | Some r ->
+          let detect = r.Rvaas.Failover.detected_at -. r.Rvaas.Failover.crashed_at in
+          let blind =
+            if r.Rvaas.Failover.resynced_at > 0.0 then
+              r.Rvaas.Failover.resynced_at -. r.Rvaas.Failover.crashed_at
+            else nan
+          in
+          if strict && (detect > 0.08 || not (blind <= 0.2)) then incr failures;
+          if strict && (r.Rvaas.Failover.winner < 0 || r.Rvaas.Failover.winner >= standbys)
+          then incr failures;
+          Printf.printf "%-5d %8d | %10.1f %10.1f %6d %4d\n" seed standbys
+            (1000.0 *. detect) (1000.0 *. blind) r.Rvaas.Failover.winner
+            r.Rvaas.Failover.generation
+      done)
+    [ 1; 3 ];
+  if strict then
+    if !failures > 0 then begin
+      Printf.printf "E17 strict: %d failing check(s)\n" !failures;
+      exit 1
+    end
+    else print_endline "E17 strict: all persistence and quorum checks passed"
+
+(* ---------------------------------------------------------------- *)
 (* Micro-benchmarks (Bechamel)                                       *)
 (* ---------------------------------------------------------------- *)
 
@@ -1352,6 +1505,7 @@ let experiments =
     ("e14", e14);
     ("e15", e15);
     ("e16", e16);
+    ("e17", e17);
     ("micro", micro);
   ]
 

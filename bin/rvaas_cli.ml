@@ -334,8 +334,17 @@ let crash_after_arg =
     & info [ "crash-after" ] ~docv:"SECONDS"
         ~doc:"How long after the query goes out the primary is killed.")
 
+let standbys_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "standbys" ] ~docv:"N"
+        ~doc:
+          "Warm standbys tailing the journal. With several, takeover goes \
+           through the journalled claim election (lowest claiming standby id \
+           wins).")
+
 let failover_cmd =
-  let run kind size clients seed polling period loss host qkind crash_after =
+  let run kind size clients seed polling period loss host qkind crash_after standbys =
     let topo = make_topo kind size in
     let s =
       Workload.Scenario.build
@@ -346,7 +355,7 @@ let failover_cmd =
           polling = make_polling polling period;
           rvaas_loss = loss;
           agent_resend = Some 0.12;
-          ha = Some Rvaas.Failover.default_config;
+          ha = Some { Rvaas.Failover.default_config with standbys = max 0 standbys };
         }
     in
     let now () = Netsim.Sim.now (Netsim.Net.sim s.net) in
@@ -365,8 +374,9 @@ let failover_cmd =
     Workload.Scenario.run s ~until:(now () +. crash_after);
     Rvaas.Failover.crash ctrl;
     stamp "primary crashed: service dead, polling stopped, session down\n";
-    Rvaas.Failover.enable_standby ctrl;
-    stamp "warm standby armed (takeover after %.0f ms of journal silence)\n"
+    stamp "%d warm standby%s armed (takeover after %.0f ms of journal silence)\n"
+      (Rvaas.Failover.standby_count ctrl)
+      (if Rvaas.Failover.standby_count ctrl = 1 then "" else "s")
       (1000.0 *. Rvaas.Failover.default_config.takeover_timeout);
     let deadline = now () +. 2.0 in
     while !result = None && now () < deadline do
@@ -380,11 +390,11 @@ let failover_cmd =
         (1000.0 *. r.Rvaas.Failover.detected_at)
         (1000.0 *. (r.Rvaas.Failover.detected_at -. r.Rvaas.Failover.crashed_at));
       Printf.printf
-        "%8.1f ms  takeover: generation %d, %d journal entries replayed, %d \
-         in-flight quer%s re-issued\n"
-        (1000.0 *. r.Rvaas.Failover.detected_at)
-        r.Rvaas.Failover.generation r.Rvaas.Failover.replayed_entries
-        r.Rvaas.Failover.reissued_queries
+        "%8.1f ms  takeover by standby %d: generation %d, %d journal entries \
+         replayed, %d in-flight quer%s re-issued\n"
+        (1000.0 *. r.Rvaas.Failover.taken_over_at)
+        r.Rvaas.Failover.winner r.Rvaas.Failover.generation
+        r.Rvaas.Failover.replayed_entries r.Rvaas.Failover.reissued_queries
         (if r.Rvaas.Failover.reissued_queries = 1 then "y" else "ies");
       if r.Rvaas.Failover.resynced_at > 0.0 then
         Printf.printf "%8.1f ms  resynchronised: poll sweep drained (blind window %.1f ms)\n"
@@ -408,12 +418,103 @@ let failover_cmd =
           takeover timeline.")
     Term.(
       const run $ topo_arg $ size_arg $ clients_arg $ seed_arg $ polling_arg
-      $ poll_period_arg $ loss_arg $ host_arg $ kind_arg $ crash_after_arg)
+      $ poll_period_arg $ loss_arg $ host_arg $ kind_arg $ crash_after_arg
+      $ standbys_arg)
+
+(* ---- persist subcommand ---- *)
+
+let state_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "state" ] ~docv:"PATH" ~doc:"On-disk journal image (RVJL1).")
+
+let duration_arg =
+  Arg.(
+    value & opt float 1.0
+    & info [ "duration" ] ~docv:"SECONDS"
+        ~doc:"Simulated monitoring time before the run phase exits.")
+
+let phase_arg =
+  Arg.(
+    required
+    & pos 0 (some (enum [ ("run", `Run); ("recover", `Recover) ])) None
+    & info [] ~docv:"PHASE"
+        ~doc:"$(b,run) journals a monitored deployment to --state and exits \
+              abruptly; $(b,recover), in a later process, rebuilds the \
+              controller state from the file alone.")
+
+let digest_lines snapshot =
+  Rvaas.Snapshot.digest_vector snapshot
+  |> List.map (fun (sw, d) -> Printf.sprintf "  switch %d digest %Lx" sw d)
+
+let persist_cmd =
+  let run phase kind size seed path duration =
+    match phase with
+    | `Run ->
+      let topo = make_topo kind size in
+      let s =
+        Workload.Scenario.build
+          {
+            (Workload.Scenario.default_spec topo) with
+            seed;
+            polling = Rvaas.Monitor.Periodic 0.02;
+            ha = Some { Rvaas.Failover.default_config with auto_compact = true };
+          }
+      in
+      let ctrl = Workload.Scenario.controller s in
+      let log = Rvaas.Journal.log (Rvaas.Failover.journal ctrl) in
+      let file = Support.Journal_file.attach log ~path in
+      Workload.Scenario.run s ~until:duration;
+      Printf.printf
+        "ran %.2f s of monitoring; journal: %d entries, %d bytes at %s\n"
+        duration (Support.Journal.length log)
+        (Support.Journal_file.written_bytes file)
+        path;
+      List.iter print_endline
+        (digest_lines (Rvaas.Monitor.snapshot (Workload.Scenario.monitor s)));
+      (* exit without closing anything: recovery must not depend on a
+         graceful shutdown *)
+      0
+    | `Recover -> (
+      match Support.Journal_file.recover_from_file path with
+      | Error msg ->
+        Printf.printf "recovery failed: %s\n" msg;
+        1
+      | Ok log ->
+        let r = Rvaas.Journal.recover log in
+        Printf.printf
+          "recovered %d verified entries from %s (generation %d, %d mutations \
+           replayed over the last checkpoint, %d open queries)\n"
+          (List.length (Support.Journal.valid_prefix log))
+          path r.Rvaas.Journal.generation r.Rvaas.Journal.replayed
+          (List.length r.Rvaas.Journal.open_queries);
+        List.iter print_endline (digest_lines r.Rvaas.Journal.snapshot);
+        0)
+  in
+  Cmd.v
+    (Cmd.info "persist"
+       ~doc:
+         "Two-phase kill-and-restart: journal a deployment to disk, then \
+          recover it in a fresh process. Matching digest vectors across the \
+          two phases demonstrate exact state recovery from the file alone.")
+    Term.(
+      const run $ phase_arg $ topo_arg $ size_arg $ seed_arg $ state_arg
+      $ duration_arg)
 
 let main =
   Cmd.group
     (Cmd.info "rvaas-cli" ~version:"1.0.0"
        ~doc:"Routing-Verification-as-a-Service: deployments, queries and attacks.")
-    [ topo_cmd; query_cmd; attack_cmd; monitor_cmd; wiring_cmd; traceback_cmd; failover_cmd ]
+    [
+      topo_cmd;
+      query_cmd;
+      attack_cmd;
+      monitor_cmd;
+      wiring_cmd;
+      traceback_cmd;
+      failover_cmd;
+      persist_cmd;
+    ]
 
 let () = exit (Cmd.eval' main)

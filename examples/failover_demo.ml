@@ -27,6 +27,8 @@ let config =
     takeover_timeout = 0.05;
     check_period = 0.01;
     checkpoint_every = 32;
+    standbys = 1;
+    auto_compact = false;
   }
 
 let crash_after = 0.002 (* seconds after the query goes out *)

@@ -3,6 +3,8 @@ type config = {
   takeover_timeout : float;
   check_period : float;
   checkpoint_every : int;
+  standbys : int;
+  auto_compact : bool;
 }
 
 let default_config =
@@ -11,15 +13,19 @@ let default_config =
     takeover_timeout = 0.05;
     check_period = 0.01;
     checkpoint_every = 64;
+    standbys = 1;
+    auto_compact = false;
   }
 
 type report = {
   crashed_at : float;
   detected_at : float;
+  taken_over_at : float;
   mutable resynced_at : float;
   replayed_entries : int;
   reissued_queries : int;
   generation : int;
+  winner : int;
 }
 
 type build =
@@ -28,6 +34,16 @@ type build =
   prefill:Monitor.history_entry list ->
   conn:Netsim.Net.conn option ->
   Monitor.t * Service.t
+
+(* One warm standby.  [sb_claim] is set while it has a journalled
+   claim pending decision; [sb_next_claim] implements the post-loss
+   back-off that lets a stale claim expire before re-claiming. *)
+type standby = {
+  sid : int;
+  mutable sb_partitioned : bool;
+  mutable sb_claim : (float * int) option; (* claimed_at, generation then *)
+  mutable sb_next_claim : float;
+}
 
 type t = {
   net : Netsim.Net.t;
@@ -39,7 +55,7 @@ type t = {
   mutable crashed_at : float option;
   mutable takeovers : report list; (* newest first *)
   mutable resyncs : int; (* same-instance session re-establishments *)
-  mutable standby_armed : bool;
+  mutable standby_pool : standby list; (* ascending sid *)
 }
 
 let sim t = Netsim.Net.sim t.net
@@ -120,7 +136,7 @@ let arm_resync_watch t (r : report) =
    snapshot, re-attach over the existing session registration,
    re-install interception, resynchronise with an immediate poll
    sweep, and re-issue every query that was in flight at the crash. *)
-let takeover t ~detected_at =
+let takeover t ~detected_at ~winner =
   let log = Journal.log t.journal in
   let generation = Support.Journal.begin_generation log ~at:(now t) in
   let recovery = Journal.recover log in
@@ -139,10 +155,12 @@ let takeover t ~detected_at =
     {
       crashed_at = Option.value ~default:(now t) t.crashed_at;
       detected_at;
+      taken_over_at = now t;
       resynced_at = 0.0;
       replayed_entries = recovery.replayed;
       reissued_queries = List.length recovery.open_queries;
       generation;
+      winner;
     }
   in
   t.takeovers <- report :: t.takeovers;
@@ -152,29 +170,127 @@ let takeover t ~detected_at =
   arm_resync_watch t report;
   report
 
-let restart t = takeover t ~detected_at:(now t)
+let restart t = takeover t ~detected_at:(now t) ~winner:(-1)
 
-(* Warm standby: tails the journal; when the newest entry (heartbeats
-   included) is older than [takeover_timeout], the primary is declared
-   dead and the standby takes over.  The blind window is therefore
-   bounded by [takeover_timeout + check_period] plus resync latency. *)
-let enable_standby t =
-  if not t.standby_armed then begin
-    t.standby_armed <- true;
-    let log = Journal.log t.journal in
-    Netsim.Sim.every (sim t) ~period:t.config.check_period (fun () ->
-        let stale =
-          match Support.Journal.last_at log with
-          | None -> false
-          | Some at -> now t -. at > t.config.takeover_timeout
-        in
-        if stale && not (Service.live t.service) then begin
-          ignore (takeover t ~detected_at:(now t));
-          t.standby_armed <- false;
-          false
+(* ---- quorum takeover ----
+
+   Several warm standbys tail the same journal.  Staleness is judged
+   by the freshest {e non-claim} entry (claims are standby writes and
+   must not mask a dead primary).  A standby that observes staleness
+   journals a claim, waits one [check_period] for competing claims to
+   land, then decides: the {e lowest} standby id among unexpired
+   claims wins and takes over; losers back off one claim TTL so the
+   expired claims drain before anyone re-claims.  Two generations can
+   never run concurrently: the decision re-checks that no takeover
+   happened since the claim (generation guard) and that the service is
+   still dead, and a partitioned standby neither reads nor writes the
+   journal, so it can never win an election it did not observe. *)
+
+let claim_window t = t.config.check_period
+
+let claim_ttl t = Float.max t.config.takeover_timeout (2.0 *. t.config.check_period)
+
+let primary_stale t ~now:now_ =
+  match
+    Support.Journal.find_newest (Journal.log t.journal) ~f:(fun e ->
+        not (String.equal e.tag Journal.claim_tag))
+  with
+  | None -> false
+  | Some e -> now_ -. e.at > t.config.takeover_timeout
+
+(* Standby ids with an unexpired claim in the journal (any order). *)
+let claimants t ~now:now_ =
+  let ttl = claim_ttl t in
+  List.filter_map
+    (fun (e : Support.Journal.entry) ->
+      if String.equal e.tag Journal.claim_tag && now_ -. e.at <= ttl then
+        match Journal.decode_entry e with
+        | Ok (Journal.Claim { sid }) -> Some sid
+        | Ok _ | Error _ -> None
+      else None)
+    (Support.Journal.entries (Journal.log t.journal))
+
+let standby_tick t (s : standby) () =
+  if s.sb_partitioned then true
+  else begin
+    let now_ = now t in
+    if Service.live t.service then begin
+      (* healthy primary (possibly a fresh winner): drop any claim *)
+      s.sb_claim <- None;
+      true
+    end
+    else if not (primary_stale t ~now:now_) then begin
+      s.sb_claim <- None;
+      true
+    end
+    else begin
+      match s.sb_claim with
+      | None ->
+        if now_ >= s.sb_next_claim then begin
+          Journal.claim t.journal ~at:now_ ~sid:s.sid;
+          s.sb_claim <- Some (now_, generation t)
+        end;
+        true
+      | Some (claimed_at, claim_gen) ->
+        if now_ -. claimed_at < claim_window t then true
+        else if generation t <> claim_gen then begin
+          (* someone took over while we waited: rejoin as standby *)
+          s.sb_claim <- None;
+          true
         end
-        else true)
+        else begin
+          let lowest = List.fold_left min s.sid (claimants t ~now:now_) in
+          s.sb_claim <- None;
+          if lowest = s.sid then
+            ignore (takeover t ~detected_at:claimed_at ~winner:s.sid)
+          else s.sb_next_claim <- now_ +. claim_ttl t;
+          true
+        end
+    end
   end
+
+(* Arm standbys [0 .. count-1] (adding to any already armed).  Each
+   gets its own watchdog timer; [?phase] staggers their first tick —
+   tests use it to randomize which standby observes staleness first.
+   Standbys stay armed across takeovers: after a winner recovers, the
+   losers (and any healed partitioned standby) keep tailing the
+   journal, guarding the new incarnation too. *)
+let enable_standbys ?phase t ~count =
+  if count < 1 then invalid_arg "Failover.enable_standbys: count must be >= 1";
+  let existing = List.length t.standby_pool in
+  for sid = existing to count - 1 do
+    let s = { sid; sb_partitioned = false; sb_claim = None; sb_next_claim = 0.0 } in
+    t.standby_pool <- t.standby_pool @ [ s ];
+    let delay =
+      match phase with
+      | Some f -> Float.max 0.0 (f sid)
+      | None -> 0.0
+    in
+    let arm () =
+      Netsim.Sim.every (sim t) ~period:t.config.check_period (standby_tick t s)
+    in
+    if delay > 0.0 then Netsim.Sim.schedule (sim t) ~delay arm else arm ()
+  done
+
+let enable_standby t = enable_standbys t ~count:(max 1 t.config.standbys)
+
+let standby_count t = List.length t.standby_pool
+
+let find_standby t ~sid fn_name =
+  match List.find_opt (fun s -> s.sid = sid) t.standby_pool with
+  | Some s -> s
+  | None -> invalid_arg (fn_name ^ ": unknown standby id")
+
+(* A partitioned standby is cut off from the journal wholesale: it
+   neither observes staleness nor writes claims until healed. *)
+let partition_standby t ~sid =
+  (find_standby t ~sid "Failover.partition_standby").sb_partitioned <- true
+
+let heal_standby t ~sid =
+  let s = find_standby t ~sid "Failover.heal_standby" in
+  s.sb_partitioned <- false;
+  (* anything it believed before the partition is stale *)
+  s.sb_claim <- None
 
 let crash t =
   if Service.live t.service then begin
@@ -190,10 +306,13 @@ let start ?journal:existing ?(config = default_config) ~build net =
   if config.heartbeat_period <= 0.0 || config.takeover_timeout <= 0.0
      || config.check_period <= 0.0
   then invalid_arg "Failover.start: periods must be positive";
+  if config.standbys < 0 then invalid_arg "Failover.start: standbys must be >= 0";
   let journal =
     match existing with
     | Some j -> j
-    | None -> Journal.create ~checkpoint_every:config.checkpoint_every ()
+    | None ->
+      Journal.create ~checkpoint_every:config.checkpoint_every
+        ~auto_compact:config.auto_compact ()
   in
   let log = Journal.log journal in
   let fresh = Support.Journal.length log = 0 in
@@ -218,7 +337,7 @@ let start ?journal:existing ?(config = default_config) ~build net =
       crashed_at = None;
       takeovers = [];
       resyncs = 0;
-      standby_armed = false;
+      standby_pool = [];
     }
   in
   (* The log always opens with an image: recovery never has to replay
@@ -226,4 +345,7 @@ let start ?journal:existing ?(config = default_config) ~build net =
   Journal.checkpoint journal ~at:(now t) ~snapshot:(Monitor.snapshot monitor);
   arm_heartbeat t;
   arm_session_guard t;
+  (* Warm standbys tail the journal from the start; [standbys = 0]
+     opts out (tests arm explicitly with their own phasing). *)
+  if config.standbys > 0 then enable_standbys t ~count:config.standbys;
   t

@@ -9,14 +9,24 @@
     - a {b session guard} heals partitions of a live controller:
       reconnect, re-install interception, immediate poll sweep,
       retransmit unanswered challenges;
-    - a {b warm standby} tails the journal and, once it goes stale for
-      longer than [takeover_timeout], replays it and takes over under
-      a new generation number — re-attaching every switch, re-issuing
-      every in-flight query.
+    - {b warm standbys} (one or several) tail the journal and, once it
+      goes stale for longer than [takeover_timeout], elect a single
+      winner which replays it and takes over under a new generation
+      number — re-attaching every switch, re-issuing every in-flight
+      query.
+
+    Quorum election: a standby that observes staleness journals a
+    {!Journal.Claim} entry, waits one [check_period] for competing
+    claims, then the {e lowest} claiming standby id wins; the journal
+    itself is the coordination medium, so the election leaves an audit
+    trail and a partitioned standby (which can neither read nor write
+    the log) can never seize a network it cannot observe.  Losers back
+    off until the winning claim expires and rejoin as standbys of the
+    new incarnation — two generations never run concurrently.
 
     The blind window (time the network is unwatched) is bounded by
-    [takeover_timeout + check_period] plus resync latency; experiment
-    E16 measures it. *)
+    [takeover_timeout + 2 x check_period] (staleness detection + claim
+    window) plus resync latency; experiments E16/E17 measure it. *)
 
 type config = {
   heartbeat_period : float;  (** journal heartbeat + switch echo cadence *)
@@ -25,22 +35,32 @@ type config = {
           dead *)
   check_period : float;  (** watchdog polling cadence *)
   checkpoint_every : int;  (** snapshot image cadence (journal records) *)
+  standbys : int;
+      (** warm standbys armed at {!start} (0 = none; arm explicitly
+          with {!enable_standbys}) *)
+  auto_compact : bool;
+      (** bound the journal to [2 x checkpoint_every] entries via
+          {!Journal.compact} *)
 }
 
 (** 10ms heartbeats, 50ms takeover, 10ms checks, checkpoint every 64
-    records. *)
+    records, one standby, no auto-compaction. *)
 val default_config : config
 
 (** One takeover, as measured by the recovering side. *)
 type report = {
   crashed_at : float;  (** when {!crash} was called (or takeover time) *)
-  detected_at : float;  (** when staleness crossed the threshold *)
+  detected_at : float;
+      (** when staleness crossed the threshold (the winner's claim
+          time; equals takeover time for {!restart}) *)
+  taken_over_at : float;  (** when the winner actually rebuilt *)
   mutable resynced_at : float;
       (** when the post-takeover poll sweep had fully drained (0 until
           then) *)
   replayed_entries : int;  (** journal mutations replayed over the image *)
   reissued_queries : int;  (** in-flight queries re-driven *)
   generation : int;  (** the new incarnation's generation number *)
+  winner : int;  (** standby id that won the election (-1 = {!restart}) *)
 }
 
 (** How a controller incarnation is built.  Supplied by the scenario
@@ -57,13 +77,14 @@ type build =
 
 type t
 
-(** [start ?journal ?config ~build net] builds the primary controller
-    and arms heartbeat + session guard.  With an existing non-empty
-    [journal] (e.g. decoded from a persisted image) the primary is
-    {e restarted}: generation bumped, state replayed, switches
-    attached fresh.  A checkpoint is imaged immediately so the log
-    never has an imageless prefix.
-    @raise Invalid_argument on non-positive periods. *)
+(** [start ?journal ?config ~build net] builds the primary controller,
+    arms heartbeat + session guard, and arms [config.standbys] warm
+    standbys.  With an existing non-empty [journal] (e.g. decoded from
+    a persisted image) the primary is {e restarted}: generation
+    bumped, state replayed, switches attached fresh.  A checkpoint is
+    imaged immediately so the log never has an imageless prefix.
+    @raise Invalid_argument on non-positive periods or negative
+    [standbys]. *)
 val start : ?journal:Journal.t -> ?config:config -> build:build -> Netsim.Net.t -> t
 
 val monitor : t -> Monitor.t
@@ -91,11 +112,37 @@ val partition : t -> unit
     report. *)
 val restart : t -> report
 
-(** [enable_standby t] arms the warm standby.  It tails the journal
-    every [check_period]; when the newest entry is older than
-    [takeover_timeout] and the primary is dead, it takes over (once —
-    re-arm after the next crash if desired). *)
+(** [enable_standbys ?phase t ~count] arms standbys [0 .. count-1]
+    (idempotent: already-armed ids are kept; a larger [count] adds
+    the missing ones).  Each tails the journal every [check_period];
+    when the freshest non-claim entry is older than [takeover_timeout]
+    and the primary is dead, it journals a claim and enters the
+    election.  [?phase sid] delays standby [sid]'s first tick by the
+    returned seconds — tests use it to randomize which standby
+    observes the staleness first.  Standbys stay armed across
+    takeovers, guarding each new incarnation.
+    @raise Invalid_argument when [count < 1]. *)
+val enable_standbys : ?phase:(int -> float) -> t -> count:int -> unit
+
+(** [enable_standby t] is [enable_standbys t ~count:(max 1
+    config.standbys)] — kept as the single-standby entry point (a
+    no-op when {!start} already armed them). *)
 val enable_standby : t -> unit
+
+(** Number of standbys armed so far. *)
+val standby_count : t -> int
+
+(** [partition_standby t ~sid] cuts standby [sid] off from the
+    journal: it neither observes staleness nor writes claims until
+    {!heal_standby} — and therefore can never win an election while
+    partitioned.
+    @raise Invalid_argument on an unknown [sid]. *)
+val partition_standby : t -> sid:int -> unit
+
+(** [heal_standby t ~sid] reconnects a partitioned standby; it rejoins
+    as a standby of whatever incarnation now runs (any pre-partition
+    claim is discarded). *)
+val heal_standby : t -> sid:int -> unit
 
 (** [takeovers t] lists takeover reports, oldest first. *)
 val takeovers : t -> report list

@@ -16,6 +16,7 @@ type record =
   | Query_closed of { nonce : string }
   | Heartbeat
   | Takeover of { gen : int }
+  | Claim of { sid : int }
 
 let obs_tag = "obs"
 
@@ -31,23 +32,33 @@ let qclose_tag = "qclose"
 
 let hb_tag = "hb"
 
+let claim_tag = "claim"
+
 type t = {
   log : Support.Journal.t;
   checkpoint_every : int;
+  auto_compact : bool;
   mutable since_checkpoint : int;
 }
 
-let create ?(checkpoint_every = 64) () =
+let create ?(checkpoint_every = 64) ?(auto_compact = false) () =
   if checkpoint_every < 1 then invalid_arg "Journal.create: checkpoint_every must be >= 1";
-  { log = Support.Journal.create (); checkpoint_every; since_checkpoint = 0 }
+  {
+    log = Support.Journal.create ();
+    checkpoint_every;
+    auto_compact;
+    since_checkpoint = 0;
+  }
 
-let of_log ?(checkpoint_every = 64) log =
+let of_log ?(checkpoint_every = 64) ?(auto_compact = false) log =
   if checkpoint_every < 1 then invalid_arg "Journal.of_log: checkpoint_every must be >= 1";
-  { log; checkpoint_every; since_checkpoint = 0 }
+  { log; checkpoint_every; auto_compact; since_checkpoint = 0 }
 
 let log t = t.log
 
 let checkpoint_every t = t.checkpoint_every
+
+let auto_compact t = t.auto_compact
 
 (* ---- payload (de)serialization ---- *)
 
@@ -79,6 +90,10 @@ let encode_record = function
     (qopen_tag, Buffer.contents b)
   | Query_closed { nonce } -> (qclose_tag, nonce)
   | Heartbeat -> (hb_tag, "")
+  | Claim { sid } ->
+    let b = Buffer.create 8 in
+    Codec.Bin.w_int b sid;
+    (claim_tag, Buffer.contents b)
   | Takeover _ -> invalid_arg "Journal: Takeover entries are written by begin_generation"
 
 let decode_entry (e : Support.Journal.entry) =
@@ -116,6 +131,10 @@ let decode_entry (e : Support.Journal.entry) =
     end
     else if String.equal e.tag qclose_tag then Ok (Query_closed { nonce = e.payload })
     else if String.equal e.tag hb_tag then Ok Heartbeat
+    else if String.equal e.tag claim_tag then begin
+      let r = Codec.Bin.reader e.payload in
+      Ok (Claim { sid = Codec.Bin.r_int r })
+    end
     else Error ("Journal: unknown tag " ^ e.tag)
   with Codec.Bin.Malformed msg -> Error ("Journal: malformed payload: " ^ msg)
 
@@ -125,27 +144,13 @@ let append_record t ~at record =
   let tag, payload = encode_record record in
   ignore (Support.Journal.append t.log ~at ~tag ~payload)
 
-(* State-changing records count toward the checkpoint cadence; after
-   [checkpoint_every] of them the caller-supplied snapshot is imaged
-   into the log, bounding replay length (and the damage of a torn
-   tail) without the cost of imaging on every event. *)
-let append t ~at ~snapshot record =
-  append_record t ~at record;
-  (match record with
-  | Observation _ | Flows_polled _ | Meters_polled _ ->
-    t.since_checkpoint <- t.since_checkpoint + 1
-  | Checkpoint _ -> t.since_checkpoint <- 0
-  | Query_opened _ | Query_closed _ | Heartbeat | Takeover _ -> ());
-  if t.since_checkpoint >= t.checkpoint_every then begin
-    append_record t ~at (Checkpoint (Snapshot.to_bytes snapshot));
-    t.since_checkpoint <- 0
-  end
-
-let checkpoint t ~at ~snapshot =
-  append_record t ~at (Checkpoint (Snapshot.to_bytes snapshot));
-  t.since_checkpoint <- 0
-
-let heartbeat t ~at = append_record t ~at Heartbeat
+(* Checkpoint records are the durability boundary: a file backend
+   fsyncs here, so everything up to (and including) the image survives
+   power loss, and anything after it is at worst a torn tail. *)
+let append_checkpoint t ~at ~image =
+  append_record t ~at (Checkpoint image);
+  t.since_checkpoint <- 0;
+  Support.Journal.sync t.log
 
 (* ---- recovery ---- *)
 
@@ -208,7 +213,7 @@ let recover log =
             Snapshot.replace_meters snapshot ~sw meters;
             incr replayed
           end
-        | Checkpoint _ | Heartbeat | Takeover _ -> ()))
+        | Checkpoint _ | Heartbeat | Takeover _ | Claim _ -> ()))
     valid;
   let open_queries =
     List.rev !order
@@ -226,3 +231,55 @@ let recover log =
     generation = !generation;
     last_at = Support.Journal.last_at log;
   }
+
+(* ---- compaction ---- *)
+
+(* Equivalence-preserving by construction: recover the journal's own
+   view of the world, re-append every still-open query (in original
+   order — recovery folds opens over the whole prefix, so they must
+   survive the cut), image the recovered snapshot, and only then drop
+   everything before the re-appended block.  [recover (compact j)]
+   therefore returns the same snapshot, digest vector and open-query
+   list as [recover j]. *)
+let compact t ~at =
+  let log = t.log in
+  if Support.Journal.length log > 0 then begin
+    let r = recover log in
+    let cut = Support.Journal.last_seq log + 1 in
+    List.iter (fun q -> append_record t ~at (Query_opened q)) r.open_queries;
+    append_checkpoint t ~at ~image:(Snapshot.to_bytes r.snapshot);
+    Support.Journal.compact log ~upto_seq:cut
+  end
+
+(* With [auto_compact], the journal self-bounds: as soon as it holds
+   two checkpoint cadences' worth of entries it folds down to the
+   open-query block + one fresh image. *)
+let maybe_compact t ~at =
+  if t.auto_compact && Support.Journal.length t.log >= 2 * t.checkpoint_every then
+    compact t ~at
+
+(* State-changing records count toward the checkpoint cadence; after
+   [checkpoint_every] of them the caller-supplied snapshot is imaged
+   into the log, bounding replay length (and the damage of a torn
+   tail) without the cost of imaging on every event. *)
+let append t ~at ~snapshot record =
+  append_record t ~at record;
+  (match record with
+  | Observation _ | Flows_polled _ | Meters_polled _ ->
+    t.since_checkpoint <- t.since_checkpoint + 1
+  | Checkpoint _ ->
+    t.since_checkpoint <- 0;
+    Support.Journal.sync t.log
+  | Query_opened _ | Query_closed _ | Heartbeat | Takeover _ | Claim _ -> ());
+  if t.since_checkpoint >= t.checkpoint_every then
+    append_checkpoint t ~at ~image:(Snapshot.to_bytes snapshot);
+  maybe_compact t ~at
+
+let checkpoint t ~at ~snapshot =
+  append_checkpoint t ~at ~image:(Snapshot.to_bytes snapshot)
+
+let heartbeat t ~at =
+  append_record t ~at Heartbeat;
+  maybe_compact t ~at
+
+let claim t ~at ~sid = append_record t ~at (Claim { sid })

@@ -33,18 +33,25 @@ type record =
   | Heartbeat  (** liveness marker: keeps {!Support.Journal.last_at} fresh *)
   | Takeover of { gen : int }
       (** a generation bump written by {!Support.Journal.begin_generation} *)
+  | Claim of { sid : int }
+      (** a standby's journalled takeover claim — the quorum election
+          in {!Failover} is decided by lowest claiming standby id *)
 
 type t
 
-(** [create ?checkpoint_every ()] makes a typed journal over a fresh
-    log.  [checkpoint_every] (default 64) is how many state-changing
-    records may accumulate before {!append} images a checkpoint.
+(** [create ?checkpoint_every ?auto_compact ()] makes a typed journal
+    over a fresh log.  [checkpoint_every] (default 64) is how many
+    state-changing records may accumulate before {!append} images a
+    checkpoint.  With [auto_compact] (default [false]) the journal
+    self-bounds: whenever it reaches [2 * checkpoint_every] entries it
+    is compacted down to the open-query block plus one fresh image.
     @raise Invalid_argument when [checkpoint_every < 1]. *)
-val create : ?checkpoint_every:int -> unit -> t
+val create : ?checkpoint_every:int -> ?auto_compact:bool -> unit -> t
 
-(** [of_log ?checkpoint_every log] adopts an existing log (e.g. one
-    rebuilt by {!Support.Journal.decode}) for continued writing. *)
-val of_log : ?checkpoint_every:int -> Support.Journal.t -> t
+(** [of_log ?checkpoint_every ?auto_compact log] adopts an existing
+    log (e.g. one rebuilt by {!Support.Journal.decode}) for continued
+    writing. *)
+val of_log : ?checkpoint_every:int -> ?auto_compact:bool -> Support.Journal.t -> t
 
 (** [log t] is the underlying append-only log (shared, not copied) —
     what a warm standby tails and what gets encoded for persistence. *)
@@ -52,9 +59,12 @@ val log : t -> Support.Journal.t
 
 val checkpoint_every : t -> int
 
+val auto_compact : t -> bool
+
 (** [append t ~at ~snapshot record] journals [record]; when the
     checkpoint cadence is reached, also journals a fresh image of
-    [snapshot]. *)
+    [snapshot].  Checkpoint records trigger {!Support.Journal.sync} —
+    the fsync boundary of a file-backed journal. *)
 val append : t -> at:float -> snapshot:Snapshot.t -> record -> unit
 
 (** [checkpoint t ~at ~snapshot] forces an image now (used at start-up
@@ -63,6 +73,24 @@ val checkpoint : t -> at:float -> snapshot:Snapshot.t -> unit
 
 (** [heartbeat t ~at] journals a liveness marker. *)
 val heartbeat : t -> at:float -> unit
+
+(** [claim t ~at ~sid] journals standby [sid]'s takeover claim.
+    Claims are ignored by {!recover} and excluded from the staleness
+    signal ({!Failover} judges primary liveness by the freshest
+    non-claim entry) — they exist so that competing standbys elect a
+    single winner through the log itself. *)
+val claim : t -> at:float -> sid:int -> unit
+
+(** The raw tag of {!Claim} entries. *)
+val claim_tag : string
+
+(** [compact t ~at] bounds the journal: recovers its current state,
+    re-appends every still-open query, images the recovered snapshot,
+    then drops everything older ({!Support.Journal.compact} — the
+    chain root moves, an attached file backend rewrites atomically).
+    Recovery-equivalent: [recover (log t)] returns the same snapshot,
+    digest vector and open-query list before and after. *)
+val compact : t -> at:float -> unit
 
 (** [decode_entry e] parses a raw log entry back into a {!record}
     ([Takeover] for {!Support.Journal.generation_tag} entries). *)

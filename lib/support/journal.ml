@@ -7,12 +7,31 @@ type entry = {
   checksum : int64;
 }
 
+(* A backend (e.g. [Journal_file]) mirrors the in-memory log onto
+   durable storage.  [on_append] sees every new entry, [on_sync] must
+   not return until prior appends are durable, [on_rewrite] is told
+   the whole image changed wholesale (compaction) and must replace its
+   copy atomically. *)
+type sink = {
+  on_append : entry -> unit;
+  on_sync : unit -> unit;
+  on_rewrite : unit -> unit;
+}
+
 type t = {
   mutable rev_entries : entry list;
   mutable count : int;
   mutable gen : int;
   mutable next_seq : int;
   mutable tail_checksum : int64; (* checksum of the last entry (chain state) *)
+  (* Compaction base: the chain root under the oldest retained entry.
+     A fresh journal has base_seq 0 / base_gen 1 / base_checksum
+     fnv_offset; [compact] moves the base forward to the newest
+     dropped entry so the retained suffix verifies unchanged. *)
+  mutable base_seq : int;
+  mutable base_gen : int;
+  mutable base_checksum : int64;
+  mutable sink : sink option;
 }
 
 (* FNV-1a, 64 bit.  Self-contained: [support] sits below [cryptosim]
@@ -50,15 +69,33 @@ let entry_checksum ~prev ~gen ~seq ~at ~tag ~payload =
   fnv_string h payload
 
 let create () =
-  { rev_entries = []; count = 0; gen = 1; next_seq = 0; tail_checksum = fnv_offset }
+  {
+    rev_entries = [];
+    count = 0;
+    gen = 1;
+    next_seq = 0;
+    tail_checksum = fnv_offset;
+    base_seq = 0;
+    base_gen = 1;
+    base_checksum = fnv_offset;
+    sink = None;
+  }
 
 let generation t = t.gen
 
 let length t = t.count
 
+let base_seq t = t.base_seq
+
 let last_seq t = t.next_seq - 1
 
 let last_at t = match t.rev_entries with [] -> None | e :: _ -> Some e.at
+
+let attach t sink = t.sink <- Some sink
+
+let detach t = t.sink <- None
+
+let sync t = match t.sink with Some s -> s.on_sync () | None -> ()
 
 let append t ~at ~tag ~payload =
   let seq = t.next_seq in
@@ -70,6 +107,7 @@ let append t ~at ~tag ~payload =
   t.tail_checksum <- checksum;
   t.rev_entries <- e :: t.rev_entries;
   t.count <- t.count + 1;
+  (match t.sink with Some s -> s.on_append e | None -> ());
   e
 
 let generation_tag = "generation"
@@ -83,10 +121,15 @@ let begin_generation t ~at =
 
 let entries t = List.rev t.rev_entries
 
-(* Walk the log oldest-first, re-deriving the checksum chain; stop at
-   the first entry whose checksum, sequence number or generation does
-   not fit.  This gives torn-write semantics: a crash mid-append (or a
-   tampered suffix) invalidates exactly the suffix, never the prefix. *)
+(* Newest matching entry, or None.  Scans newest-first so standbys can
+   cheaply ask e.g. for the freshest non-claim record. *)
+let find_newest t ~f = List.find_opt f t.rev_entries
+
+(* Walk the log oldest-first, re-deriving the checksum chain from the
+   compaction base; stop at the first entry whose checksum, sequence
+   number or generation does not fit.  This gives torn-write
+   semantics: a crash mid-append (or a tampered suffix) invalidates
+   exactly the suffix, never the prefix. *)
 let valid_prefix t =
   let rec go acc prev expected_seq min_gen = function
     | [] -> List.rev acc
@@ -98,7 +141,29 @@ let valid_prefix t =
       then List.rev acc
       else go (e :: acc) e.checksum (expected_seq + 1) e.gen rest
   in
-  go [] fnv_offset 0 1 (entries t)
+  go [] t.base_checksum t.base_seq t.base_gen (entries t)
+
+(* Drop every entry with [seq < upto_seq].  Only a prefix can go — the
+   checksum chain is sequential — so the base moves to the newest
+   dropped entry and the retained suffix (whose first link hashes over
+   that entry's checksum) verifies unchanged.  Generation numbers and
+   the audit trail of the retained entries are untouched.  The backend
+   (if any) is told to rewrite its image atomically. *)
+let compact t ~upto_seq =
+  if upto_seq > t.base_seq then begin
+    let kept, dropped =
+      List.partition (fun (e : entry) -> e.seq >= upto_seq) t.rev_entries
+    in
+    match dropped with
+    | [] -> ()
+    | newest_dropped :: _ ->
+      t.rev_entries <- kept;
+      t.count <- List.length kept;
+      t.base_seq <- newest_dropped.seq + 1;
+      t.base_gen <- newest_dropped.gen;
+      t.base_checksum <- newest_dropped.checksum;
+      (match t.sink with Some s -> s.on_rewrite () | None -> ())
+  end
 
 let verify t =
   let valid = valid_prefix t in
@@ -154,20 +219,38 @@ let r_string s pos =
   pos := !pos + n;
   v
 
-let encode t =
+let w_entry b (e : entry) =
+  w_int b e.gen;
+  w_int b e.seq;
+  w_float b e.at;
+  w_string b e.tag;
+  w_string b e.payload;
+  w_i64 b e.checksum
+
+let encode_entry e =
+  let b = Buffer.create 64 in
+  w_entry b e;
+  Buffer.contents b
+
+(* The header count is an upper bound for the decoder, not a promise:
+   file backends write [open_count] so entries appended after the
+   header was laid down still decode (the loop just runs until the
+   bytes run out). *)
+let open_count = max_int
+
+let encode_with ~count t =
   let b = Buffer.create 1024 in
   Buffer.add_string b magic;
-  w_int b t.count;
-  List.iter
-    (fun (e : entry) ->
-      w_int b e.gen;
-      w_int b e.seq;
-      w_float b e.at;
-      w_string b e.tag;
-      w_string b e.payload;
-      w_i64 b e.checksum)
-    (entries t);
+  w_int b t.base_seq;
+  w_int b t.base_gen;
+  w_i64 b t.base_checksum;
+  w_int b count;
+  List.iter (w_entry b) (entries t);
   Buffer.contents b
+
+let encode t = encode_with ~count:t.count t
+
+let encode_open t = encode_with ~count:open_count t
 
 (* Decode keeps the checksum-valid prefix and silently drops any
    corrupt or truncated tail — the durable-log recovery contract. *)
@@ -179,7 +262,17 @@ let decode s =
     let pos = ref n in
     let t = create () in
     (try
+       let base_seq = r_int s pos in
+       let base_gen = r_int s pos in
+       let base_checksum = r_i64 s pos in
        let count = r_int s pos in
+       if base_seq < 0 || base_gen < 1 then raise Truncated;
+       t.base_seq <- base_seq;
+       t.base_gen <- base_gen;
+       t.base_checksum <- base_checksum;
+       t.next_seq <- base_seq;
+       t.gen <- base_gen;
+       t.tail_checksum <- base_checksum;
        let stop = ref false in
        let i = ref 0 in
        while (not !stop) && !i < count do

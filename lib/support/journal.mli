@@ -19,7 +19,16 @@
     the takeover itself as a journal entry (tag {!generation_tag}), so
     the log is also an audit trail of failovers.  Within the valid
     prefix, sequence numbers are strictly increasing and generations
-    are non-decreasing. *)
+    are non-decreasing.
+
+    Compaction: {!compact} drops a prefix of old entries (only a
+    prefix — the checksum chain is sequential) and moves the chain
+    base to the newest dropped entry, so the retained suffix verifies
+    unchanged and sequence/generation numbering is preserved.
+
+    Backends: a {!sink} mirrors the log onto durable storage
+    ([Journal_file] is the file-backed one); callers stay
+    backend-agnostic — they only ever talk to this module. *)
 
 type entry = {
   gen : int;  (** generation of the writing controller incarnation *)
@@ -52,8 +61,13 @@ val generation_tag : string
 
 val length : t -> int
 
-(** [last_seq t] is the sequence number of the newest entry (-1 when
-    empty). *)
+(** [base_seq t] is the sequence number of the oldest entry the
+    journal can still hold — 0 for a fresh journal, moved forward by
+    {!compact}. *)
+val base_seq : t -> int
+
+(** [last_seq t] is the sequence number of the newest entry
+    ([base_seq t - 1] when empty). *)
 val last_seq : t -> int
 
 (** [last_at t] is the timestamp of the newest entry — the signal a
@@ -64,6 +78,11 @@ val last_at : t -> float option
 (** [entries t] returns all entries, oldest first, without integrity
     checking (use {!valid_prefix} for recovery). *)
 val entries : t -> entry list
+
+(** [find_newest t ~f] is the newest entry satisfying [f] (no
+    integrity check).  Standbys use it to find the freshest
+    non-claim record when judging primary staleness. *)
+val find_newest : t -> f:(entry -> bool) -> entry option
 
 (** [valid_prefix t] returns the longest prefix whose checksum chain,
     sequence numbers and generation monotonicity all hold. *)
@@ -76,12 +95,63 @@ val verify : t -> bool
     returns how many entries were replayed. *)
 val iter_valid : t -> f:(entry -> unit) -> int
 
+(** {1 Compaction}
+
+    [compact t ~upto_seq] drops every entry with [seq < upto_seq] and
+    moves the chain base to the newest dropped entry, preserving the
+    checksum chain, sequence numbering and generation audit trail of
+    the retained suffix.  The caller is responsible for only cutting
+    at a point covered by a newer verified checkpoint (the typed
+    layer, [Rvaas.Journal.compact], enforces this).  An attached
+    backend is told to rewrite its image atomically.  No-op when
+    nothing would be dropped. *)
+val compact : t -> upto_seq:int -> unit
+
+(** {1 Backends}
+
+    A sink mirrors the in-memory log onto durable storage; callers of
+    this module never see it — appending, syncing and compacting work
+    identically with or without one attached. *)
+
+type sink = {
+  on_append : entry -> unit;  (** called after each append *)
+  on_sync : unit -> unit;
+      (** make prior appends durable before returning (fsync) *)
+  on_rewrite : unit -> unit;
+      (** the image changed wholesale (compaction); replace atomically *)
+}
+
+(** [attach t sink] installs the backend (replacing any previous
+    one).  The sink does NOT retroactively see existing entries —
+    backends write the current image on attach ([Journal_file.attach]
+    does). *)
+val attach : t -> sink -> unit
+
+val detach : t -> unit
+
+(** [sync t] asks the attached backend to make all appends durable;
+    no-op without one.  The typed layer calls this on checkpoint
+    records — the fsync boundary of the durability contract. *)
+val sync : t -> unit
+
 (** {1 Binary persistence}
 
     [decode (encode t)] round-trips; [decode] of a truncated or
     tampered image keeps the checksum-valid prefix and drops the rest
-    (never fails once the magic matches). *)
+    (never fails once the magic matches).  The image header carries
+    the compaction base (chain root), so compacted journals round-trip
+    too. *)
 
 val encode : t -> string
+
+(** [encode_open t] is [encode t] with an open-ended entry count in
+    the header: the decoder treats the count as an upper bound, so a
+    file backend can lay down this image once and keep appending
+    {!encode_entry} frames after it. *)
+val encode_open : t -> string
+
+(** [encode_entry e] is the wire frame of a single entry, exactly as
+    it appears in an image after the header. *)
+val encode_entry : entry -> string
 
 val decode : string -> (t, string) result

@@ -1,0 +1,101 @@
+(* File-backed journal writer over the RVJL1 image.
+
+   The file is an open-ended image: the header (magic + chain base +
+   an open-ended count) followed by one frame per entry, appended
+   incrementally.  Appends are flushed to the OS immediately (a
+   process kill loses at most the entry being written — the decoder's
+   valid-prefix semantics absorb the torn tail); [sync] additionally
+   fsyncs, which the typed layer invokes on checkpoint records.
+   Compaction rewrites the whole image to a temp file and renames it
+   over the old one, so a crash mid-rewrite leaves either the old or
+   the new image, never a mix. *)
+
+type t = {
+  path : string;
+  log : Journal.t;
+  mutable oc : out_channel option;
+  mutable written : int; (* bytes handed to the OS (post-flush) *)
+  mutable synced : int; (* bytes known durable (post-fsync) *)
+}
+
+let path t = t.path
+
+let temp_path t = t.path ^ ".tmp"
+
+let written_bytes t = t.written
+
+let synced_bytes t = t.synced
+
+let channel t =
+  match t.oc with
+  | Some oc -> oc
+  | None -> invalid_arg "Journal_file: backend is closed"
+
+let fsync_channel oc =
+  flush oc;
+  Unix.fsync (Unix.descr_of_out_channel oc)
+
+(* Lay down a complete image atomically: write + fsync a temp file,
+   rename it over [path], reopen for append.  Used both on attach and
+   on compaction rewrites. *)
+let write_image t =
+  (match t.oc with Some oc -> close_out oc | None -> ());
+  t.oc <- None;
+  let img = Journal.encode_open t.log in
+  let tmp = temp_path t in
+  let oc = open_out_bin tmp in
+  output_string oc img;
+  fsync_channel oc;
+  close_out oc;
+  Sys.rename tmp t.path;
+  let oc =
+    open_out_gen [ Open_wronly; Open_append; Open_binary ] 0o644 t.path
+  in
+  t.oc <- Some oc;
+  t.written <- String.length img;
+  t.synced <- t.written
+
+let handle_append t e =
+  let oc = channel t in
+  let frame = Journal.encode_entry e in
+  output_string oc frame;
+  flush oc;
+  t.written <- t.written + String.length frame
+
+let handle_sync t =
+  (match t.oc with Some oc -> fsync_channel oc | None -> ());
+  t.synced <- t.written
+
+let attach log ~path =
+  let t = { path; log; oc = None; written = 0; synced = 0 } in
+  write_image t;
+  Journal.attach log
+    {
+      Journal.on_append = (fun e -> handle_append t e);
+      on_sync = (fun () -> handle_sync t);
+      on_rewrite = (fun () -> write_image t);
+    };
+  t
+
+let sync t = handle_sync t
+
+let close t =
+  Journal.detach t.log;
+  match t.oc with
+  | None -> ()
+  | Some oc ->
+    fsync_channel oc;
+    t.synced <- t.written;
+    close_out oc;
+    t.oc <- None
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let recover_from_file path =
+  match read_file path with
+  | exception Sys_error msg -> Error ("Journal_file: " ^ msg)
+  | bytes -> Journal.decode bytes

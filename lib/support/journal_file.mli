@@ -1,0 +1,53 @@
+(** File-backed journal writer: the persistent on-disk backend for
+    {!Journal}.
+
+    [attach] lays down the current RVJL1 image at [path] (atomically:
+    temp + rename) with an open-ended entry count, then mirrors every
+    subsequent append as an incremental frame.  Appends are flushed to
+    the OS per entry — a process kill (SIGKILL) loses at most the
+    frame being written, which the chained-checksum decoder drops as a
+    torn tail.  {!Journal.sync} (invoked by the typed layer on
+    checkpoint records) additionally fsyncs, so everything up to the
+    last checkpoint survives power loss too.  Compaction rewrites the
+    whole image via temp + rename: a crash mid-rewrite leaves either
+    the old or the new image, never a mix.
+
+    Recovery is just {!recover_from_file}: read the bytes, decode,
+    keep the longest verified prefix — the same code path as in-memory
+    recovery, so the two stay behaviourally identical. *)
+
+type t
+
+(** [attach log ~path] writes the log's current image to [path]
+    (replacing any existing file) and installs the backend so later
+    appends, syncs and compactions are mirrored.  Only one backend can
+    be attached to a log at a time. *)
+val attach : Journal.t -> path:string -> t
+
+val path : t -> string
+
+(** The temp file used for atomic rewrites: [path ^ ".tmp"].  Exposed
+    for crash-matrix tests that simulate a kill between temp write and
+    rename. *)
+val temp_path : t -> string
+
+(** Bytes flushed to the OS so far (header + frames). *)
+val written_bytes : t -> int
+
+(** Bytes known durable (fsynced) so far; [synced_bytes t <=
+    written_bytes t], equal right after a checkpoint. *)
+val synced_bytes : t -> int
+
+(** Explicit fsync; equivalent to {!Journal.sync} on the attached
+    log. *)
+val sync : t -> unit
+
+(** Detach from the log, fsync and close the file.  The file remains
+    recoverable. *)
+val close : t -> unit
+
+(** [recover_from_file path] reads the image and returns the decoded
+    journal (longest verified prefix — torn or corrupt tails are
+    dropped, same contract as {!Journal.decode}).  [Error] only on a
+    missing/unreadable file or bad magic. *)
+val recover_from_file : string -> (Journal.t, string) result

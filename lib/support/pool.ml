@@ -223,8 +223,8 @@ let pp_fault_reason ppf = function
    its domain abandoned + respawned, and the task re-run sequentially
    in the caller — so a raising or wedged worker degrades one task to
    sequential instead of wedging the whole sweep. *)
-let parmap_supervised t ?deadline ?(poll_interval = 1e-3) ?(on_fault = fun _ -> ())
-    ~init ~f xs =
+let parmap_supervised t ?deadline ?(poll_interval = 1e-3)
+    ?(clock = Unix.gettimeofday) ?(on_fault = fun _ -> ()) ~init ~f xs =
   let n = Array.length xs in
   if n = 0 then [||]
   else if t.size = 1 || t.stopped || !(Domain.DLS.get inside_job) then
@@ -242,7 +242,7 @@ let parmap_supervised t ?deadline ?(poll_interval = 1e-3) ?(on_fault = fun _ -> 
     let states : (int, 'c slot_state) Hashtbl.t = Hashtbl.create 8 in
     let job i slot =
       Mutex.lock bm;
-      Hashtbl.replace inflight i (slot, Unix.gettimeofday ());
+      Hashtbl.replace inflight i (slot, clock ());
       let cell = Hashtbl.find_opt states slot in
       Mutex.unlock bm;
       let state =
@@ -340,7 +340,7 @@ let parmap_supervised t ?deadline ?(poll_interval = 1e-3) ?(on_fault = fun _ -> 
             match deadline with
             | None -> []
             | Some d ->
-              let now = Unix.gettimeofday () in
+              let now = clock () in
               Mutex.lock bm;
               let expired =
                 Hashtbl.fold

@@ -102,12 +102,16 @@ val pp_fault_reason : Format.formatter -> fault_reason -> unit
     - results are order-preserving and identical to a sequential run.
 
     [?poll_interval] (default 1ms) is how often the supervisor scans
-    for deadline overruns.  Degrades to a sequential map exactly when
-    {!parmap} would. *)
+    for deadline overruns.  [?clock] (default [Unix.gettimeofday])
+    supplies the wall clock used to stamp task starts and judge
+    deadline expiry — tests inject a deterministic clock so deadline
+    behaviour cannot race slow CI runners.  Degrades to a sequential
+    map exactly when {!parmap} would. *)
 val parmap_supervised :
   t ->
   ?deadline:float ->
   ?poll_interval:float ->
+  ?clock:(unit -> float) ->
   ?on_fault:(fault -> unit) ->
   init:(unit -> 'c) ->
   f:('c -> 'a -> 'b) ->

@@ -27,8 +27,11 @@ type spec = {
   jurisdictions : string list;  (** ground-truth jurisdiction pool *)
   ha : Rvaas.Failover.config option;
       (** when set, the controller is built through {!Rvaas.Failover}:
-          journalled, heartbeated, crash/partition-able, with a warm
-          standby available via {!controller} *)
+          journalled, heartbeated, crash/partition-able, with
+          [config.standbys] warm standbys armed from the start (quorum
+          election among them on takeover) and, with
+          [config.auto_compact], a self-bounding journal — all
+          reachable via {!controller} *)
 }
 
 (** [default_spec topo] — two clients, seed 42, randomized polling with

@@ -279,9 +279,11 @@ let ha_config =
     takeover_timeout = 0.05;
     check_period = 0.01;
     checkpoint_every = 32;
+    standbys = 1;
+    auto_compact = false;
   }
 
-let ha_scenario ?(seed = 42) () =
+let ha_scenario ?(seed = 42) ?(config = ha_config) () =
   let topo = Workload.Topogen.linear Workload.Topogen.default_params 4 in
   Workload.Scenario.build
     {
@@ -289,7 +291,7 @@ let ha_scenario ?(seed = 42) () =
       seed;
       polling = Rvaas.Monitor.Periodic 0.02;
       agent_resend = Some 0.12;
-      ha = Some ha_config;
+      ha = Some config;
     }
 
 (* Drive one isolation query from host 0 to completion, crashing the
@@ -419,6 +421,114 @@ let test_live_journal_image_recovers () =
       (Rvaas.Snapshot.digest_vector live = Rvaas.Snapshot.digest_vector r.snapshot);
     check Alcotest.int "no queries in flight" 0 (List.length r.open_queries)
 
+(* ---- quorum election: N standbys, one winner ---- *)
+
+(* Arm [count] standbys with seed-dependent phases so the order in
+   which they observe the staleness differs run to run. *)
+let arm_phased ctrl ~seed ~count =
+  let phase sid = float_of_int (((seed * 7) + (sid * 13)) mod 29) *. 0.0007 in
+  Rvaas.Failover.enable_standbys ~phase ctrl ~count
+
+let run_sim s ~until = Workload.Scenario.run s ~until
+
+let sim_now s = Netsim.Sim.now (Netsim.Net.sim s.Workload.Scenario.net)
+
+let test_quorum_single_winner () =
+  (* >= 20 RNG seeds; each: 3 standbys with randomized observation
+     order, crash, exactly one takeover; then crash the winner —
+     generations strictly increase and again exactly one wins. *)
+  for seed = 1 to 24 do
+    let s = ha_scenario ~seed ~config:{ ha_config with standbys = 0 } () in
+    run_sim s ~until:0.3;
+    let ctrl = Workload.Scenario.controller s in
+    arm_phased ctrl ~seed ~count:3;
+    check Alcotest.int "three standbys armed" 3 (Rvaas.Failover.standby_count ctrl);
+    run_sim s ~until:0.35;
+    Rvaas.Failover.crash ctrl;
+    run_sim s ~until:0.8;
+    let tks = Rvaas.Failover.takeovers ctrl in
+    check Alcotest.int
+      (Printf.sprintf "seed %d: exactly one takeover" seed)
+      1 (List.length tks);
+    let r = List.hd tks in
+    check Alcotest.int "first takeover is generation 2" 2 r.Rvaas.Failover.generation;
+    check Alcotest.bool "winner is an armed standby" true
+      (r.Rvaas.Failover.winner >= 0 && r.Rvaas.Failover.winner < 3);
+    check Alcotest.bool "service live under the new generation" true
+      (Rvaas.Service.live (Workload.Scenario.service s));
+    (* Kill the new incarnation: the standbys stayed armed, elect
+       again, and the generation strictly increases. *)
+    Rvaas.Failover.crash ctrl;
+    run_sim s ~until:(sim_now s +. 0.45);
+    let tks = Rvaas.Failover.takeovers ctrl in
+    check Alcotest.int
+      (Printf.sprintf "seed %d: second crash, second takeover" seed)
+      2 (List.length tks);
+    let gens = List.map (fun r -> r.Rvaas.Failover.generation) tks in
+    check (Alcotest.list Alcotest.int) "generations strictly increase" [ 2; 3 ] gens
+  done
+
+let has_claim_by log ~sid =
+  List.exists
+    (fun (e : Support.Journal.entry) ->
+      String.equal e.Support.Journal.tag Rvaas.Journal.claim_tag
+      &&
+      match Rvaas.Journal.decode_entry e with
+      | Ok (Rvaas.Journal.Claim { sid = s }) -> s = sid
+      | Ok _ | Error _ -> false)
+    (Support.Journal.entries log)
+
+let test_quorum_partitioned_loser_heals () =
+  (* Standby 0 observes the staleness first and journals its claim —
+     then partitions before it can decide.  Its claim must expire, a
+     healthy standby must win instead, and the healed standby 0 must
+     rejoin as a standby of the new generation (no second takeover =
+     no split brain) — yet still guard against the next crash. *)
+  for seed = 1 to 6 do
+    let s = ha_scenario ~seed ~config:{ ha_config with standbys = 0 } () in
+    run_sim s ~until:0.3;
+    let ctrl = Workload.Scenario.controller s in
+    (* standby 0 ticks ~4 ms ahead of standbys 1 and 2 *)
+    Rvaas.Failover.enable_standbys
+      ~phase:(fun sid -> if sid = 0 then 0.0 else 0.004)
+      ctrl ~count:3;
+    run_sim s ~until:0.32;
+    Rvaas.Failover.crash ctrl;
+    let log = Rvaas.Journal.log (Rvaas.Failover.journal ctrl) in
+    let deadline = sim_now s +. 0.3 in
+    while (not (has_claim_by log ~sid:0)) && sim_now s < deadline do
+      run_sim s ~until:(sim_now s +. 0.002)
+    done;
+    check Alcotest.bool "standby 0 claimed first" true (has_claim_by log ~sid:0);
+    check Alcotest.int "no takeover yet (claim window open)" 0
+      (List.length (Rvaas.Failover.takeovers ctrl));
+    Rvaas.Failover.partition_standby ctrl ~sid:0;
+    run_sim s ~until:(sim_now s +. 0.3);
+    (let tks = Rvaas.Failover.takeovers ctrl in
+     check Alcotest.int
+       (Printf.sprintf "seed %d: healthy standby took over" seed)
+       1 (List.length tks);
+     let r = List.hd tks in
+     check Alcotest.bool "partitioned claimant did not win" true
+       (r.Rvaas.Failover.winner <> 0);
+     check Alcotest.int "generation 2" 2 r.Rvaas.Failover.generation);
+    Rvaas.Failover.heal_standby ctrl ~sid:0;
+    run_sim s ~until:(sim_now s +. 0.3);
+    check Alcotest.int "healed loser rejoined as standby (no split brain)" 1
+      (List.length (Rvaas.Failover.takeovers ctrl));
+    check Alcotest.int "generation still 2" 2 (Rvaas.Failover.generation ctrl);
+    (* The healed standby is live again: next crash elects among all
+       three, and standby 0 (lowest id, connected) wins this one. *)
+    Rvaas.Failover.crash ctrl;
+    run_sim s ~until:(sim_now s +. 0.45);
+    let tks = Rvaas.Failover.takeovers ctrl in
+    check Alcotest.int "second crash recovered" 2 (List.length tks);
+    let r2 = List.nth tks 1 in
+    check Alcotest.int "generation 3" 3 r2.Rvaas.Failover.generation;
+    check Alcotest.int "healed standby 0 wins the next election" 0
+      r2.Rvaas.Failover.winner
+  done
+
 let () =
   Alcotest.run "recovery"
     [
@@ -445,5 +555,12 @@ let () =
           Alcotest.test_case "restart replays the journal" `Quick test_restart_replay;
           Alcotest.test_case "live journal image recovers" `Quick
             test_live_journal_image_recovers;
+        ] );
+      ( "quorum",
+        [
+          Alcotest.test_case "single winner over 24 seeds" `Quick
+            test_quorum_single_winner;
+          Alcotest.test_case "partitioned loser heals and rejoins" `Quick
+            test_quorum_partitioned_loser_heals;
         ] );
     ]

@@ -342,6 +342,44 @@ let test_pool_supervised_deadline () =
     (Support.Pool.parmap pool (fun i -> i * i) (Array.init 4 Fun.id));
   Support.Pool.shutdown pool
 
+let test_pool_supervised_deadline_deterministic () =
+  let pool = Support.Pool.create 3 in
+  (* Same scenario as above but on an injected clock, so the outcome
+     cannot race a slow runner: task 2 wedges until the supervisor
+     reports its fault (no wall-clock sleep anywhere), and "time"
+     passes only when task 7 — queued after 2, so necessarily dequeued
+     after 2 was stamped in flight — bumps the fake clock past the
+     deadline. *)
+  let clock = Atomic.make 0.0 in
+  let released = Atomic.make false in
+  let stuck = Atomic.make true in
+  let reasons = ref [] in
+  let got =
+    Support.Pool.parmap_supervised pool ~deadline:5.0
+      ~clock:(fun () -> Atomic.get clock)
+      ~on_fault:(fun f ->
+        reasons := f.Support.Pool.reason :: !reasons;
+        Atomic.set released true)
+      ~init:(fun () -> ())
+      ~f:(fun () x ->
+        if x = 2 && Atomic.exchange stuck false then
+          while not (Atomic.get released) do
+            Domain.cpu_relax ()
+          done;
+        if x = 7 then Atomic.set clock 100.0;
+        x * 2)
+      (Array.init 12 Fun.id)
+  in
+  check (Alcotest.array Alcotest.int) "order-preserving results despite the wedge"
+    (Array.init 12 (fun i -> i * 2))
+    got;
+  check Alcotest.bool "deadline fault on the wedged task" true
+    (List.exists
+       (function Support.Pool.Deadline_exceeded d -> d = 5.0 | _ -> false)
+       !reasons);
+  check Alcotest.bool "wedged domain respawned" true (Support.Pool.respawns pool >= 1);
+  Support.Pool.shutdown pool
+
 (* ---- qcheck properties ---- *)
 
 let prop_pqueue_sorted =
@@ -422,5 +460,7 @@ let () =
             test_pool_supervised_raise_propagates;
           Alcotest.test_case "supervised deadline respawn" `Quick
             test_pool_supervised_deadline;
+          Alcotest.test_case "supervised deadline (deterministic clock)" `Quick
+            test_pool_supervised_deadline_deterministic;
         ] );
     ]
