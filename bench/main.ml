@@ -980,8 +980,8 @@ let e15 () =
      behaviour, emulated by an extra snapshot-change hook); delta = only entries\n\
      whose reach pass traversed the modified switch are evicted.  hit rate is\n\
      over the reach workload, warmup round excluded";
-  Printf.printf "%-14s %-6s %7s | %11s %11s | %8s %11s\n" "topology" "mode" "workers"
-    "reach (ms)" "isolate(ms)" "hit rate" "evict/flush";
+  Printf.printf "%-14s %-6s %7s | %11s %11s | %8s %16s\n" "topology" "mode" "workers"
+    "reach (ms)" "isolate(ms)" "hit rate" "inv/evict/flush";
   let p = Workload.Topogen.default_params in
   let rng = Support.Rng.create 7 in
   let cases =
@@ -1079,11 +1079,12 @@ let e15 () =
                 if !hits + !misses = 0 then 0.0
                 else float_of_int !hits /. float_of_int (!hits + !misses)
               in
-              Printf.printf "%-14s %-6s %7d | %11.3f %11.3f | %7.0f%% %6d/%-4d\n%!"
+              Printf.printf "%-14s %-6s %7d | %11.3f %11.3f | %7.0f%% %5d/%5d/%-4d\n%!"
                 name mode workers
                 (1000.0 *. !reach_time /. float_of_int (max 1 !reach_n))
                 (1000.0 *. !iso_time /. float_of_int (max 1 !iso_n))
                 (100.0 *. hit_rate)
+                st.Rvaas.Reach_cache.invalidated
                 st.Rvaas.Reach_cache.delta_evictions
                 st.Rvaas.Reach_cache.invalidations;
               Support.Pool.shutdown pool;
@@ -1382,6 +1383,258 @@ let e17 () =
     else print_endline "E17 strict: all persistence and quorum checks passed"
 
 (* ---------------------------------------------------------------- *)
+(* E18: compiled plumbing graph vs. per-query sweeps                 *)
+(* ---------------------------------------------------------------- *)
+
+let e18_reps = 6
+
+let e18_updates = 100
+
+(* The monitor's default poll interval (Randomized 0.05 mean): the
+   incremental per-update latency must stay below it, or the graph
+   falls behind the deltas it is meant to absorb. *)
+let e18_poll_interval = 0.05
+
+let e18_agree (a : Rvaas.Verifier.reach_result) (b : Rvaas.Verifier.reach_result) =
+  List.map fst a.endpoints = List.map fst b.endpoints
+  && List.for_all2
+       (fun (_, x) (_, y) -> Hspace.Hs.equal x y)
+       a.endpoints b.endpoints
+  && a.traversed = b.traversed
+
+let e18 () =
+  section
+    "E18: compiled plumbing graph — one-time compile cost (tables + 8 warm\n\
+     sources), steady-state query latency for the same 24-query workload\n\
+     (8 sources x 3 scopes, 6 reps) under sweep / delta-cache / compiled\n\
+     lookup, then 100 single-switch Flow-Mods with per-update incremental\n\
+     latency (update + requery) and differential checks vs. a fresh sweep;\n\
+     the maintained graph must equal a recompile from scratch at the end";
+  let strict = Sys.getenv_opt "RVAAS_E18_STRICT" <> None in
+  let failures = ref 0 in
+  Printf.printf "%-14s %4s %6s | %10s %6s %7s | %9s %9s %9s %7s | %8s %5s\n"
+    "topology" "sw" "rules" "compile" "nodes" "edges" "sweep(ms)" "cache(ms)"
+    "look(ms)" "speedup" "upd(ms)" "diff";
+  let p = Workload.Topogen.default_params in
+  let rng = Support.Rng.create 7 in
+  let cases =
+    [
+      ("fat-tree-k4", Workload.Topogen.fat_tree p ~k:4);
+      ("fat-tree-k6", Workload.Topogen.fat_tree p ~k:6);
+      ("waxman-20", Workload.Topogen.waxman p rng ~n:20 ~alpha:0.4 ~beta:0.4);
+      ("waxman-40", Workload.Topogen.waxman p rng ~n:40 ~alpha:0.4 ~beta:0.4);
+      ("waxman-80", Workload.Topogen.waxman p rng ~n:80 ~alpha:0.3 ~beta:0.3);
+    ]
+  in
+  let last_case = fst (List.hd (List.rev cases)) in
+  List.iter
+    (fun (name, topo) ->
+      let s = build_scenario ~clients:4 topo in
+      Workload.Scenario.run s ~until:(Netsim.Sim.now (Netsim.Net.sim s.net) +. 0.2);
+      (* Freeze the monitored view into tables the bench mutates
+         directly: engine-level measurement, no simulator noise. *)
+      let snapshot = Rvaas.Monitor.snapshot s.monitor in
+      let switches = Netsim.Topology.switches topo in
+      let tables = Hashtbl.create 64 in
+      List.iter
+        (fun sw -> Hashtbl.replace tables sw (Rvaas.Snapshot.flows snapshot ~sw))
+        switches;
+      let flows_of sw = Option.value ~default:[] (Hashtbl.find_opt tables sw) in
+      let rules =
+        List.fold_left (fun acc sw -> acc + List.length (flows_of sw)) 0 switches
+      in
+      let points = Rvaas.Verifier.access_points topo in
+      let srcs = List.filteri (fun i _ -> i < 8) points in
+      let ip_of (ep : Rvaas.Verifier.endpoint) =
+        (Option.get (Sdnctl.Addressing.host s.addressing ~host:ep.host))
+          .Sdnctl.Addressing.ip
+      in
+      let scopes =
+        [
+          Rvaas.Verifier.ip_traffic_hs ();
+          Rvaas.Verifier.dst_ip_hs (ip_of (List.hd points));
+          Rvaas.Verifier.dst_ip_hs (ip_of (List.hd (List.rev points)));
+        ]
+      in
+      let workload reach =
+        List.iter
+          (fun (src : Rvaas.Verifier.endpoint) ->
+            List.iter (fun hs -> ignore (reach ~src ~hs)) scopes)
+          srcs
+      in
+      let per_query dt =
+        1000.0 *. dt
+        /. float_of_int (e18_reps * List.length srcs * List.length scopes)
+      in
+      (* Sweep baseline: warm per-configuration context, one full reach
+         pass per query. *)
+      let ctx = Rvaas.Verifier.context ~flows_of topo in
+      let (), sweep_dt =
+        wall (fun () ->
+            for _ = 1 to e18_reps do
+              workload (fun ~src ~hs ->
+                  Rvaas.Verifier.reach_in ctx ~src_sw:src.sw ~src_port:src.port
+                    ~hs)
+            done)
+      in
+      (* Delta-cache baseline: first rep misses and sweeps, later reps
+         hit — the repeated-query amortisation of E13/E15. *)
+      let cache = Rvaas.Reach_cache.create () in
+      let (), cache_dt =
+        wall (fun () ->
+            for _ = 1 to e18_reps do
+              workload (fun ~src ~hs ->
+                  let key = Rvaas.Reach_cache.key ~src_sw:src.sw
+                      ~src_port:src.port ~hs
+                  in
+                  match Rvaas.Reach_cache.find cache key with
+                  | Some r -> r
+                  | None ->
+                    let r =
+                      Rvaas.Verifier.reach_in ctx ~src_sw:src.sw
+                        ~src_port:src.port ~hs
+                    in
+                    Rvaas.Reach_cache.add cache key ~snapshot r;
+                    r)
+            done)
+      in
+      (* Compiled engine: one-time compile (tables + warm sources),
+         then every query is a lookup. *)
+      let plumbing, compile_dt =
+        wall (fun () ->
+            let plumbing = Rvaas.Plumbing.compile ~flows_of topo in
+            Rvaas.Plumbing.warm plumbing
+              ~points:
+                (List.map
+                   (fun (src : Rvaas.Verifier.endpoint) -> (src.sw, src.port))
+                   srcs);
+            plumbing)
+      in
+      let (), lookup_dt =
+        wall (fun () ->
+            for _ = 1 to e18_reps do
+              workload (fun ~src ~hs ->
+                  Rvaas.Plumbing.reach plumbing ~src_sw:src.sw
+                    ~src_port:src.port ~hs)
+            done)
+      in
+      let speedup = sweep_dt /. Float.max lookup_dt 1e-9 in
+      (* Incremental phase: rolling single-switch filter churn — each
+         round installs a fresh drop filter and retires the oldest once
+         more than four are live, so the believed view keeps changing
+         without the tables monotonically fattening (permanent
+         exact-match filters make {e any} HSA pass explode in cubes —
+         that growth curve is E5's subject, not this one's).  Per-update
+         cost = apply the delta(s) + requery one source; every 10th
+         update is differentially checked against a fresh sweep. *)
+      let mismatches = ref 0 in
+      let probe = List.hd srcs in
+      let probe_hs = Rvaas.Verifier.ip_traffic_hs () in
+      let update_dt = ref 0.0 in
+      let live = Queue.create () in
+      for i = 0 to e18_updates - 1 do
+        let sw = List.nth switches (i mod List.length switches) in
+        let m =
+          Ofproto.Match_.with_exact
+            (Ofproto.Match_.with_exact
+               (Ofproto.Match_.with_exact Ofproto.Match_.any
+                  Hspace.Field.Eth_type 0x800)
+               Hspace.Field.Ip_src
+               (0xa000000 + i))
+            Hspace.Field.Tp_dst
+            (5000 + (i mod 50))
+        in
+        let spec = Ofproto.Flow_entry.make_spec ~cookie:77 ~priority:150 m [] in
+        let (), dt =
+          wall (fun () ->
+              let higher, lower =
+                List.partition
+                  (fun (r : Ofproto.Flow_entry.spec) ->
+                    r.priority >= spec.priority)
+                  (flows_of sw)
+              in
+              Hashtbl.replace tables sw (higher @ (spec :: lower));
+              Queue.add (sw, spec) live;
+              Rvaas.Plumbing.update plumbing ~sw;
+              if Queue.length live > 4 then begin
+                let old_sw, old_spec = Queue.pop live in
+                Hashtbl.replace tables old_sw
+                  (List.filter
+                     (fun r -> not (r == old_spec))
+                     (flows_of old_sw));
+                Rvaas.Plumbing.update plumbing ~sw:old_sw
+              end;
+              ignore
+                (Rvaas.Plumbing.reach plumbing ~src_sw:probe.sw
+                   ~src_port:probe.port ~hs:probe_hs))
+        in
+        update_dt := !update_dt +. dt;
+        if i mod 10 = 9 then begin
+          let a =
+            Rvaas.Plumbing.reach plumbing ~src_sw:probe.sw ~src_port:probe.port
+              ~hs:probe_hs
+          in
+          let b =
+            Rvaas.Verifier.reach ~flows_of topo ~src_sw:probe.sw
+              ~src_port:probe.port ~hs:probe_hs
+          in
+          if not (e18_agree a b) then incr mismatches
+        end
+      done;
+      let avg_update = !update_dt /. float_of_int e18_updates in
+      (* The maintained graph must answer exactly like a recompile. *)
+      let fresh = Rvaas.Plumbing.compile ~flows_of topo in
+      List.iter
+        (fun (src : Rvaas.Verifier.endpoint) ->
+          List.iter
+            (fun hs ->
+              let a =
+                Rvaas.Plumbing.reach plumbing ~src_sw:src.sw ~src_port:src.port
+                  ~hs
+              in
+              let b =
+                Rvaas.Plumbing.reach fresh ~src_sw:src.sw ~src_port:src.port ~hs
+              in
+              if not (e18_agree a b) then incr mismatches)
+            (Hspace.Hs.full Hspace.Field.total_width :: scopes))
+        srcs;
+      if !mismatches > 0 then incr failures;
+      if strict && name = last_case then begin
+        if speedup < 10.0 then begin
+          incr failures;
+          Printf.printf "E18 strict: compiled speedup %.1fx < 10x on %s\n"
+            speedup name
+        end;
+        if avg_update > e18_poll_interval then begin
+          incr failures;
+          Printf.printf
+            "E18 strict: %.1f ms per update exceeds the %.0f ms poll interval\n"
+            (1000.0 *. avg_update)
+            (1000.0 *. e18_poll_interval)
+        end
+      end;
+      let g = Rvaas.Plumbing.graph plumbing in
+      Printf.printf
+        "%-14s %4d %6d | %8.1fms %6d %7d | %9.3f %9.3f %9.4f %6.1fx | %8.2f %5s\n%!"
+        name
+        (Workload.Topogen.switch_count topo)
+        rules
+        (1000.0 *. compile_dt)
+        g.Rvaas.Plumbing.nodes g.Rvaas.Plumbing.edges (per_query sweep_dt)
+        (per_query cache_dt) (per_query lookup_dt) speedup
+        (1000.0 *. avg_update)
+        (if !mismatches = 0 then "ok" else "FAIL"))
+    cases;
+  if strict then
+    if !failures > 0 then begin
+      Printf.printf "E18 strict: %d failing check(s)\n" !failures;
+      exit 1
+    end
+    else
+      print_endline
+        "E18 strict: speedup, update-latency and differential checks passed"
+
+(* ---------------------------------------------------------------- *)
 (* Micro-benchmarks (Bechamel)                                       *)
 (* ---------------------------------------------------------------- *)
 
@@ -1506,6 +1759,7 @@ let experiments =
     ("e15", e15);
     ("e16", e16);
     ("e17", e17);
+    ("e18", e18);
     ("micro", micro);
   ]
 

@@ -9,15 +9,17 @@ type domain = {
 type domain_state = {
   domain : domain;
   ctx : Verifier.ctx;
+  plumbing : Plumbing.t option; (* compiled engine, [`Compiled] only *)
   trusted : (string, Cryptosim.Keys.public) Hashtbl.t; (* peer name -> key *)
 }
 
 type t = {
   topo : Netsim.Topology.t;
+  engine : Plumbing.engine;
   domains : (string * domain_state) list;
 }
 
-let create topo domains =
+let create ?(engine : Plumbing.engine = `Sweep) topo domains =
   (match domains with [] -> invalid_arg "Federation.create: no domains" | _ -> ());
   List.iter
     (fun sw ->
@@ -40,11 +42,28 @@ let create topo domains =
             if peer.name <> domain.name then
               Hashtbl.replace trusted peer.name (Cryptosim.Keys.public peer.keypair))
           domains;
-        (domain.name, { domain; ctx = Verifier.context ~flows_of:domain.flows_of topo; trusted }))
+        let plumbing =
+          match engine with
+          | `Sweep -> None
+          | `Compiled ->
+            (* Per-domain graph, bounded to the domain's members so
+               cross-domain arrivals surface as handoffs. *)
+            Some
+              (Plumbing.compile ~boundary:domain.member
+                 ~flows_of:domain.flows_of topo)
+        in
+        ( domain.name,
+          {
+            domain;
+            ctx = Verifier.context ~flows_of:domain.flows_of topo;
+            plumbing;
+            trusted;
+          } ))
       domains;
   in
-  { topo; domains = states }
+  { topo; engine; domains = states }
 
+let engine t = t.engine
 let state t name = List.assoc_opt name t.domains
 
 let trust t ~of_domain ~peer ~public =
@@ -66,7 +85,13 @@ let domain_of t ~sw =
    domain's guard cache can hold entries for [sw]. *)
 let invalidate_switch t ~sw =
   List.iter
-    (fun (_, st) -> if st.domain.member sw then Verifier.invalidate_switch st.ctx ~sw)
+    (fun (_, st) ->
+      if st.domain.member sw then begin
+        Verifier.invalidate_switch st.ctx ~sw;
+        match st.plumbing with
+        | Some plumbing -> Plumbing.update plumbing ~sw
+        | None -> ()
+      end)
     t.domains
 
 type result = {
@@ -101,8 +126,7 @@ let serialise_sub_answer sa =
 
 (* Evaluate a sub-query inside one domain: local reachability bounded
    to the domain's members. *)
-let local_answer_with ctx st ~src_sw ~src_port ~hs =
-  let r = Verifier.reach_in ctx ~boundary:st.domain.member ~src_sw ~src_port ~hs in
+let sub_answer_of_result st (r : Verifier.reach_result) =
   {
     sa_domain = st.domain.name;
     sa_endpoints = r.Verifier.endpoints;
@@ -111,8 +135,15 @@ let local_answer_with ctx st ~src_sw ~src_port ~hs =
     sa_handoffs = r.Verifier.handoffs;
   }
 
+let local_answer_with ctx st ~src_sw ~src_port ~hs =
+  sub_answer_of_result st
+    (Verifier.reach_in ctx ~boundary:st.domain.member ~src_sw ~src_port ~hs)
+
 let local_answer st ~src_sw ~src_port ~hs =
-  local_answer_with st.ctx st ~src_sw ~src_port ~hs
+  match st.plumbing with
+  | Some plumbing ->
+    sub_answer_of_result st (Plumbing.reach plumbing ~src_sw ~src_port ~hs)
+  | None -> local_answer_with st.ctx st ~src_sw ~src_port ~hs
 
 let reach ?pool ?deadline t ~start_domain ~src_sw ~src_port ~hs =
   (match deadline with
@@ -154,10 +185,15 @@ let reach ?pool ?deadline t ~start_domain ~src_sw ~src_port ~hs =
      are independent and their reach passes can run in parallel.  The
      merge (signature checks, accumulation, enqueueing the next
      frontier) stays sequential, which keeps the result bit-identical
-     to a fully sequential run. *)
+     to a fully sequential run.  Compiled domains always evaluate
+     sequentially: a plumbing graph compiles sources lazily (mutating
+     its tables) and a per-query lookup is cheap anyway. *)
   let evaluate_round batch =
     match pool with
-    | Some p when Support.Pool.size p > 1 && Array.length batch > 1 ->
+    | Some p
+      when Support.Pool.size p > 1
+           && Array.length batch > 1
+           && t.engine = `Sweep ->
       let parmap ~init ~f xs =
         match deadline with
         | Some deadline -> Support.Pool.parmap_supervised p ~deadline ~init ~f xs

@@ -24,6 +24,7 @@ type stats = {
   mutable hits : int;
   mutable misses : int;
   mutable invalidations : int;
+  mutable invalidated : int;
   mutable delta_evictions : int;
   mutable capacity_evictions : int;
 }
@@ -47,6 +48,7 @@ let create ?(capacity = 4096) () =
         hits = 0;
         misses = 0;
         invalidations = 0;
+        invalidated = 0;
         delta_evictions = 0;
         capacity_evictions = 0;
       };
@@ -112,6 +114,7 @@ let invalidate_switch t ~sw ~digest =
       t.table []
   in
   List.iter (Table.remove t.table) stale;
+  if stale <> [] then t.stats.invalidated <- t.stats.invalidated + 1;
   t.stats.delta_evictions <- t.stats.delta_evictions + List.length stale
 
 let invalidate t =

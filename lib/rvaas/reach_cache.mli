@@ -33,6 +33,10 @@ type stats = {
   mutable hits : int;
   mutable misses : int;
   mutable invalidations : int;  (** full clears ({!invalidate}) *)
+  mutable invalidated : int;
+      (** {!invalidate_switch} deltas that evicted at least one entry —
+          distinguishes how often a delta actually hit the cache from
+          how many entries it cost ([delta_evictions]) *)
   mutable delta_evictions : int;
       (** entries evicted by {!invalidate_switch} deltas *)
   mutable capacity_evictions : int;

@@ -72,6 +72,10 @@ type t = {
   cache : Reach_cache.t;
       (* reach results keyed by (src, hs-hash); the snapshot-change
          hook evicts only entries that traversed the changed switch *)
+  plumbing : Plumbing.t option;
+      (* the compiled engine, present iff [engine = `Compiled]: reach
+         questions become graph lookups, maintained incrementally by
+         the snapshot-change hook *)
 }
 
 let code_identity = "rvaas-service-v1"
@@ -96,14 +100,22 @@ let pool t = t.pool
 
 let reach_cache t = t.cache
 
+let plumbing t = t.plumbing
+
+let engine t : Plumbing.engine =
+  match t.plumbing with Some _ -> `Compiled | None -> `Sweep
+
 let reach t ~src_sw ~src_port ~hs =
-  let key = Reach_cache.key ~src_sw ~src_port ~hs in
-  match Reach_cache.find t.cache key with
-  | Some r -> r
-  | None ->
-    let r = Verifier.reach_in t.ctx ~src_sw ~src_port ~hs in
-    Reach_cache.add t.cache key ~snapshot:(Monitor.snapshot t.monitor) r;
-    r
+  match t.plumbing with
+  | Some p -> Plumbing.reach p ~src_sw ~src_port ~hs
+  | None -> (
+    let key = Reach_cache.key ~src_sw ~src_port ~hs in
+    match Reach_cache.find t.cache key with
+    | Some r -> r
+    | None ->
+      let r = Verifier.reach_in t.ctx ~src_sw ~src_port ~hs in
+      Reach_cache.add t.cache key ~snapshot:(Monitor.snapshot t.monitor) r;
+      r)
 
 (* A frozen, read-only copy of the believed per-switch rule lists:
    worker domains must not race on the live snapshot hashtable. *)
@@ -118,7 +130,7 @@ let frozen_flows t =
 (* One reach pass per source endpoint, cache-first; misses are
    partitioned over the pool (per-worker contexts on a frozen flow
    view).  Returns results in input order. *)
-let reach_each t ~hs points =
+let reach_each_sweep t ~hs points =
   let snapshot = Monitor.snapshot t.monitor in
   let looked_up =
     List.map
@@ -170,6 +182,18 @@ let reach_each t ~hs points =
       | Some r -> (p, r)
       | None -> (p, Hashtbl.find fresh p))
     looked_up
+
+let reach_each t ~hs points =
+  match t.plumbing with
+  | Some plumbing ->
+    (* Compiled engine: each point is a precomputed-source lookup —
+       cheap enough that partitioning over the pool would cost more in
+       coordination than it saves (and [Plumbing.t] is single-domain). *)
+    List.map
+      (fun (p : Verifier.endpoint) ->
+        (p, Plumbing.reach plumbing ~src_sw:p.sw ~src_port:p.port ~hs))
+      points
+  | None -> reach_each_sweep t ~hs points
 
 (* Restrict a client scope to IP traffic; queries never see non-IP
    control frames. *)
@@ -549,8 +573,9 @@ let repair_intercepts t ~sw =
       end)
     (Wire.intercept_specs ())
 
-let create ?pool ?(cache_capacity = 4096) ?(retry = no_retry) ?sweep_deadline net
-    monitor ~directory ~geo ~keypair ~auth_timeout () =
+let create ?pool ?(cache_capacity = 4096) ?(retry = no_retry) ?sweep_deadline
+    ?(engine : Plumbing.engine = `Sweep) net monitor ~directory ~geo ~keypair
+    ~auth_timeout () =
   if retry.attempts < 1 then invalid_arg "Service.create: retry.attempts must be >= 1";
   if retry.base_delay < 0.0 then invalid_arg "Service.create: negative retry.base_delay";
   (match sweep_deadline with
@@ -591,6 +616,19 @@ let create ?pool ?(cache_capacity = 4096) ?(retry = no_retry) ?sweep_deadline ne
           (Netsim.Net.topology net);
       pool = (match pool with Some p -> p | None -> Support.Pool.global ());
       cache = Reach_cache.create ~capacity:cache_capacity ();
+      plumbing =
+        (match engine with
+        | `Sweep -> None
+        | `Compiled ->
+          (* Compiled at create time over the (still mostly empty)
+             snapshot; the snapshot-change hook below keeps it current
+             as installs and polls land.  The initial compile stays
+             off the pool: create runs before any query and the tables
+             are tiny at this point. *)
+          Some
+            (Plumbing.compile
+               ~flows_of:(fun sw -> Snapshot.flows (Monitor.snapshot monitor) ~sw)
+               (Netsim.Net.topology net)));
     }
   in
   Monitor.on_snapshot_change monitor (fun ~sw ~changed ->
@@ -599,7 +637,13 @@ let create ?pool ?(cache_capacity = 4096) ?(retry = no_retry) ?sweep_deadline ne
         (* Delta invalidation: only entries whose reach pass traversed
            [sw] can be stale; everything else survives the Flow-Mod. *)
         Reach_cache.invalidate_switch t.cache ~sw
-          ~digest:(Snapshot.switch_digest (Monitor.snapshot monitor) ~sw)
+          ~digest:(Snapshot.switch_digest (Monitor.snapshot monitor) ~sw);
+        (* The compiled graph absorbs the same delta: re-derive [sw]'s
+           node slice, leave every other switch and every
+           non-traversing precomputed source untouched. *)
+        match t.plumbing with
+        | Some plumbing -> Plumbing.update plumbing ~sw
+        | None -> ()
       end;
       (* Intercept repair runs on every observation, changed or not:
          it is poll-driven and must converge even when the repair

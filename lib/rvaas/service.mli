@@ -71,6 +71,13 @@ type t
     [sweep_deadline] (default off) runs pool sweeps supervised with the
     given per-task wall-clock deadline, so a raising or wedged worker
     domain costs one sequential retry instead of stalling the answer.
+
+    [engine] (default [`Sweep]) selects the verification engine:
+    [`Sweep] answers each reach question with a cache-first
+    {!Verifier.reach_in} pass; [`Compiled] compiles the monitored view
+    into a {!Plumbing} graph maintained incrementally by the
+    snapshot-change hook, answering steady-state questions by lookup
+    (the reach cache and pool sweeps are bypassed).
     @raise Invalid_argument on a retry policy with [attempts < 1], a
     negative [base_delay], or [sweep_deadline <= 0]. *)
 val create :
@@ -78,6 +85,7 @@ val create :
   ?cache_capacity:int ->
   ?retry:retry ->
   ?sweep_deadline:float ->
+  ?engine:Plumbing.engine ->
   Netsim.Net.t ->
   Monitor.t ->
   directory:Directory.t ->
@@ -101,6 +109,14 @@ val pool : t -> Support.Pool.t
     pass traversed [s] are evicted (see {!Reach_cache}); results that
     never consulted [s]'s table remain valid by construction. *)
 val reach_cache : t -> Reach_cache.t
+
+(** [engine t] is the verification engine selected at {!create}. *)
+val engine : t -> Plumbing.engine
+
+(** [plumbing t] exposes the compiled plumbing graph when the service
+    runs with [engine:`Compiled] — its statistics are the subject of
+    experiment E18; [None] under [`Sweep]. *)
+val plumbing : t -> Plumbing.t option
 
 (** [reach t ~src_sw ~src_port ~hs] runs one cache-first reach pass on
     the service's verification context — the building block of every

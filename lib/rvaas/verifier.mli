@@ -36,6 +36,35 @@ type reach_result = {
   rule_visits : int;  (** work counter for benchmarks *)
 }
 
+(** {1 Rule guards}
+
+    The shared guard representation: a rule's match cube plus the
+    strictly-higher-priority cubes overlapping it (its "shadow"),
+    subtracted lazily at propagation time.  Exposed so the compiled
+    plumbing engine ({!Plumbing}) reuses exactly the shadowing
+    semantics of the sweep — any divergence between the two engines
+    must come from graph bookkeeping, never from guard derivation. *)
+type guarded = {
+  g_spec : Ofproto.Flow_entry.spec;
+  g_cube : Hspace.Tern.t;  (** the rule's match cube *)
+  g_shadow : Hspace.Tern.t list;
+      (** overlapping cubes of strictly-higher-priority rules on the
+          same ingress port *)
+  g_pre : Hspace.Tern.prefilter;
+      (** required-bits view of [g_cube] for word-level rejection *)
+}
+
+(** [guarded_rules flows_of sw port] derives the guarded rules
+    applicable on ingress [port] of [sw], priority-descending, with
+    fully-shadowed rules dropped.  [flows_of] must yield rules in
+    priority-descending order (the {!Ofproto.Flow_table} invariant). *)
+val guarded_rules :
+  (int -> Ofproto.Flow_entry.spec list) -> int -> int -> guarded list
+
+(** [rule_slice hs g] is [hs ∩ g.g_cube \ g.g_shadow] — the packet set
+    the rule actually handles — with a prefilter fast path. *)
+val rule_slice : Hspace.Hs.t -> guarded -> Hspace.Hs.t
+
 (** A verification context caches per-(switch, ingress-port) rule
     guards, which are expensive to derive and shared by every query
     against the same configuration view.  Create a fresh context

@@ -16,6 +16,7 @@ type t = {
   mutable oc : out_channel option;
   mutable written : int; (* bytes handed to the OS (post-flush) *)
   mutable synced : int; (* bytes known durable (post-fsync) *)
+  mutable dir_syncs : int; (* directory fsyncs after image renames *)
 }
 
 let path t = t.path
@@ -35,6 +36,19 @@ let fsync_channel oc =
   flush oc;
   Unix.fsync (Unix.descr_of_out_channel oc)
 
+(* Durability of the rename itself: fsyncing the renamed file persists
+   its contents, not the directory entry pointing at it — a power cut
+   after the rename can resurrect the old image (or, on attach, no file
+   at all).  Fsync the containing directory to pin the new name down.
+   Best-effort: some filesystems refuse fsync on a directory fd. *)
+let fsync_dir path =
+  match Unix.openfile (Filename.dirname path) [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () -> try Unix.fsync fd with Unix.Unix_error _ -> ())
+
 (* Lay down a complete image atomically: write + fsync a temp file,
    rename it over [path], reopen for append.  Used both on attach and
    on compaction rewrites. *)
@@ -48,6 +62,8 @@ let write_image t =
   fsync_channel oc;
   close_out oc;
   Sys.rename tmp t.path;
+  fsync_dir t.path;
+  t.dir_syncs <- t.dir_syncs + 1;
   let oc =
     open_out_gen [ Open_wronly; Open_append; Open_binary ] 0o644 t.path
   in
@@ -66,8 +82,10 @@ let handle_sync t =
   (match t.oc with Some oc -> fsync_channel oc | None -> ());
   t.synced <- t.written
 
+let dir_syncs t = t.dir_syncs
+
 let attach log ~path =
-  let t = { path; log; oc = None; written = 0; synced = 0 } in
+  let t = { path; log; oc = None; written = 0; synced = 0; dir_syncs = 0 } in
   write_image t;
   Journal.attach log
     {

@@ -38,6 +38,13 @@ val written_bytes : t -> int
     written_bytes t], equal right after a checkpoint. *)
 val synced_bytes : t -> int
 
+(** Directory fsyncs performed so far — one per atomic image rewrite
+    (the attach image and every compaction).  Fsyncing the renamed file
+    persists its contents but not the directory entry; the backend also
+    fsyncs the containing directory so a power cut after the rename
+    cannot resurrect the old image. *)
+val dir_syncs : t -> int
+
 (** Explicit fsync; equivalent to {!Journal.sync} on the attached
     log. *)
 val sync : t -> unit

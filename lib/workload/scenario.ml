@@ -16,6 +16,7 @@ type spec = {
   whitelist : (int * int) list;
   jurisdictions : string list;
   ha : Rvaas.Failover.config option;
+  engine : Rvaas.Plumbing.engine;
 }
 
 let default_spec topo =
@@ -37,6 +38,7 @@ let default_spec topo =
     whitelist = [];
     jurisdictions = [ "EU"; "US"; "CH" ];
     ha = None;
+    engine = `Sweep;
   }
 
 type t = {
@@ -114,8 +116,9 @@ let build spec =
         ?conn ~polling:spec.polling ()
     in
     let service =
-      Rvaas.Service.create ~retry:spec.auth_retry net monitor ~directory ~geo:geo_truth
-        ~keypair:service_keypair ~auth_timeout:spec.auth_timeout ()
+      Rvaas.Service.create ~retry:spec.auth_retry ~engine:spec.engine net monitor
+        ~directory ~geo:geo_truth ~keypair:service_keypair
+        ~auth_timeout:spec.auth_timeout ()
     in
     (monitor, service)
   in
@@ -127,8 +130,9 @@ let build spec =
           ~faults:spec.rvaas_faults ?poll_retry:spec.poll_retry ~polling:spec.polling ()
       in
       let service =
-        Rvaas.Service.create ~retry:spec.auth_retry net monitor ~directory ~geo:geo_truth
-          ~keypair:service_keypair ~auth_timeout:spec.auth_timeout ()
+        Rvaas.Service.create ~retry:spec.auth_retry ~engine:spec.engine net monitor
+          ~directory ~geo:geo_truth ~keypair:service_keypair
+          ~auth_timeout:spec.auth_timeout ()
       in
       (monitor, service, None)
     | Some config ->

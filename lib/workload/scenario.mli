@@ -32,6 +32,10 @@ type spec = {
           election among them on takeover) and, with
           [config.auto_compact], a self-bounding journal — all
           reachable via {!controller} *)
+  engine : Rvaas.Plumbing.engine;
+      (** the service's verification engine: per-query sweeps
+          ([`Sweep], the default) or the compiled plumbing graph
+          ([`Compiled]) maintained incrementally from monitor deltas *)
 }
 
 (** [default_spec topo] — two clients, seed 42, randomized polling with

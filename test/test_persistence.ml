@@ -317,6 +317,35 @@ let test_compaction_file_rewrite () =
           (Support.Journal.length log)
           (Support.Journal.length log'))
 
+(* Every atomic image rewrite must also fsync the containing
+   directory: fsyncing the renamed file persists its contents, not the
+   directory entry, so without the barrier a power cut after the
+   rename can resurrect the old image.  The counter proves the barrier
+   ran exactly once per rewrite — and never on plain appends. *)
+let test_dir_fsync_on_rewrite () =
+  with_tmp_file (fun path ->
+      let ops =
+        QCheck2.Gen.generate1 ~rand:(Random.State.make [| 17 |])
+          QCheck2.Gen.(list_repeat 40 gen_op)
+      in
+      let j, _ = apply_ops ops in
+      let log = Rvaas.Journal.log j in
+      let file = Support.Journal_file.attach log ~path in
+      check Alcotest.int "attach image fsynced its directory" 1
+        (Support.Journal_file.dir_syncs file);
+      Rvaas.Journal.heartbeat j ~at:500.0;
+      check Alcotest.int "plain appends do not touch the directory" 1
+        (Support.Journal_file.dir_syncs file);
+      Rvaas.Journal.compact j ~at:1000.0;
+      check Alcotest.int "compaction rewrite fsynced the directory" 2
+        (Support.Journal_file.dir_syncs file);
+      match Support.Journal_file.recover_from_file path with
+      | Error e -> Alcotest.failf "image after directory fsync: %s" e
+      | Ok log' ->
+        check Alcotest.int "image still recovers fully"
+          (Support.Journal.length log)
+          (Support.Journal.length log'))
+
 (* A crash between writing the temp image and the rename leaves the
    old image at [path] and a partial [path].tmp: recovery must ignore
    the temp and return the pre-compaction state. *)
@@ -460,6 +489,8 @@ let () =
           QCheck_alcotest.to_alcotest prop_bounded_growth;
           Alcotest.test_case "file image rewritten atomically" `Quick
             test_compaction_file_rewrite;
+          Alcotest.test_case "rewrite fsyncs the containing directory" `Quick
+            test_dir_fsync_on_rewrite;
           Alcotest.test_case "crash mid-rewrite keeps the old image" `Quick
             test_crash_mid_rewrite;
           Alcotest.test_case "generation audit trail preserved" `Quick

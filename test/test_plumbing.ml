@@ -1,0 +1,382 @@
+(* Differential verification of the compiled plumbing engine.
+
+   [Rvaas.Plumbing] must answer every reach question exactly as the
+   per-query sweep does — same endpoints, arriving spaces, traversal
+   and controller hits — on monitored deployments, on synthetic rule
+   sets with field rewrites, and (the core property) on random
+   topologies under random Flow-Mod sequences, where the incremental
+   update path and a recompile from scratch must also agree with each
+   other.  The oracle is [Rvaas.Verifier_ref], the naive textbook HSA
+   formulation. *)
+
+let check = Alcotest.check
+let width = Hspace.Field.total_width
+
+let results_agree (a : Rvaas.Verifier.reach_result)
+    (b : Rvaas.Verifier.reach_result) =
+  List.map fst a.endpoints = List.map fst b.endpoints
+  && List.for_all2
+       (fun (_, x) (_, y) -> Hspace.Hs.equal x y)
+       a.endpoints b.endpoints
+  && a.traversed = b.traversed
+  && List.map fst a.controller_hits = List.map fst b.controller_hits
+  && List.for_all2
+       (fun (_, x) (_, y) -> Hspace.Hs.equal x y)
+       a.controller_hits b.controller_hits
+
+(* ---- compiled engine vs. sweep on a monitored deployment ---- *)
+
+let test_compiled_matches_scenario () =
+  let topo = Workload.Topogen.fat_tree Workload.Topogen.default_params ~k:4 in
+  let s =
+    Workload.Scenario.build
+      { (Workload.Scenario.default_spec topo) with clients = 2; seed = 11 }
+  in
+  Workload.Scenario.run s ~until:(Netsim.Sim.now (Netsim.Net.sim s.net) +. 0.2);
+  let snapshot = Rvaas.Monitor.snapshot s.monitor in
+  let flows_of sw = Rvaas.Snapshot.flows snapshot ~sw in
+  let plumbing = Rvaas.Plumbing.compile ~flows_of topo in
+  let points = Rvaas.Verifier.access_points topo in
+  let info = Option.get (Sdnctl.Addressing.host s.addressing ~host:0) in
+  List.iter
+    (fun hs ->
+      List.iter
+        (fun (ep : Rvaas.Verifier.endpoint) ->
+          let a =
+            Rvaas.Plumbing.reach plumbing ~src_sw:ep.sw ~src_port:ep.port ~hs
+          in
+          let b =
+            Rvaas.Verifier.reach ~flows_of topo ~src_sw:ep.sw ~src_port:ep.port
+              ~hs
+          in
+          check Alcotest.bool "compiled equals sweep" true (results_agree a b))
+        points)
+    [ Rvaas.Verifier.ip_traffic_hs (); Rvaas.Verifier.dst_ip_hs info.ip ];
+  let st = Rvaas.Plumbing.stats plumbing in
+  check Alcotest.bool "scoped queries answered by lookup" true
+    (st.Rvaas.Plumbing.scoped_lookups > 0);
+  check Alcotest.int "no fallback sweeps on a rewrite-free view" 0
+    st.Rvaas.Plumbing.fallback_sweeps;
+  let g = Rvaas.Plumbing.graph plumbing in
+  check Alcotest.bool "graph materialised" true (g.nodes > 0 && g.edges > 0)
+
+(* ---- the service's `Compiled engine stays current via the monitor
+   hook: after an attack lands, lookups still equal a fresh sweep of
+   the believed view ---- *)
+
+let test_service_compiled_engine () =
+  let topo = Workload.Topogen.linear Workload.Topogen.default_params 4 in
+  let s =
+    Workload.Scenario.build
+      {
+        (Workload.Scenario.default_spec topo) with
+        seed = 5;
+        engine = `Compiled;
+      }
+  in
+  let now () = Netsim.Sim.now (Netsim.Net.sim s.net) in
+  Workload.Scenario.run s ~until:(now () +. 0.3);
+  check Alcotest.bool "service reports the compiled engine" true
+    (Rvaas.Service.engine s.service = `Compiled);
+  let plumbing = Option.get (Rvaas.Service.plumbing s.service) in
+  Sdnctl.Attack.launch s.net s.addressing
+    ~conn:(Sdnctl.Provider.conn s.provider)
+    (Sdnctl.Attack.Blackhole { victim_host = 2 });
+  Workload.Scenario.run s ~until:(now () +. 0.3);
+  let st = Rvaas.Plumbing.stats plumbing in
+  check Alcotest.bool "monitor deltas reached the graph" true
+    (st.Rvaas.Plumbing.updates > 0);
+  let snapshot = Rvaas.Monitor.snapshot (Workload.Scenario.monitor s) in
+  let flows_of sw = Rvaas.Snapshot.flows snapshot ~sw in
+  List.iter
+    (fun (ep : Rvaas.Verifier.endpoint) ->
+      let a =
+        Rvaas.Service.reach s.service ~src_sw:ep.sw ~src_port:ep.port
+          ~hs:(Rvaas.Verifier.ip_traffic_hs ())
+      in
+      let b =
+        Rvaas.Verifier.reach ~flows_of topo ~src_sw:ep.sw ~src_port:ep.port
+          ~hs:(Rvaas.Verifier.ip_traffic_hs ())
+      in
+      check Alcotest.bool "post-attack lookup equals sweep" true
+        (results_agree a b))
+    (Rvaas.Verifier.access_points topo)
+
+(* ---- field rewrites taint the precomputed source: scoped queries
+   must fall back to exact propagation and still match the oracle ---- *)
+
+let test_rewrite_fallback () =
+  let topo = Workload.Topogen.linear Workload.Topogen.default_params 3 in
+  let ip_match v =
+    Ofproto.Match_.with_exact
+      (Ofproto.Match_.with_exact Ofproto.Match_.any Hspace.Field.Eth_type 0x800)
+      Hspace.Field.Ip_dst v
+  in
+  let flows_of = function
+    | 0 ->
+      [
+        Ofproto.Flow_entry.make_spec ~priority:10 (ip_match 7)
+          [ Ofproto.Action.Set_field (Hspace.Field.Ip_dst, 5);
+            Ofproto.Action.Flood;
+          ];
+      ]
+    | _ ->
+      [ Ofproto.Flow_entry.make_spec ~priority:10 (ip_match 5)
+          [ Ofproto.Action.Flood ];
+      ]
+  in
+  let plumbing = Rvaas.Plumbing.compile ~flows_of topo in
+  List.iter
+    (fun (ep : Rvaas.Verifier.endpoint) ->
+      List.iter
+        (fun hs ->
+          let a =
+            Rvaas.Plumbing.reach plumbing ~src_sw:ep.sw ~src_port:ep.port ~hs
+          in
+          let b =
+            Rvaas.Verifier_ref.reach ~flows_of topo ~src_sw:ep.sw
+              ~src_port:ep.port ~hs
+          in
+          check Alcotest.bool "rewriting source equals reference" true
+            (results_agree a b))
+        [ Rvaas.Verifier.dst_ip_hs 7; Rvaas.Verifier.dst_ip_hs 5 ])
+    (Rvaas.Verifier.access_points topo);
+  let st = Rvaas.Plumbing.stats plumbing in
+  check Alcotest.bool "scoped queries on tainted sources fell back" true
+    (st.Rvaas.Plumbing.fallback_sweeps > 0)
+
+(* ---- churn threshold: a burst of distinct-switch deltas beyond the
+   threshold recompiles; queries between deltas reset the burst ---- *)
+
+let test_churn_recompile () =
+  let topo = Workload.Topogen.linear Workload.Topogen.default_params 4 in
+  let flows_of _ = [] in
+  let switches = Netsim.Topology.switches topo in
+  let a, b, c =
+    match switches with
+    | a :: b :: c :: _ -> (a, b, c)
+    | _ -> Alcotest.fail "linear 4 has at least three switches"
+  in
+  let burst = Rvaas.Plumbing.compile ~churn_threshold:2 ~flows_of topo in
+  check Alcotest.int "explicit threshold resolved" 2
+    (Rvaas.Plumbing.churn_threshold burst);
+  Rvaas.Plumbing.update burst ~sw:a;
+  Rvaas.Plumbing.update burst ~sw:b;
+  check Alcotest.int "below the threshold: delta path" 0
+    (Rvaas.Plumbing.stats burst).Rvaas.Plumbing.recompiles;
+  Rvaas.Plumbing.update burst ~sw:c;
+  check Alcotest.int "burst beyond the threshold recompiled" 1
+    (Rvaas.Plumbing.stats burst).Rvaas.Plumbing.recompiles;
+  (* Interleaved queries mark the graph settled, so the same three
+     deltas never accumulate into a burst. *)
+  let settled = Rvaas.Plumbing.compile ~churn_threshold:2 ~flows_of topo in
+  let ep = List.hd (Rvaas.Verifier.access_points topo) in
+  List.iter
+    (fun sw ->
+      Rvaas.Plumbing.update settled ~sw;
+      ignore
+        (Rvaas.Plumbing.reach settled ~src_sw:ep.Rvaas.Verifier.sw
+           ~src_port:ep.Rvaas.Verifier.port
+           ~hs:(Rvaas.Verifier.ip_traffic_hs ())))
+    [ a; b; c ];
+  check Alcotest.int "settled deltas never recompile" 0
+    (Rvaas.Plumbing.stats settled).Rvaas.Plumbing.recompiles
+
+(* ---- the core property: width-8 brute-force differential against
+   the reference verifier over random topologies and random Flow-Mod
+   sequences ---- *)
+
+(* Abstract rule descriptor, materialised once the topology (and so
+   the port list) is known.  Matches vary ~8 header bits — Ip_dst low
+   nibble under a random mask, Tp_dst low two bits, sometimes the
+   ingress port — which keeps the brute-forceable space small while
+   exercising shadowing, rewrites and every action shape. *)
+type rule_d = {
+  rd_prio : int;
+  rd_in_port : int option;
+  rd_dst_mask : int;
+  rd_dst_val : int;
+  rd_tp : int option;
+  rd_act : int;
+  rd_port : int;
+  rd_set : int;
+}
+
+let materialise ~ports rd =
+  let nth k = List.nth ports (k mod List.length ports) in
+  let m =
+    Ofproto.Match_.with_exact Ofproto.Match_.any Hspace.Field.Eth_type 0x800
+  in
+  let m =
+    match rd.rd_in_port with
+    | Some k -> Ofproto.Match_.with_in_port m (nth k)
+    | None -> m
+  in
+  let m =
+    if rd.rd_dst_mask = 0 then m
+    else
+      Ofproto.Match_.with_field m Hspace.Field.Ip_dst
+        ~value:(rd.rd_dst_val land rd.rd_dst_mask)
+        ~mask:rd.rd_dst_mask
+  in
+  let m =
+    match rd.rd_tp with
+    | Some v -> Ofproto.Match_.with_exact m Hspace.Field.Tp_dst (v mod 4)
+    | None -> m
+  in
+  let actions =
+    match rd.rd_act mod 6 with
+    | 0 -> [ Ofproto.Action.Output (nth rd.rd_port) ]
+    | 1 -> [ Ofproto.Action.Flood ]
+    | 2 -> [ Ofproto.Action.To_controller ]
+    | 3 ->
+      [
+        Ofproto.Action.Set_field (Hspace.Field.Ip_dst, rd.rd_set land 15);
+        Ofproto.Action.Output (nth rd.rd_port);
+      ]
+    | 4 -> []
+    | _ -> [ Ofproto.Action.In_port ]
+  in
+  Ofproto.Flow_entry.make_spec ~cookie:1 ~priority:rd.rd_prio m actions
+
+let gen_rule =
+  QCheck2.Gen.(
+    map
+      (fun ((prio, in_port, mask, v), (tp, act, port, set)) ->
+        {
+          rd_prio = prio;
+          rd_in_port = in_port;
+          rd_dst_mask = mask;
+          rd_dst_val = v;
+          rd_tp = tp;
+          rd_act = act;
+          rd_port = port;
+          rd_set = set;
+        })
+      (pair
+         (quad (int_range 1 99) (option (int_bound 3)) (int_bound 15)
+            (int_bound 15))
+         (quad (option (int_bound 3)) (int_bound 5) (int_bound 7) (int_bound 15))))
+
+(* A case: topology selector, a pool of per-switch rule lists, a
+   Flow-Mod sequence (switch selector, insert-or-remove, new rule) and
+   a destination address for the scoped query. *)
+let gen_case =
+  QCheck2.Gen.(
+    quad (int_bound 4)
+      (list_repeat 10 (list_size (int_bound 4) gen_rule))
+      (list_size (int_bound 6) (triple (int_bound 7) (int_bound 1) gen_rule))
+      (int_bound 15))
+
+let prop_compiled_equals_reference =
+  QCheck2.Test.make ~count:30
+    ~name:"compiled reach = reference reach under random Flow-Mod sequences"
+    gen_case
+    (fun (t_sel, rule_pool, mods, dst) ->
+      let p = Workload.Topogen.default_params in
+      let topo =
+        match t_sel mod 5 with
+        | 0 -> Workload.Topogen.linear p 2
+        | 1 -> Workload.Topogen.linear p 4
+        | 2 -> Workload.Topogen.ring p 3
+        | 3 -> Workload.Topogen.grid p ~rows:2 ~cols:2
+        | _ -> Workload.Topogen.star p 3
+      in
+      let switches = Netsim.Topology.switches topo in
+      let tables : (int, Ofproto.Flow_entry.spec list) Hashtbl.t =
+        Hashtbl.create 8
+      in
+      List.iteri
+        (fun i sw ->
+          let ports = Netsim.Topology.switch_ports topo sw in
+          let rules =
+            List.map (materialise ~ports) (List.nth rule_pool (i mod 10))
+          in
+          Hashtbl.replace tables sw
+            (List.sort
+               (fun (a : Ofproto.Flow_entry.spec) (b : Ofproto.Flow_entry.spec)
+                  -> compare b.priority a.priority)
+               rules))
+        switches;
+      let flows_of sw =
+        Option.value ~default:[] (Hashtbl.find_opt tables sw)
+      in
+      let plumbing = Rvaas.Plumbing.compile ~flows_of topo in
+      let points = Rvaas.Verifier.access_points topo in
+      let scopes hs_dst =
+        [
+          Hspace.Hs.full width;
+          Rvaas.Verifier.ip_traffic_hs ();
+          Rvaas.Verifier.dst_ip_hs hs_dst;
+        ]
+      in
+      let agree plumbing =
+        List.for_all
+          (fun (ep : Rvaas.Verifier.endpoint) ->
+            List.for_all
+              (fun hs ->
+                results_agree
+                  (Rvaas.Plumbing.reach plumbing ~src_sw:ep.sw
+                     ~src_port:ep.port ~hs)
+                  (Rvaas.Verifier_ref.reach ~flows_of topo ~src_sw:ep.sw
+                     ~src_port:ep.port ~hs))
+              (scopes dst))
+          points
+      in
+      agree plumbing
+      && List.for_all
+           (fun (sw_sel, kind, rd) ->
+             let sw = List.nth switches (sw_sel mod List.length switches) in
+             let ports = Netsim.Topology.switch_ports topo sw in
+             (match (kind, Hashtbl.find_opt tables sw) with
+             | 1, Some (_ :: rest) -> Hashtbl.replace tables sw rest
+             | _, prev ->
+               (* Insert keeping the priority-descending invariant
+                  (new rule after existing equal priorities, matching
+                  a real table's insertion order). *)
+               let spec = materialise ~ports rd in
+               let higher, lower =
+                 List.partition
+                   (fun (r : Ofproto.Flow_entry.spec) ->
+                     r.priority >= spec.priority)
+                   (Option.value ~default:[] prev)
+               in
+               Hashtbl.replace tables sw (higher @ (spec :: lower)));
+             Rvaas.Plumbing.update plumbing ~sw;
+             agree plumbing)
+           mods
+      &&
+      (* The incrementally maintained graph and a recompile from
+         scratch agree on every question. *)
+      let fresh = Rvaas.Plumbing.compile ~flows_of topo in
+      List.for_all
+        (fun (ep : Rvaas.Verifier.endpoint) ->
+          List.for_all
+            (fun hs ->
+              results_agree
+                (Rvaas.Plumbing.reach plumbing ~src_sw:ep.sw ~src_port:ep.port
+                   ~hs)
+                (Rvaas.Plumbing.reach fresh ~src_sw:ep.sw ~src_port:ep.port
+                   ~hs))
+            (scopes dst))
+        points)
+
+let () =
+  Alcotest.run "plumbing"
+    [
+      ( "differential",
+        [
+          Alcotest.test_case "compiled equals sweep on a deployment" `Quick
+            test_compiled_matches_scenario;
+          Alcotest.test_case "rewriting sources fall back exactly" `Quick
+            test_rewrite_fallback;
+          QCheck_alcotest.to_alcotest prop_compiled_equals_reference;
+        ] );
+      ( "maintenance",
+        [
+          Alcotest.test_case "service compiled engine stays current" `Quick
+            test_service_compiled_engine;
+          Alcotest.test_case "churn threshold triggers recompile" `Quick
+            test_churn_recompile;
+        ] );
+    ]
