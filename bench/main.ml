@@ -980,8 +980,8 @@ let e15 () =
      behaviour, emulated by an extra snapshot-change hook); delta = only entries\n\
      whose reach pass traversed the modified switch are evicted.  hit rate is\n\
      over the reach workload, warmup round excluded";
-  Printf.printf "%-14s %-6s %7s | %11s %11s | %8s %16s\n" "topology" "mode" "workers"
-    "reach (ms)" "isolate(ms)" "hit rate" "inv/evict/flush";
+  Printf.printf "%-14s %-6s %7s | %11s %11s | %8s %16s %11s\n" "topology" "mode" "workers"
+    "reach (ms)" "isolate(ms)" "hit rate" "inv/evict/flush" "ring/purged";
   let p = Workload.Topogen.default_params in
   let rng = Support.Rng.create 7 in
   let cases =
@@ -1079,14 +1079,19 @@ let e15 () =
                 if !hits + !misses = 0 then 0.0
                 else float_of_int !hits /. float_of_int (!hits + !misses)
               in
-              Printf.printf "%-14s %-6s %7d | %11.3f %11.3f | %7.0f%% %5d/%5d/%-4d\n%!"
+              Printf.printf
+                "%-14s %-6s %7d | %11.3f %11.3f | %7.0f%% %5d/%5d/%-4d %5d/%-5d\n%!"
                 name mode workers
                 (1000.0 *. !reach_time /. float_of_int (max 1 !reach_n))
                 (1000.0 *. !iso_time /. float_of_int (max 1 !iso_n))
                 (100.0 *. hit_rate)
                 st.Rvaas.Reach_cache.invalidated
                 st.Rvaas.Reach_cache.delta_evictions
-                st.Rvaas.Reach_cache.invalidations;
+                st.Rvaas.Reach_cache.invalidations
+                (* The second-chance ring must track the live table, not
+                   the eviction history (the clock-leak regression). *)
+                (Rvaas.Reach_cache.clock_length cache)
+                st.Rvaas.Reach_cache.clock_purged;
               Support.Pool.shutdown pool;
               Rvaas.Service.set_pool s.service (Support.Pool.create 1))
             [ 1; 4 ])
@@ -1635,6 +1640,343 @@ let e18 () =
         "E18 strict: speedup, update-latency and differential checks passed"
 
 (* ---------------------------------------------------------------- *)
+(* E19: multi-tenant front-end — fan-in scaling, throttling, parity  *)
+(* ---------------------------------------------------------------- *)
+
+let e19_wave = 100_000
+
+(* Zipf(s = 1) over [n] questions: the flash-crowd duplicate mix —
+   most clients ask the handful of popular questions. *)
+let e19_zipf_cdf n =
+  let w = Array.init n (fun i -> 1.0 /. float_of_int (i + 1)) in
+  let total = Array.fold_left ( +. ) 0.0 w in
+  let acc = ref 0.0 in
+  Array.map
+    (fun x ->
+      acc := !acc +. (x /. total);
+      !acc)
+    w
+
+let e19_sample cdf rng =
+  let u = Support.Rng.float rng 1.0 in
+  let n = Array.length cdf in
+  let rec go i = if i >= n - 1 || cdf.(i) >= u then i else go (i + 1) in
+  go 0
+
+(* The question catalogue: every access point crossed with three
+   probe-rich scopes (all IP traffic, the tenant's own subnet, one
+   same-tenant peer address) — 162 distinct questions for k = 6.  Every
+   question triggers a real auth round over dozens of endpoints, so the
+   uncoalesced baseline pays challenge signing and reply verification
+   per query while the front-end pays it once per computation. *)
+let e19_questions (s : Workload.Scenario.t) =
+  let points = Rvaas.Verifier.access_points (Netsim.Net.topology s.net) in
+  let info (ep : Rvaas.Verifier.endpoint) =
+    Option.get (Sdnctl.Addressing.host s.addressing ~host:ep.host)
+  in
+  let w = Hspace.Field.total_width in
+  let subnet_hs client =
+    let value, prefix_len = Sdnctl.Addressing.subnet s.addressing ~client in
+    Hspace.Hs.of_cubes w
+      [
+        Hspace.Field.set_prefix (Hspace.Tern.all_x w) Hspace.Field.Ip_dst ~value
+          ~prefix_len;
+      ]
+  in
+  Array.of_list
+    (List.concat_map
+       (fun (pt : Rvaas.Verifier.endpoint) ->
+         let i = info pt in
+         let peer_scope =
+           List.find_map
+             (fun (q : Rvaas.Verifier.endpoint) ->
+               let j = info q in
+               if q.host <> pt.host && j.Sdnctl.Addressing.client = i.Sdnctl.Addressing.client
+               then Some (Rvaas.Verifier.dst_ip_hs j.Sdnctl.Addressing.ip)
+               else None)
+             points
+           |> Option.value ~default:(Rvaas.Verifier.ip_traffic_hs ())
+         in
+         List.map
+           (fun scope -> (pt, scope, i.Sdnctl.Addressing.ip))
+           [
+             Rvaas.Verifier.ip_traffic_hs ();
+             subnet_hs i.Sdnctl.Addressing.client;
+             peer_scope;
+           ])
+       points)
+
+(* Drive [n] logical clients (one query each, Zipf duplicate mix)
+   through the served path in waves, so undelivered answer packets
+   never pile past one wave.  Returns (queries/sec wall-clock, p99
+   simulated latency, coalesce rate, answers delivered). *)
+let e19_drive ~frontend ~n =
+  (* Three hosts per edge switch: 54 endpoints, so a tenant-wide scope
+     probes ~26 same-tenant attachment points per query — the auth-round
+     cost the front-end amortizes across coalesced duplicates. *)
+  let topo =
+    Workload.Topogen.fat_tree
+      { Workload.Topogen.default_params with hosts_per_switch = 3 }
+      ~k:6
+  in
+  let s =
+    Workload.Scenario.build
+      { (Workload.Scenario.default_spec topo) with frontend }
+  in
+  Workload.Scenario.run s ~until:(Netsim.Sim.now (Netsim.Net.sim s.net) +. 0.3);
+  let qs = e19_questions s in
+  let cdf = e19_zipf_cdf (Array.length qs) in
+  let rng = Support.Rng.create 99 in
+  (* Replace every host receiver with a minimal protocol endpoint: it
+     records answer arrivals (the latency samples) and still answers
+     auth challenges, so the full in-band round runs at every scale —
+     the agents' bookkeeping would not survive millions of logical
+     clients, but the wire protocol must. *)
+  let arrivals = ref 0 in
+  let latencies = ref [] in
+  let t0 = ref 0.0 in
+  let service_public = Rvaas.Service.public s.service in
+  List.iter
+    (fun host ->
+      let info = Option.get (Sdnctl.Addressing.host s.addressing ~host) in
+      let key =
+        Option.get (Rvaas.Directory.key s.directory ~client:info.Sdnctl.Addressing.client)
+      in
+      Netsim.Net.set_host_receiver s.net ~host (fun (pkt : Netsim.Packet.t) ->
+          let dst_port = Hspace.Header.get pkt.header Hspace.Field.Tp_dst in
+          if dst_port = Rvaas.Wire.answer_port then begin
+            incr arrivals;
+            latencies := (Netsim.Sim.now (Netsim.Net.sim s.net) -. !t0) :: !latencies
+          end
+          else if dst_port = Rvaas.Wire.auth_request_port then
+            match Rvaas.Codec.decode_auth_request pkt.payload ~service_public with
+            | Error _ -> ()
+            | Ok challenge ->
+              let reply =
+                Rvaas.Codec.encode_auth_reply ~client:info.Sdnctl.Addressing.client
+                  ~challenge ~key
+              in
+              let header =
+                Hspace.Header.udp ~src_ip:info.Sdnctl.Addressing.ip
+                  ~dst_ip:Rvaas.Wire.service_ip ~src_port:0
+                  ~dst_port:Rvaas.Wire.auth_reply_port
+              in
+              Netsim.Net.host_send s.net ~host (Netsim.Packet.make ~header reply)))
+    (Netsim.Topology.hosts topo);
+  let injected = ref 0 in
+  let (), wall_dt =
+    wall (fun () ->
+        while !injected < n do
+          let count = min e19_wave (n - !injected) in
+          t0 := Netsim.Sim.now (Netsim.Net.sim s.net);
+          for i = 1 to count do
+            let pt, scope, ip = qs.(e19_sample cdf rng) in
+            let id = !injected + i in
+            Rvaas.Service.inject_query s.service ~client:id
+              ~nonce:(Printf.sprintf "w%d" id) ~sw:pt.Rvaas.Verifier.sw
+              ~port:pt.Rvaas.Verifier.port ~ip
+              (Rvaas.Query.make ~scope Rvaas.Query.Reachable_endpoints)
+          done;
+          injected := !injected + count;
+          (* Drain the wave: probe rounds, finalize, answer delivery. *)
+          let deadline = !t0 +. 2.0 in
+          while
+            !arrivals < !injected
+            && Netsim.Sim.now (Netsim.Net.sim s.net) < deadline
+          do
+            Workload.Scenario.run s
+              ~until:(Netsim.Sim.now (Netsim.Net.sim s.net) +. 0.05)
+          done
+        done)
+  in
+  let lat = Array.of_list !latencies in
+  Array.sort compare lat;
+  let p99 =
+    if Array.length lat = 0 then 0.0
+    else lat.(int_of_float (0.99 *. float_of_int (Array.length lat - 1)))
+  in
+  let qps = float_of_int n /. Float.max wall_dt 1e-9 in
+  (qps, p99, Rvaas.Service.coalesce_rate s.service, !arrivals)
+
+(* Differential parity: the same differently-scoped questions sent
+   back to back by one agent (pooled by the settle tick) must report
+   exactly the endpoints per-query evaluation reports.  Returns the
+   mismatch count. *)
+let e19_parity ~engine =
+  let topo = Workload.Topogen.fat_tree Workload.Topogen.default_params ~k:4 in
+  let settle s =
+    Workload.Scenario.run s ~until:(Netsim.Sim.now (Netsim.Net.sim s.net) +. 1.0)
+  in
+  let ip_of (s : Workload.Scenario.t) h =
+    (Option.get (Sdnctl.Addressing.host s.addressing ~host:h)).Sdnctl.Addressing.ip
+  in
+  let scopes s =
+    Rvaas.Verifier.ip_traffic_hs ()
+    :: List.map (fun h -> Rvaas.Verifier.dst_ip_hs (ip_of s h)) [ 1; 2; 3; 4; 5 ]
+  in
+  let ref_s =
+    Workload.Scenario.build
+      { (Workload.Scenario.default_spec topo) with engine }
+  in
+  settle ref_s;
+  let pt = List.hd (Rvaas.Verifier.access_points topo) in
+  let info =
+    Option.get (Sdnctl.Addressing.host ref_s.addressing ~host:pt.Rvaas.Verifier.host)
+  in
+  let expected =
+    List.map
+      (fun scope ->
+        let _, probes =
+          Rvaas.Service.evaluate ref_s.service ~client:info.Sdnctl.Addressing.client
+            ~sw:pt.Rvaas.Verifier.sw ~port:pt.Rvaas.Verifier.port
+            (Rvaas.Query.make ~scope Rvaas.Query.Reachable_endpoints)
+        in
+        List.sort compare
+          (List.map (fun (ep : Rvaas.Verifier.endpoint) -> (ep.sw, ep.port)) probes))
+      (scopes ref_s)
+  in
+  let s =
+    Workload.Scenario.build
+      {
+        (Workload.Scenario.default_spec topo) with
+        engine;
+        frontend = Rvaas.Frontend.coalescing ~batch_window:0.002 ();
+      }
+  in
+  settle s;
+  let agent = Workload.Scenario.agent s ~host:pt.Rvaas.Verifier.host in
+  let outcomes = ref [] in
+  Rvaas.Client_agent.set_answer_callback agent (fun o -> outcomes := o :: !outcomes);
+  let nonces =
+    List.map
+      (fun scope ->
+        Rvaas.Client_agent.send_query agent
+          (Rvaas.Query.make ~scope Rvaas.Query.Reachable_endpoints))
+      (scopes s)
+  in
+  settle s;
+  let mismatches = ref 0 in
+  List.iteri
+    (fun i nonce ->
+      match
+        List.find_opt
+          (fun (o : Rvaas.Client_agent.outcome) ->
+            String.equal o.answer.Rvaas.Query.nonce nonce)
+          !outcomes
+      with
+      | None -> incr mismatches
+      | Some o ->
+        let got =
+          List.sort compare
+            (List.map
+               (fun (ep : Rvaas.Query.endpoint_report) -> (ep.sw, ep.port))
+               o.Rvaas.Client_agent.answer.Rvaas.Query.endpoints)
+        in
+        if got <> List.nth expected i then incr mismatches)
+    nonces;
+  !mismatches
+
+let e19 () =
+  section
+    "E19: multi-tenant front-end — 1k to 1M logical clients, Zipf duplicate\n\
+     mix over 162 distinct questions on fat-tree-k6.  coalesced = admission +\n\
+     coalescing on (identical in-flight queries fold under one computation,\n\
+     per-client signed answers fanned out at finalize); baseline = the\n\
+     per-query seed path.  Then token-bucket throttling (noisy tenant vs\n\
+     victim) and batched-vs-per-query differential parity under both engines";
+  let strict = Sys.getenv_opt "RVAAS_E19_STRICT" <> None in
+  let failures = ref 0 in
+  Printf.printf "%-10s %9s | %12s %9s %9s | %8s\n" "mode" "clients" "queries/s"
+    "p99 (ms)" "coalesce" "answers";
+  let run mode frontend n =
+    let qps, p99, rate, arrivals = e19_drive ~frontend ~n in
+    Printf.printf "%-10s %9d | %12.0f %9.2f %8.1f%% | %8d%s\n%!" mode n qps
+      (1000.0 *. p99) (100.0 *. rate) arrivals
+      (if arrivals = n then "" else " MISSING");
+    if arrivals <> n then incr failures;
+    (qps, p99)
+  in
+  let base_qps, _ = run "baseline" Rvaas.Frontend.default_config 1_000 in
+  let base10_qps, _ = run "baseline" Rvaas.Frontend.default_config 10_000 in
+  ignore base_qps;
+  (* One settle tick: same-instant duplicates fold in the pre-flush
+     queue even when their computation would finalize synchronously. *)
+  let coalesced = Rvaas.Frontend.coalescing ~batch_window:0.005 () in
+  let _, p99_1k = run "coalesced" coalesced 1_000 in
+  let qps10, _ = run "coalesced" coalesced 10_000 in
+  let _ = run "coalesced" coalesced 100_000 in
+  let qps, p99, rate, arrivals = e19_drive ~frontend:coalesced ~n:1_000_000 in
+  Printf.printf "%-10s %9d | %12.0f %9.2f %8.1f%% | %8d%s\n%!" "coalesced" 1_000_000
+    qps (1000.0 *. p99) (100.0 *. rate) arrivals
+    (if arrivals = 1_000_000 then "" else " MISSING");
+  if arrivals <> 1_000_000 then incr failures;
+  if strict && rate < 0.9 then begin
+    incr failures;
+    Printf.printf "E19 strict: coalesce rate %.1f%% < 90%% at 1M clients\n"
+      (100.0 *. rate)
+  end;
+  if strict && p99 > 3.0 *. Float.max p99_1k 1e-9 then begin
+    incr failures;
+    Printf.printf "E19 strict: p99 not flat (%.2f ms at 1M vs %.2f ms at 1k)\n"
+      (1000.0 *. p99) (1000.0 *. p99_1k)
+  end;
+  if strict && qps10 < 10.0 *. base10_qps then begin
+    incr failures;
+    Printf.printf "E19 strict: %.0f q/s < 10x the %.0f q/s baseline at 10k\n" qps10
+      base10_qps
+  end;
+  (* Throttling: a noisy tenant burns through its bucket; the victim's
+     bucket is untouched. *)
+  let topo = Workload.Topogen.fat_tree Workload.Topogen.default_params ~k:4 in
+  let s =
+    Workload.Scenario.build
+      {
+        (Workload.Scenario.default_spec topo) with
+        frontend =
+          Rvaas.Frontend.coalescing ~limits:{ Rvaas.Frontend.rate = 50.0; burst = 10.0 }
+          ();
+      }
+  in
+  Workload.Scenario.run s ~until:(Netsim.Sim.now (Netsim.Net.sim s.net) +. 0.3);
+  let qs = e19_questions s in
+  let inject ~client ~id ((pt : Rvaas.Verifier.endpoint), scope, ip) =
+    Rvaas.Service.inject_query s.service ~client ~nonce:(Printf.sprintf "t%d" id)
+      ~sw:pt.sw ~port:pt.port ~ip
+      (Rvaas.Query.make ~scope Rvaas.Query.Reachable_endpoints)
+  in
+  for i = 0 to 99 do
+    inject ~client:0 ~id:i qs.(i mod Array.length qs)
+  done;
+  let noisy_throttled = (Rvaas.Service.stats s.service).queries_throttled in
+  for i = 100 to 104 do
+    inject ~client:1 ~id:i qs.(i mod Array.length qs)
+  done;
+  let victim_throttled =
+    (Rvaas.Service.stats s.service).queries_throttled - noisy_throttled
+  in
+  Printf.printf "throttling: noisy tenant %d/100 refused, victim %d/5 refused\n%!"
+    noisy_throttled victim_throttled;
+  if strict && (noisy_throttled = 0 || victim_throttled > 0) then begin
+    incr failures;
+    print_endline "E19 strict: throttling hit the wrong tenant"
+  end;
+  (* Differential parity under both engines. *)
+  List.iter
+    (fun (name, engine) ->
+      let mismatches = e19_parity ~engine in
+      Printf.printf "parity (%s): %d mismatch(es)\n%!" name mismatches;
+      if mismatches > 0 then incr failures)
+    [ ("sweep", `Sweep); ("compiled", `Compiled) ];
+  if strict then
+    if !failures > 0 then begin
+      Printf.printf "E19 strict: %d failing check(s)\n" !failures;
+      exit 1
+    end
+    else
+      print_endline
+        "E19 strict: fan-in, latency, throttling and parity checks passed"
+
+(* ---------------------------------------------------------------- *)
 (* Micro-benchmarks (Bechamel)                                       *)
 (* ---------------------------------------------------------------- *)
 
@@ -1687,6 +2029,7 @@ let micro () =
       meters = [];
       transfer = [];
       snapshot_age = 0.0;
+      throttled = false;
     }
   in
   let kernels =
@@ -1760,6 +2103,7 @@ let experiments =
     ("e16", e16);
     ("e17", e17);
     ("e18", e18);
+    ("e19", e19);
     ("micro", micro);
   ]
 

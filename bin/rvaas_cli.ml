@@ -70,6 +70,54 @@ let engine_arg =
            sweep per query; $(b,compiled) answers from the incrementally \
            maintained plumbing graph.")
 
+let coalesce_arg =
+  Arg.(
+    value & flag
+    & info [ "coalesce" ]
+        ~doc:
+          "Fold identical in-flight queries under one computation (each \
+           client still receives its own signed answer).")
+
+let batch_window_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "batch-window" ] ~docv:"SECONDS"
+        ~doc:
+          "Settle tick: queries arriving within the window are flushed \
+           together and batched per injection point (0 = flush \
+           immediately, no batching).")
+
+let limits_conv : Rvaas.Frontend.limits Arg.conv =
+  let parse s =
+    match String.split_on_char ':' s with
+    | [ rate; burst ] -> (
+      match (float_of_string_opt rate, float_of_string_opt burst) with
+      | Some rate, Some burst when rate > 0.0 && burst >= 1.0 ->
+        Ok { Rvaas.Frontend.rate; burst }
+      | _ -> Error (`Msg "expected RATE:BURST with RATE > 0 and BURST >= 1"))
+    | _ -> Error (`Msg "expected RATE:BURST")
+  in
+  let print fmt { Rvaas.Frontend.rate; burst } =
+    Format.fprintf fmt "%g:%g" rate burst
+  in
+  Arg.conv (parse, print)
+
+let limits_arg =
+  Arg.(
+    value & opt (some limits_conv) None
+    & info [ "limits" ] ~docv:"RATE:BURST"
+        ~doc:
+          "Per-client token-bucket admission: refill RATE tokens/second up \
+           to BURST; over-budget clients receive a signed throttle answer.")
+
+let frontend_term =
+  let make coalesce batch_window limits =
+    if coalesce || batch_window > 0.0 || limits <> None then
+      { Rvaas.Frontend.limits; coalesce; batch_window }
+    else Rvaas.Frontend.default_config
+  in
+  Cmdliner.Term.(const make $ coalesce_arg $ batch_window_arg $ limits_arg)
+
 let make_topo kind size =
   let p = Workload.Topogen.default_params in
   match kind with
@@ -88,7 +136,7 @@ let make_polling mode period =
   | `Periodic -> Rvaas.Monitor.Periodic period
   | `Random -> Rvaas.Monitor.Randomized period
 
-let build kind size clients seed polling period loss engine =
+let build kind size clients seed polling period loss engine frontend =
   let topo = make_topo kind size in
   Workload.Scenario.build
     {
@@ -98,6 +146,7 @@ let build kind size clients seed polling period loss engine =
       polling = make_polling polling period;
       rvaas_loss = loss;
       engine;
+      frontend;
     }
 
 (* ---- topo subcommand ---- *)
@@ -165,15 +214,15 @@ let run_query s ~host query =
       2)
 
 let query_cmd =
-  let run kind size clients seed polling period loss engine host qkind =
-    let s = build kind size clients seed polling period loss engine in
+  let run kind size clients seed polling period loss engine frontend host qkind =
+    let s = build kind size clients seed polling period loss engine frontend in
     run_query s ~host (to_query qkind)
   in
   Cmd.v
     (Cmd.info "query" ~doc:"Run one client query against a fresh deployment.")
     Term.(
       const run $ topo_arg $ size_arg $ clients_arg $ seed_arg $ polling_arg
-      $ poll_period_arg $ loss_arg $ engine_arg $ host_arg $ kind_arg)
+      $ poll_period_arg $ loss_arg $ engine_arg $ frontend_term $ host_arg $ kind_arg)
 
 (* ---- attack subcommand ---- *)
 
@@ -192,8 +241,8 @@ let attack_arg =
     value & opt attack_conv `Join & info [ "attack" ] ~docv:"ATTACK" ~doc:"Attack to launch.")
 
 let attack_cmd =
-  let run kind size clients seed polling period loss engine host qkind attack =
-    let s = build kind size clients seed polling period loss engine in
+  let run kind size clients seed polling period loss engine frontend host qkind attack =
+    let s = build kind size clients seed polling period loss engine frontend in
     let now () = Netsim.Sim.now (Netsim.Net.sim s.net) in
     let attack_value =
       match attack with
@@ -221,13 +270,13 @@ let attack_cmd =
        ~doc:"Launch an attack through the compromised provider, then query.")
     Term.(
       const run $ topo_arg $ size_arg $ clients_arg $ seed_arg $ polling_arg
-      $ poll_period_arg $ loss_arg $ engine_arg $ host_arg $ kind_arg $ attack_arg)
+      $ poll_period_arg $ loss_arg $ engine_arg $ frontend_term $ host_arg $ kind_arg $ attack_arg)
 
 (* ---- monitor subcommand ---- *)
 
 let monitor_cmd =
-  let run kind size clients seed polling period loss engine =
-    let s = build kind size clients seed polling period loss engine in
+  let run kind size clients seed polling period loss engine frontend =
+    let s = build kind size clients seed polling period loss engine frontend in
     Workload.Scenario.run s ~until:(Netsim.Sim.now (Netsim.Net.sim s.net) +. 1.0) ;
     let snapshot = Rvaas.Monitor.snapshot s.monitor in
     Printf.printf "switches monitored: %d\n" (List.length (Rvaas.Snapshot.switches snapshot));
@@ -247,13 +296,13 @@ let monitor_cmd =
     (Cmd.info "monitor" ~doc:"Report configuration-monitoring statistics after 1 s.")
     Term.(
       const run $ topo_arg $ size_arg $ clients_arg $ seed_arg $ polling_arg
-      $ poll_period_arg $ loss_arg $ engine_arg)
+      $ poll_period_arg $ loss_arg $ engine_arg $ frontend_term)
 
 (* ---- wiring subcommand ---- *)
 
 let wiring_cmd =
-  let run kind size clients seed polling period loss engine =
-    let s = build kind size clients seed polling period loss engine in
+  let run kind size clients seed polling period loss engine frontend =
+    let s = build kind size clients seed polling period loss engine frontend in
     let report = ref None in
     Rvaas.Monitor.verify_wiring s.monitor ~timeout:0.5 ~on_complete:(fun r ->
         report := Some r);
@@ -279,13 +328,13 @@ let wiring_cmd =
     (Cmd.info "wiring" ~doc:"Verify the physical wiring with LLDP-like probes.")
     Term.(
       const run $ topo_arg $ size_arg $ clients_arg $ seed_arg $ polling_arg
-      $ poll_period_arg $ loss_arg $ engine_arg)
+      $ poll_period_arg $ loss_arg $ engine_arg $ frontend_term)
 
 (* ---- traceback subcommand ---- *)
 
 let traceback_cmd =
-  let run kind size clients seed polling period loss engine attack =
-    let s = build kind size clients seed polling period loss engine in
+  let run kind size clients seed polling period loss engine frontend attack =
+    let s = build kind size clients seed polling period loss engine frontend in
     Workload.Scenario.run s ~until:(Netsim.Sim.now (Netsim.Net.sim s.net) +. 0.3);
     let snapshot = Rvaas.Monitor.snapshot s.monitor in
     let baseline_flows =
@@ -337,7 +386,7 @@ let traceback_cmd =
        ~doc:"Launch an attack, then trace its ingress points from the history.")
     Term.(
       const run $ topo_arg $ size_arg $ clients_arg $ seed_arg $ polling_arg
-      $ poll_period_arg $ loss_arg $ engine_arg $ attack_arg)
+      $ poll_period_arg $ loss_arg $ engine_arg $ frontend_term $ attack_arg)
 
 (* ---- failover subcommand ---- *)
 

@@ -29,6 +29,22 @@ val of_cubes : int -> Tern.t list -> t
     the batch builder.  Semantically equal to [of_cubes width cs]. *)
 val of_cubes_ref : int -> Tern.t list -> t
 
+(** Mutable batch builder: accumulate cubes from many sources, then
+    normalise once.  [build b] is [of_cubes width cs] over everything
+    added — one hash-dedup plus a single fixed-count-ordered
+    subsumption sweep instead of a normalisation per union, which is
+    how the query front-end pools the scopes of a whole batch of
+    queries into one swept header space. *)
+module Builder : sig
+  type builder
+
+  val create : int -> builder
+
+  val add : builder -> Tern.t -> unit
+
+  val build : builder -> t
+end
+
 (** [cubes t] returns the normalised cube list. *)
 val cubes : t -> Tern.t list
 

@@ -161,6 +161,9 @@ let answer_body (a : Query.answer) =
         kv "attempts" (string_of_int a.auth_attempts);
         kv "degraded" (if a.degraded then "1" else "0");
       ]
+    (* Only emitted when set: pre-frontend decoders never saw the key
+       and the default below keeps old captures decodable. *)
+    @ (if a.throttled then [ kv "throttled" "1" ] else [])
     @ List.map (fun j -> kv "jur" j) a.jurisdictions
     @ (match a.path_hops with
       | None -> []
@@ -262,6 +265,7 @@ let decode_answer payload ~service_public =
                        Hspace.Hs.of_cubes Hspace.Field.total_width cubes ))
                    keys);
               snapshot_age;
+              throttled = lookup "throttled" pairs = Some "1";
             }
         | _ -> Error "malformed answer"
       end

@@ -1,0 +1,211 @@
+type limits = { rate : float; burst : float }
+
+type config = {
+  limits : limits option;
+  coalesce : bool;
+  batch_window : float;
+}
+
+let default_config = { limits = None; coalesce = false; batch_window = 0.0 }
+
+let coalescing ?limits ?(batch_window = 0.0) () =
+  { limits; coalesce = true; batch_window }
+
+(* The coalescing key mirrors [Reach_cache.key] (injection point plus
+   a structural scope hash) extended with the query kind and, for the
+   kinds whose evaluation reads the requesting tenant, the client.
+   All-int record: structural Hashtbl hashing/equality is exact. *)
+type key = {
+  k_kind : int;
+  k_dst : int;  (* Path_length destination, 0 otherwise *)
+  k_client : int;  (* -1 for client-independent kinds *)
+  k_sw : int;
+  k_port : int;
+  k_hs : int;
+}
+
+let key_of ~client ~sw ~port (query : Query.t) =
+  let scope_hash () =
+    match query.scope with None -> 0 | Some hs -> Hspace.Hs.hash hs
+  in
+  let k_kind, k_dst, k_client, k_hs =
+    match query.kind with
+    | Query.Reachable_endpoints -> (0, 0, -1, scope_hash ())
+    | Query.Sources_reaching_me -> (1, 0, client, scope_hash ())
+    (* Isolation and Fairness ignore their scope at evaluation; hashing
+       it would only split identical questions. *)
+    | Query.Isolation -> (2, 0, client, 0)
+    | Query.Geo -> (3, 0, -1, scope_hash ())
+    | Query.Path_length { dst_ip } -> (4, dst_ip, -1, scope_hash ())
+    | Query.Fairness -> (5, 0, client, 0)
+    | Query.Transfer_summary -> (6, 0, -1, scope_hash ())
+  in
+  { k_kind; k_dst; k_client; k_sw = sw; k_port = port; k_hs }
+
+type 'w entry = {
+  e_key : key;
+  e_client : int;
+  e_sw : int;
+  e_port : int;
+  e_query : Query.t;
+  mutable e_waiters : 'w list;
+}
+
+type stats = {
+  mutable admitted : int;
+  mutable throttled : int;
+  mutable coalesced : int;
+  mutable entries : int;
+  mutable batches : int;
+  mutable batched : int;
+  mutable batch_fallbacks : int;
+  mutable flushes : int;
+}
+
+type bucket = { mutable tokens : float; mutable refilled_at : float }
+
+type 'w t = {
+  cfg : config;
+  buckets : (int, bucket) Hashtbl.t;
+  queue : 'w entry Queue.t;  (* arrival order, drained whole at flush *)
+  by_key : (key, 'w entry) Hashtbl.t;  (* queued entries, for coalescing *)
+  stats : stats;
+}
+
+let create cfg =
+  (match cfg.limits with
+  | Some { rate; burst } ->
+    if rate <= 0.0 then invalid_arg "Frontend.create: limits.rate must be positive";
+    if burst < 1.0 then invalid_arg "Frontend.create: limits.burst must be >= 1"
+  | None -> ());
+  if cfg.batch_window < 0.0 then
+    invalid_arg "Frontend.create: negative batch_window";
+  {
+    cfg;
+    buckets = Hashtbl.create 16;
+    queue = Queue.create ();
+    by_key = Hashtbl.create 16;
+    stats =
+      {
+        admitted = 0;
+        throttled = 0;
+        coalesced = 0;
+        entries = 0;
+        batches = 0;
+        batched = 0;
+        batch_fallbacks = 0;
+        flushes = 0;
+      };
+  }
+
+let config t = t.cfg
+
+let stats t = t.stats
+
+let coalesce_rate t =
+  if t.stats.admitted = 0 then 0.0
+  else float_of_int t.stats.coalesced /. float_of_int t.stats.admitted
+
+let admit t ~client ~now =
+  match t.cfg.limits with
+  | None ->
+    t.stats.admitted <- t.stats.admitted + 1;
+    true
+  | Some { rate; burst } ->
+    let b =
+      match Hashtbl.find_opt t.buckets client with
+      | Some b -> b
+      | None ->
+        (* A client's first query always passes: fresh buckets start
+           full, so admission only bites sustained over-rate use. *)
+        let b = { tokens = burst; refilled_at = now } in
+        Hashtbl.replace t.buckets client b;
+        b
+    in
+    let elapsed = Float.max 0.0 (now -. b.refilled_at) in
+    b.tokens <- Float.min burst (b.tokens +. (rate *. elapsed));
+    b.refilled_at <- now;
+    if b.tokens >= 1.0 then begin
+      b.tokens <- b.tokens -. 1.0;
+      t.stats.admitted <- t.stats.admitted + 1;
+      true
+    end
+    else begin
+      t.stats.throttled <- t.stats.throttled + 1;
+      false
+    end
+
+let note_coalesced t = t.stats.coalesced <- t.stats.coalesced + 1
+
+let note_fallback t n =
+  t.stats.batch_fallbacks <- t.stats.batch_fallbacks + n;
+  t.stats.batches <- t.stats.batches - 1;
+  t.stats.batched <- t.stats.batched - n
+
+let submit t ~key ~client ~sw ~port query ~waiter =
+  match if t.cfg.coalesce then Hashtbl.find_opt t.by_key key else None with
+  | Some entry ->
+    entry.e_waiters <- waiter :: entry.e_waiters;
+    t.stats.coalesced <- t.stats.coalesced + 1;
+    `Coalesced
+  | None ->
+    let first = Queue.is_empty t.queue in
+    let entry =
+      {
+        e_key = key;
+        e_client = client;
+        e_sw = sw;
+        e_port = port;
+        e_query = query;
+        e_waiters = [ waiter ];
+      }
+    in
+    Queue.add entry t.queue;
+    if t.cfg.coalesce then Hashtbl.replace t.by_key key entry;
+    `Queued (if first then `First else `Later)
+
+let queued t = Queue.length t.queue
+
+let batchable (q : Query.t) =
+  (* Only [Reachable_endpoints] pools soundly and profitably: Geo
+     needs the per-query traversed set, Path_length the per-query
+     sample paths, Transfer_summary the per-query arrival spaces
+     (whose normal forms a union split would not reproduce byte for
+     byte), and the client-dependent kinds are per-tenant anyway. *)
+  match q.kind with Query.Reachable_endpoints -> true | _ -> false
+
+let flush t =
+  if Queue.is_empty t.queue then []
+  else begin
+    t.stats.flushes <- t.stats.flushes + 1;
+    (* Drain in arrival order, pooling batchable entries that share an
+       injection point into the group opened by their first arrival. *)
+    let groups : 'w entry list ref list ref = ref [] in
+    let pools : (int * int, 'w entry list ref) Hashtbl.t = Hashtbl.create 8 in
+    Queue.iter
+      (fun e ->
+        t.stats.entries <- t.stats.entries + 1;
+        if t.cfg.coalesce then Hashtbl.remove t.by_key e.e_key;
+        if batchable e.e_query then begin
+          let point = (e.e_sw, e.e_port) in
+          match Hashtbl.find_opt pools point with
+          | Some cell -> cell := e :: !cell
+          | None ->
+            let cell = ref [ e ] in
+            Hashtbl.replace pools point cell;
+            groups := cell :: !groups
+        end
+        else groups := ref [ e ] :: !groups)
+      t.queue;
+    Queue.clear t.queue;
+    List.rev_map
+      (fun cell ->
+        let group = List.rev !cell in
+        (match group with
+        | _ :: _ :: _ ->
+          t.stats.batches <- t.stats.batches + 1;
+          t.stats.batched <- t.stats.batched + List.length group
+        | _ -> ());
+        group)
+      !groups
+  end

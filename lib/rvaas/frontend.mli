@@ -1,0 +1,150 @@
+(** Multi-tenant query front-end: admission, coalescing, batching.
+
+    At the scale the roadmap targets — millions of clients sharing one
+    verification service — the query stream stops looking like the
+    paper's interactive workload and starts looking like a flash
+    crowd: most concurrent queries are duplicates of each other, and a
+    single noisy tenant can monopolise the sweep pool.  This module is
+    the pure serving-policy layer {!Service} puts in front of query
+    evaluation:
+
+    + {b admission} — a per-client token bucket ({!limits}: refill
+      [rate] tokens/second up to [burst]).  An over-budget client gets
+      a signed throttle answer (see {!Query.answer.throttled}) instead
+      of an evaluation, so one tenant's storm cannot starve the rest
+      (the paper's §IV-B.1 per-client accounting turned into a
+      defence).
+    + {b coalescing} — identical in-flight queries are folded under
+      one computation, keyed like {!Reach_cache.key} (injection point
+      plus a structural hash of the scope, plus the query kind and —
+      for client-dependent kinds — the client).  N clients asking the
+      same question cost one sweep or one {!Plumbing} lookup; each
+      still receives its own signed answer under its own nonce at
+      finalize.
+    + {b batching} — queries that arrive within one settle tick
+      ([batch_window]) and share an injection point are pooled: their
+      scopes are unioned via {!Hspace.Hs.Builder}, one sweep runs over
+      the union, and the result is split per query by intersecting
+      arrival spaces with each query's scope.
+
+    The module is deliberately free of protocol state: it queues
+    generic waiter tokens (['w] is {!Service}'s requester record) and
+    never touches the network, which keeps every policy decision unit
+    testable without a simulator. *)
+
+(** Token-bucket admission parameters: a client's bucket refills at
+    [rate] tokens per second up to [burst]; each accepted query costs
+    one token.  A fresh client starts with a full bucket. *)
+type limits = { rate : float; burst : float }
+
+type config = {
+  limits : limits option;  (** admission control; [None] admits all *)
+  coalesce : bool;
+      (** fold identical in-flight queries under one computation *)
+  batch_window : float;
+      (** settle tick in seconds: queries arriving within the window
+          are flushed together and batched per injection point.  [0.]
+          flushes synchronously (no added latency, no batching). *)
+}
+
+(** Everything off: admit all, evaluate per query, no settle tick —
+    the seed behaviour, bit-compatible with the pre-frontend
+    service. *)
+val default_config : config
+
+(** [coalescing ()] is the recommended serving configuration:
+    coalescing on, optional admission [limits], and a [batch_window]
+    (default [0.]). *)
+val coalescing : ?limits:limits -> ?batch_window:float -> unit -> config
+
+(** Coalescing key: query kind (plus [Path_length]'s destination),
+    injection point, scope hash, and — for the kinds whose evaluation
+    depends on the requesting tenant ([Sources_reaching_me],
+    [Isolation], [Fairness]) — the client.  Kinds that ignore their
+    scope ([Isolation], [Fairness]) hash it as zero so differently
+    scoped but identical questions still coalesce. *)
+type key
+
+val key_of : client:int -> sw:int -> port:int -> Query.t -> key
+
+(** One queued computation: the leading query plus every waiter
+    attached to it.  [e_waiters] is newest-first; the evaluation runs
+    with the leader's coordinates. *)
+type 'w entry = {
+  e_key : key;
+  e_client : int;
+  e_sw : int;
+  e_port : int;
+  e_query : Query.t;
+  mutable e_waiters : 'w list;
+}
+
+type stats = {
+  mutable admitted : int;  (** queries past admission control *)
+  mutable throttled : int;  (** queries rejected by the token bucket *)
+  mutable coalesced : int;
+      (** admitted queries folded into an existing computation
+          (pre-flush attach or in-flight join) instead of costing one *)
+  mutable entries : int;  (** computations handed to the service *)
+  mutable batches : int;  (** flush groups that pooled >= 2 entries *)
+  mutable batched : int;  (** entries inside such groups *)
+  mutable batch_fallbacks : int;
+      (** pooled groups re-run per entry because a rewrite on the
+          swept region made the union split unsound *)
+  mutable flushes : int;
+}
+
+type 'w t
+
+(** @raise Invalid_argument on [rate <= 0], [burst < 1] or a negative
+    [batch_window]. *)
+val create : config -> 'w t
+
+val config : 'w t -> config
+
+val stats : 'w t -> stats
+
+(** [coalesce_rate t] is the fraction of admitted queries that were
+    absorbed by an existing computation — [0.] when nothing was
+    admitted. *)
+val coalesce_rate : 'w t -> float
+
+(** [admit t ~client ~now] charges one token from [client]'s bucket
+    ([now] in seconds drives the refill).  [false] means throttle:
+    the caller owes the client a signed throttle answer. *)
+val admit : 'w t -> client:int -> now:float -> bool
+
+(** [note_coalesced t] records an in-flight join: the service attached
+    a waiter to an already-evaluating computation (coalescing after
+    the entry left the queue — this module only sees the queue). *)
+val note_coalesced : 'w t -> unit
+
+(** [note_fallback t n] records a pooled group of [n] entries that the
+    service re-ran per entry (rewrite taint). *)
+val note_fallback : 'w t -> int -> unit
+
+(** [submit t ~key ~client ~sw ~port query ~waiter] enqueues a query.
+    [`Coalesced] means it was attached to an already-queued identical
+    entry (only with [config.coalesce]); [`Queued `First] means it
+    opened a new entry in a previously empty queue — the caller must
+    now arrange a flush (immediately, or one [batch_window] later);
+    [`Queued `Later] means the queue was already non-empty and a flush
+    is already owed. *)
+val submit :
+  'w t ->
+  key:key ->
+  client:int ->
+  sw:int ->
+  port:int ->
+  Query.t ->
+  waiter:'w ->
+  [ `Coalesced | `Queued of [ `First | `Later ] ]
+
+(** [queued t] is the number of entries awaiting a flush. *)
+val queued : 'w t -> int
+
+(** [flush t] drains the queue into evaluation groups, in arrival
+    order.  Entries of batchable kinds ([Reachable_endpoints]) that
+    share an injection point are grouped together (one pooled sweep);
+    everything else comes back as singleton groups. *)
+val flush : 'w t -> 'w entry list list

@@ -30,6 +30,7 @@ type answer = {
   meters : (int * int) list;
   transfer : (int * int * Hspace.Hs.t) list;
   snapshot_age : float;
+  throttled : bool;
 }
 
 let make ?scope kind = { kind; scope }
@@ -69,8 +70,9 @@ let pp_endpoint fmt e =
 
 let pp_answer fmt a =
   Format.fprintf fmt
-    "@[<v>answer %a nonce=%s%s@ endpoints: %a@ auth %d/%d replies@ jurisdictions: %a%a%a@ snapshot_age=%.4fs@]"
+    "@[<v>answer %a nonce=%s%s%s@ endpoints: %a@ auth %d/%d replies@ jurisdictions: %a%a%a@ snapshot_age=%.4fs@]"
     pp_kind a.kind a.nonce
+    (if a.throttled then " THROTTLED" else "")
     (if a.degraded then " DEGRADED" else "")
     (Format.pp_print_list ~pp_sep:(fun fmt () -> Format.fprintf fmt ", ") pp_endpoint)
     a.endpoints a.auth_replies a.total_auth_requests

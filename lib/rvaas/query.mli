@@ -64,6 +64,12 @@ type answer = {
       (** per (switch, port) endpoint: the headers arriving there — the
           compact transfer-function representation *)
   snapshot_age : float;  (** seconds since the config view was refreshed *)
+  throttled : bool;
+      (** the service's admission control rejected the query before
+          evaluation (the requesting client exceeded its token-bucket
+          budget): every result field is empty and the client should
+          back off and re-ask.  Still signed — a throttle verdict must
+          be as unforgeable as an answer. *)
 }
 
 (** [make ?scope kind] builds a query. *)

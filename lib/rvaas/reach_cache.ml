@@ -27,6 +27,7 @@ type stats = {
   mutable invalidated : int;
   mutable delta_evictions : int;
   mutable capacity_evictions : int;
+  mutable clock_purged : int;
 }
 
 type t = {
@@ -51,6 +52,7 @@ let create ?(capacity = 4096) () =
         invalidated = 0;
         delta_evictions = 0;
         capacity_evictions = 0;
+        clock_purged = 0;
       };
   }
 
@@ -103,6 +105,30 @@ let add t key ~snapshot (result : Verifier.reach_result) =
     Queue.add key t.clock
   end
 
+(* Delta invalidation removes table entries without touching the
+   clock ring, so under delta-heavy workloads that never reach
+   capacity the ring accumulates keys of dead entries indefinitely
+   (the sweep only skips them when it actually runs).  Once the ring
+   outgrows ~2x the live table, rebuild it: keep the first occurrence
+   of every key still present in the table (preserving sweep order and
+   second-chance fairness), drop dead keys and later duplicates. *)
+let purge_clock t =
+  let live = Table.length t.table in
+  if Queue.length t.clock > (2 * live) + 16 then begin
+    let kept = Queue.create () in
+    let seen : unit Table.t = Table.create (live + 1) in
+    Queue.iter
+      (fun k ->
+        if Table.mem t.table k && not (Table.mem seen k) then begin
+          Table.replace seen k ();
+          Queue.add k kept
+        end
+        else t.stats.clock_purged <- t.stats.clock_purged + 1)
+      t.clock;
+    Queue.clear t.clock;
+    Queue.transfer kept t.clock
+  end
+
 let invalidate_switch t ~sw ~digest =
   let stale =
     Table.fold
@@ -115,7 +141,8 @@ let invalidate_switch t ~sw ~digest =
   in
   List.iter (Table.remove t.table) stale;
   if stale <> [] then t.stats.invalidated <- t.stats.invalidated + 1;
-  t.stats.delta_evictions <- t.stats.delta_evictions + List.length stale
+  t.stats.delta_evictions <- t.stats.delta_evictions + List.length stale;
+  purge_clock t
 
 let invalidate t =
   if Table.length t.table > 0 then begin
@@ -131,3 +158,5 @@ let hit_rate t =
   if total = 0 then 0.0 else float_of_int t.stats.hits /. float_of_int total
 
 let length t = Table.length t.table
+
+let clock_length t = Queue.length t.clock

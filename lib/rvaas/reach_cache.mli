@@ -41,6 +41,11 @@ type stats = {
       (** entries evicted by {!invalidate_switch} deltas *)
   mutable capacity_evictions : int;
       (** entries evicted by the second-chance sweep at capacity *)
+  mutable clock_purged : int;
+      (** stale ring slots (dead keys and duplicates) dropped by the
+          bounded-clock purge — nonzero means the delta workload was
+          leaking ring entries that capacity eviction alone would
+          never have reclaimed *)
 }
 
 (** [create ?capacity ()] makes an empty cache holding at most
@@ -64,7 +69,14 @@ val add : t -> key -> snapshot:Snapshot.t -> Verifier.reach_result -> unit
 (** [invalidate_switch t ~sw ~digest] evicts every entry that traversed
     [sw] and recorded a digest other than [digest] (the switch's
     current table digest).  Entries that never consulted [sw], or that
-    saw the identical table, remain valid and are kept. *)
+    saw the identical table, remain valid and are kept.
+
+    Delta evictions leave their keys in the second-chance ring (the
+    sweep skips dead keys); to keep that bounded under delta-heavy
+    workloads that never hit capacity, the ring is purged of dead keys
+    and duplicates whenever it exceeds ~2x the live table size
+    (counted in [stats.clock_purged], observable via
+    {!clock_length}). *)
 val invalidate_switch : t -> sw:int -> digest:int64 -> unit
 
 (** [invalidate t] drops every entry (e.g. a topology-level change or
@@ -78,3 +90,8 @@ val hit_rate : t -> float
 
 (** [length t] is the number of cached results. *)
 val length : t -> int
+
+(** [clock_length t] is the current second-chance ring size, live
+    entries plus not-yet-purged stale slots.  Bounded by
+    [2 * length t + 16] at the delta-invalidation points. *)
+val clock_length : t -> int

@@ -1,6 +1,8 @@
 type stats = {
   mutable queries_received : int;
   mutable queries_rejected : int;
+  mutable queries_throttled : int;
+  mutable queries_duplicate : int;
   mutable auth_requests_sent : int;
   mutable auth_retransmissions : int;
   mutable auth_replies_accepted : int;
@@ -27,16 +29,27 @@ type probe = {
   mutable seen_client : int option;
 }
 
+(* One client waiting on a computation.  Coalescing makes the
+   pending-to-requester relation one-to-many: each requester gets its
+   own signed answer (under its own nonce, at its own access point)
+   when the shared computation finalizes. *)
+type requester = {
+  r_nonce : string;
+  r_client : int;
+  r_sw : int;
+  r_port : int;
+  r_ip : int;
+}
+
 type pending = {
-  nonce : string;
-  kind : Query.kind;
-  requester_client : int;
-  requester_sw : int;
-  requester_port : int;
-  requester_ip : int;
+  key : Frontend.key option;
+      (* coalescing key while this computation is in flight; [Some]
+         iff it was opened through a coalescing front-end (recovery
+         re-issues bypass the front-end and never coalesce) *)
   base : Query.answer;  (** logical part, endpoints filled at finalize *)
   query : Query.t;  (** the parsed query, journalled for re-issue *)
   probes : probe list;
+  mutable requesters : requester list;  (* newest first *)
   mutable finalized : bool;
       (* an early finalize (full quorum) races the scheduled one *)
   mutable deadline_at : float;
@@ -62,7 +75,20 @@ type t = {
   stats : stats;
   rng : Support.Rng.t;
   pending : (string, pending) Hashtbl.t; (* keyed by challenge *)
-  open_queries : (string, pending) Hashtbl.t; (* keyed by nonce, until answered *)
+  open_queries : (string, pending) Hashtbl.t;
+      (* keyed by requester nonce, until answered; many nonces can map
+         to one coalesced pending *)
+  frontend : requester Frontend.t;
+      (* admission + coalescing + batching policy in front of
+         evaluation; default config = admit all, no coalescing, no
+         settle tick (the seed behaviour) *)
+  coalesced : (Frontend.key, pending) Hashtbl.t;
+      (* in-flight computations by coalescing key: a query identical
+         to one already evaluating joins it as an extra requester *)
+  queued_nonces : (string, unit) Hashtbl.t;
+      (* nonces waiting in the front-end queue (batch_window > 0),
+         not yet in [open_queries] — consulted by the duplicate-
+         delivery check, cleared at each flush *)
   measurement : Cryptosim.Attest.measurement;
   mutable ctx : Verifier.ctx;
       (* incremental verification context: guards cached across queries,
@@ -215,6 +241,7 @@ let empty_answer t ~nonce ~kind =
     meters = [];
     transfer = [];
     snapshot_age = Snapshot.age (Monitor.snapshot t.monitor) ~now:(now t);
+    throttled = false;
   }
 
 (* Meters whose owning rule can touch the client's traffic: any rule
@@ -333,7 +360,10 @@ let packet_out t ~sw ~port header payload =
   Netsim.Net.send t.net (Monitor.conn t.monitor) ~sw
     (Ofproto.Message.Packet_out { port; header; payload })
 
-let send_answer t (p : pending) =
+(* The shared (requester-independent) part of a coalesced pending's
+   answer — built once per computation, then re-nonced, re-signed and
+   fanned out to every requester. *)
+let answer_template (p : pending) =
   let endpoints =
     List.map
       (fun probe ->
@@ -347,23 +377,23 @@ let send_answer t (p : pending) =
       p.probes
   in
   let replies = List.length (List.filter (fun pr -> pr.seen_authenticated) p.probes) in
-  let answer =
-    {
-      p.base with
-      Query.endpoints;
-      total_auth_requests = List.length p.probes;
-      auth_replies = replies;
-      auth_attempts = List.fold_left (fun acc pr -> acc + pr.attempts_made) 0 p.probes;
-      degraded = replies < List.length p.probes;
-    }
-  in
+  {
+    p.base with
+    Query.endpoints;
+    total_auth_requests = List.length p.probes;
+    auth_replies = replies;
+    auth_attempts = List.fold_left (fun acc pr -> acc + pr.attempts_made) 0 p.probes;
+    degraded = replies < List.length p.probes;
+  }
+
+let send_answer t answer (r : requester) =
   let payload = Codec.encode_answer answer ~signer:t.keypair in
   let header =
-    Hspace.Header.udp ~src_ip:Wire.service_ip ~dst_ip:p.requester_ip ~src_port:0
+    Hspace.Header.udp ~src_ip:Wire.service_ip ~dst_ip:r.r_ip ~src_port:0
       ~dst_port:Wire.answer_port
   in
   t.stats.answers_sent <- t.stats.answers_sent + 1;
-  packet_out t ~sw:p.requester_sw ~port:p.requester_port header payload
+  packet_out t ~sw:r.r_sw ~port:r.r_port header payload
 
 let journal_record t record =
   match Monitor.journal t.monitor with
@@ -381,9 +411,26 @@ let finalize t (p : pending) =
     else begin
       p.finalized <- true;
       List.iter (fun probe -> Hashtbl.remove t.pending probe.challenge) p.probes;
-      Hashtbl.remove t.open_queries p.nonce;
-      send_answer t p;
-      journal_record t (Journal.Query_closed { nonce = p.nonce })
+      (match p.key with
+      | Some k -> (
+        (* Only drop the coalescing slot if it is still ours — a
+           later computation may have taken the key over. *)
+        match Hashtbl.find_opt t.coalesced k with
+        | Some q when q == p -> Hashtbl.remove t.coalesced k
+        | _ -> ())
+      | None -> ());
+      let template = answer_template p in
+      List.iter
+        (fun r ->
+          (* Guarded removal: never evict a nonce that a newer pending
+             owns (the duplicate-replay corruption this fan-out
+             replaced). *)
+          (match Hashtbl.find_opt t.open_queries r.r_nonce with
+          | Some q when q == p -> Hashtbl.remove t.open_queries r.r_nonce
+          | _ -> ());
+          send_answer t { template with Query.nonce = r.r_nonce } r;
+          journal_record t (Journal.Query_closed { nonce = r.r_nonce }))
+        (List.rev p.requesters)
     end
 
 let quorum_complete (p : pending) =
@@ -435,12 +482,32 @@ let dispatch_probes t (p : pending) =
   in
   attempt 0
 
-(* Evaluate a query and drive its auth-probe round.  Shared by the
-   in-band request path and by [reissue] (a recovering controller
-   re-driving a query recorded in the journal). *)
-let open_query t ~client ~nonce ~sw ~port ~ip query =
-  let base, targets = evaluate t ~client ~sw ~port query in
-  let base = { base with Query.nonce } in
+(* A nonce about to be (re-)opened that still maps to an older
+   pending: detach that requester from the old computation.  When it
+   was the last one, tear the old computation down — challenges out of
+   [t.pending], timers neutered, coalescing slot released — so nothing
+   of it can fire again (the replace path that used to orphan
+   challenges and double-send answers). *)
+let supersede t nonce =
+  match Hashtbl.find_opt t.open_queries nonce with
+  | None -> ()
+  | Some old ->
+    old.requesters <-
+      List.filter (fun r -> not (String.equal r.r_nonce nonce)) old.requesters;
+    if old.requesters = [] then begin
+      old.finalized <- true;
+      List.iter (fun probe -> Hashtbl.remove t.pending probe.challenge) old.probes;
+      match old.key with
+      | Some k -> (
+        match Hashtbl.find_opt t.coalesced k with
+        | Some q when q == old -> Hashtbl.remove t.coalesced k
+        | _ -> ())
+      | None -> ()
+    end
+
+(* Open one computation for [requesters] (already evaluated to [base]
+   + probe [targets]) and drive its auth-probe round. *)
+let open_with t ~key ~query ~base ~targets ~requesters =
   let probes =
     List.map
       (fun target ->
@@ -455,36 +522,177 @@ let open_query t ~client ~nonce ~sw ~port ~ip query =
       targets
   in
   let p =
-    {
-      nonce;
-      kind = query.Query.kind;
-      requester_client = client;
-      requester_sw = sw;
-      requester_port = port;
-      requester_ip = ip;
-      base;
-      query;
-      probes;
-      finalized = false;
-      deadline_at = 0.0;
-    }
+    { key; base; query; probes; requesters; finalized = false; deadline_at = 0.0 }
   in
-  Hashtbl.replace t.open_queries nonce p;
-  journal_record t
-    (Journal.Query_opened
-       {
-         q_nonce = nonce;
-         q_client = client;
-         q_sw = sw;
-         q_port = port;
-         q_ip = Some ip;
-         q_query = query;
-       });
+  List.iter
+    (fun r ->
+      supersede t r.r_nonce;
+      Hashtbl.replace t.open_queries r.r_nonce p;
+      journal_record t
+        (Journal.Query_opened
+           {
+             q_nonce = r.r_nonce;
+             q_client = r.r_client;
+             q_sw = r.r_sw;
+             q_port = r.r_port;
+             q_ip = Some r.r_ip;
+             q_query = query;
+           }))
+    (List.rev requesters);
+  (match key with Some k -> Hashtbl.replace t.coalesced k p | None -> ());
   if probes = [] then finalize t p
   else begin
     List.iter (fun probe -> Hashtbl.replace t.pending probe.challenge p) probes;
     dispatch_probes t p
   end
+
+(* Evaluate a query and drive its auth-probe round.  Used by [reissue]
+   (a recovering controller re-driving a query recorded in the
+   journal) — recovery bypasses admission and coalescing. *)
+let open_query t ~client ~nonce ~sw ~port ~ip query =
+  let base, targets = evaluate t ~client ~sw ~port query in
+  open_with t ~key:None ~query ~base ~targets
+    ~requesters:[ { r_nonce = nonce; r_client = client; r_sw = sw; r_port = port; r_ip = ip } ]
+
+(* A flushed front-end entry: one evaluation with the leader's
+   coordinates, answers fanned out to every attached waiter. *)
+let open_entry t (e : requester Frontend.entry) =
+  let base, targets = evaluate t ~client:e.e_client ~sw:e.e_sw ~port:e.e_port e.e_query in
+  let key = if (Frontend.config t.frontend).coalesce then Some e.e_key else None in
+  open_with t ~key ~query:e.e_query ~base ~targets ~requesters:e.e_waiters
+
+(* A rewrite anywhere on the swept region makes the union split
+   unsound: arrival spaces of the pooled sweep may mix headers that
+   entered under different members' scopes.  Conservative and cheap —
+   scan the traversed switches (a superset of any member's traversal)
+   for rewriting actions. *)
+let union_tainted t (r : Verifier.reach_result) =
+  let snapshot = Monitor.snapshot t.monitor in
+  List.exists
+    (fun sw ->
+      List.exists
+        (fun (spec : Ofproto.Flow_entry.spec) ->
+          Ofproto.Action.rewrites spec.actions <> [])
+        (Snapshot.flows snapshot ~sw))
+    r.Verifier.traversed
+
+(* A batch of [Reachable_endpoints] entries sharing one injection
+   point: union the scopes, run one sweep over the union, split the
+   arrival spaces back per member.  Exact absent rewrites — forward
+   propagation is linear in the injected set, so
+   [arrival(S1) = arrival(S1 ∪ S2) ∩ S1] cube by cube; with rewrites
+   on the region, fall back to per-entry evaluation. *)
+let open_batch t (es : requester Frontend.entry list) =
+  match es with
+  | [] -> ()
+  | (first : requester Frontend.entry) :: _ ->
+    let scopes =
+      List.map
+        (fun (e : requester Frontend.entry) -> effective_scope e.e_query.Query.scope)
+        es
+    in
+    let b = Hspace.Hs.Builder.create Hspace.Field.total_width in
+    List.iter
+      (fun s -> List.iter (Hspace.Hs.Builder.add b) (Hspace.Hs.cubes s))
+      scopes;
+    let union = Hspace.Hs.Builder.build b in
+    let r = reach t ~src_sw:first.e_sw ~src_port:first.e_port ~hs:union in
+    if union_tainted t r then begin
+      Frontend.note_fallback t.frontend (List.length es);
+      List.iter (open_entry t) es
+    end
+    else
+      List.iter2
+        (fun (e : requester Frontend.entry) scope ->
+          let targets =
+            List.filter_map
+              (fun ((ep : Verifier.endpoint), arrival) ->
+                if Hspace.Hs.overlaps arrival scope then Some ep else None)
+              r.Verifier.endpoints
+          in
+          let base = empty_answer t ~nonce:(fresh_hex t) ~kind:e.e_query.Query.kind in
+          let key =
+            if (Frontend.config t.frontend).coalesce then Some e.e_key else None
+          in
+          open_with t ~key ~query:e.e_query ~base ~targets ~requesters:e.e_waiters)
+        es scopes
+
+let flush_frontend t =
+  if t.live then begin
+    Hashtbl.reset t.queued_nonces;
+    List.iter
+      (function
+        | [] -> ()
+        | [ e ] -> open_entry t e
+        | es -> open_batch t es)
+      (Frontend.flush t.frontend)
+  end
+
+(* Join an in-flight computation: the new requester rides the probes
+   already in the air and is answered at the shared finalize. *)
+let try_join t key (r : requester) =
+  match Hashtbl.find_opt t.coalesced key with
+  | Some p when not p.finalized ->
+    p.requesters <- r :: p.requesters;
+    Hashtbl.replace t.open_queries r.r_nonce p;
+    journal_record t
+      (Journal.Query_opened
+         {
+           q_nonce = r.r_nonce;
+           q_client = r.r_client;
+           q_sw = r.r_sw;
+           q_port = r.r_port;
+           q_ip = Some r.r_ip;
+           q_query = p.query;
+         });
+    Frontend.note_coalesced t.frontend;
+    true
+  | _ -> false
+
+let send_throttled t ~nonce ~sw ~port ~ip ~kind =
+  let answer = { (empty_answer t ~nonce ~kind) with Query.throttled = true } in
+  send_answer t answer { r_nonce = nonce; r_client = -1; r_sw = sw; r_port = port; r_ip = ip }
+
+(* The post-decode request path: duplicate suppression, admission,
+   coalescing, then the front-end queue.  Shared by the in-band
+   Packet-In handler and by [inject_query] (benchmarks driving the
+   serving layer without per-packet request crypto). *)
+let accept_request t ~client ~nonce ~sw ~port ~ip (query : Query.t) =
+  if Hashtbl.mem t.open_queries nonce || Hashtbl.mem t.queued_nonces nonce then
+    (* A duplicated or replayed delivery of an in-flight request —
+       exactly the fault [Netsim.Faults] injects.  The original
+       computation is already running and will answer under this
+       nonce; re-opening would orphan its challenges and double-send
+       answers.  Costs no token: the client did not ask twice. *)
+    t.stats.queries_duplicate <- t.stats.queries_duplicate + 1
+  else if not (Frontend.admit t.frontend ~client ~now:(now t)) then begin
+    t.stats.queries_throttled <- t.stats.queries_throttled + 1;
+    send_throttled t ~nonce ~sw ~port ~ip ~kind:query.Query.kind
+  end
+  else begin
+    let r = { r_nonce = nonce; r_client = client; r_sw = sw; r_port = port; r_ip = ip } in
+    let cfg = Frontend.config t.frontend in
+    let key = Frontend.key_of ~client ~sw ~port query in
+    if cfg.coalesce && try_join t key r then ()
+    else
+      match Frontend.submit t.frontend ~key ~client ~sw ~port query ~waiter:r with
+      | `Coalesced -> Hashtbl.replace t.queued_nonces nonce ()
+      | `Queued `Later -> Hashtbl.replace t.queued_nonces nonce ()
+      | `Queued `First ->
+        if cfg.batch_window > 0.0 then begin
+          Hashtbl.replace t.queued_nonces nonce ();
+          Netsim.Sim.schedule (Netsim.Net.sim t.net) ~delay:cfg.batch_window (fun () ->
+              flush_frontend t)
+        end
+        else
+          (* No settle tick: flush synchronously, exactly the
+             pre-frontend per-request behaviour. *)
+          flush_frontend t
+  end
+
+let inject_query t ~client ~nonce ~sw ~port ~ip query =
+  t.stats.queries_received <- t.stats.queries_received + 1;
+  accept_request t ~client ~nonce ~sw ~port ~ip query
 
 let handle_request t ~sw ~in_port ~header ~payload =
   t.stats.queries_received <- t.stats.queries_received + 1;
@@ -495,7 +703,7 @@ let handle_request t ~sw ~in_port ~header ~payload =
   | Error _ -> t.stats.queries_rejected <- t.stats.queries_rejected + 1
   | Ok request ->
     let requester_ip = Hspace.Header.get header Hspace.Field.Ip_src in
-    open_query t ~client:request.client ~nonce:request.nonce ~sw ~port:in_port
+    accept_request t ~client:request.client ~nonce:request.nonce ~sw ~port:in_port
       ~ip:requester_ip request.query
 
 let handle_auth_reply t ~sw ~in_port ~header ~payload =
@@ -574,8 +782,8 @@ let repair_intercepts t ~sw =
     (Wire.intercept_specs ())
 
 let create ?pool ?(cache_capacity = 4096) ?(retry = no_retry) ?sweep_deadline
-    ?(engine : Plumbing.engine = `Sweep) net monitor ~directory ~geo ~keypair
-    ~auth_timeout () =
+    ?(engine : Plumbing.engine = `Sweep) ?(frontend = Frontend.default_config) net
+    monitor ~directory ~geo ~keypair ~auth_timeout () =
   if retry.attempts < 1 then invalid_arg "Service.create: retry.attempts must be >= 1";
   if retry.base_delay < 0.0 then invalid_arg "Service.create: negative retry.base_delay";
   (match sweep_deadline with
@@ -596,6 +804,8 @@ let create ?pool ?(cache_capacity = 4096) ?(retry = no_retry) ?sweep_deadline
         {
           queries_received = 0;
           queries_rejected = 0;
+          queries_throttled = 0;
+          queries_duplicate = 0;
           auth_requests_sent = 0;
           auth_retransmissions = 0;
           auth_replies_accepted = 0;
@@ -609,6 +819,9 @@ let create ?pool ?(cache_capacity = 4096) ?(retry = no_retry) ?sweep_deadline
       rng = Support.Rng.split (Netsim.Sim.rng (Netsim.Net.sim net));
       pending = Hashtbl.create 16;
       open_queries = Hashtbl.create 16;
+      frontend = Frontend.create frontend;
+      coalesced = Hashtbl.create 16;
+      queued_nonces = Hashtbl.create 16;
       measurement = Cryptosim.Attest.measure ~code_identity;
       ctx =
         Verifier.context
@@ -662,6 +875,14 @@ let live t = t.live
 
 let open_query_count t = Hashtbl.length t.open_queries
 
+let pending_probe_count t = Hashtbl.length t.pending
+
+let frontend_stats t = Frontend.stats t.frontend
+
+let frontend_config t = Frontend.config t.frontend
+
+let coalesce_rate t = Frontend.coalesce_rate t.frontend
+
 let reinstall_intercepts t = install_intercepts t
 
 (* Re-drive an integrity query recovered from the journal: fresh
@@ -679,7 +900,14 @@ let reissue t (q : Journal.query_open) =
    leaked during the partition is rejected — and re-arms its finalize
    deadline. *)
 let retransmit_pending t =
-  let open_now = Hashtbl.fold (fun _ p acc -> p :: acc) t.open_queries [] in
+  (* Coalescing maps many nonces to one pending: dedupe by physical
+     identity so a shared computation retransmits (and re-arms) once,
+     not once per waiting requester. *)
+  let open_now =
+    Hashtbl.fold
+      (fun _ p acc -> if List.memq p acc then acc else p :: acc)
+      t.open_queries []
+  in
   List.iter
     (fun p ->
       if not p.finalized then

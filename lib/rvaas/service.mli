@@ -21,6 +21,14 @@
 type stats = {
   mutable queries_received : int;
   mutable queries_rejected : int;
+  mutable queries_throttled : int;
+      (** queries rejected by the front-end's per-client token bucket
+          before evaluation; the client got a signed throttle answer
+          ({!Query.answer.throttled}) instead *)
+  mutable queries_duplicate : int;
+      (** duplicated or replayed deliveries of an in-flight request
+          nonce (a fault {!Netsim.Faults} injects) — suppressed, the
+          original computation answers once *)
   mutable auth_requests_sent : int;
       (** auth-request transmissions, retransmissions included *)
   mutable auth_retransmissions : int;
@@ -78,14 +86,25 @@ type t
     into a {!Plumbing} graph maintained incrementally by the
     snapshot-change hook, answering steady-state questions by lookup
     (the reach cache and pool sweeps are bypassed).
+
+    [frontend] (default {!Frontend.default_config}: admit everything,
+    no coalescing, no settle tick — the historical behaviour) puts the
+    multi-tenant front-end in front of evaluation: per-client
+    token-bucket admission, coalescing of identical in-flight queries
+    under one computation (per-requester signed answers fanned out at
+    finalize), and per-injection-point batching of queries arriving
+    within one [batch_window].  Recovery re-issues ({!reissue}) bypass
+    it.  Works under both engines.
     @raise Invalid_argument on a retry policy with [attempts < 1], a
-    negative [base_delay], or [sweep_deadline <= 0]. *)
+    negative [base_delay], [sweep_deadline <= 0], or an invalid
+    front-end config (see {!Frontend.create}). *)
 val create :
   ?pool:Support.Pool.t ->
   ?cache_capacity:int ->
   ?retry:retry ->
   ?sweep_deadline:float ->
   ?engine:Plumbing.engine ->
+  ?frontend:Frontend.config ->
   Netsim.Net.t ->
   Monitor.t ->
   directory:Directory.t ->
@@ -154,6 +173,34 @@ val evaluate :
   port:int ->
   Query.t ->
   Query.answer * Verifier.endpoint list
+
+(** {1 Multi-tenant front-end} *)
+
+(** [frontend_stats t] exposes the admission/coalescing/batching
+    counters of the front-end configured at {!create} — the subject of
+    experiment E19. *)
+val frontend_stats : t -> Frontend.stats
+
+(** [frontend_config t] is the front-end configuration in effect. *)
+val frontend_config : t -> Frontend.config
+
+(** [coalesce_rate t] is the fraction of admitted queries absorbed by
+    an existing computation (see {!Frontend.coalesce_rate}). *)
+val coalesce_rate : t -> float
+
+(** [inject_query t ~client ~nonce ~sw ~port ~ip query] feeds a query
+    straight into the post-decode serving path (duplicate suppression,
+    admission, coalescing, batching, evaluation, probe round), exactly
+    as if a valid signed request had arrived in band at
+    [(sw, port)] from [ip].  The answer is still signed and sent as a
+    Packet-Out.  For tests and benchmarks that need to drive millions
+    of logical clients without paying per-request crypto. *)
+val inject_query :
+  t -> client:int -> nonce:string -> sw:int -> port:int -> ip:int -> Query.t -> unit
+
+(** [pending_probe_count t] counts outstanding auth challenges — 0
+    once every open query has finalized (no orphaned probes). *)
+val pending_probe_count : t -> int
 
 (** {1 Crash recovery}
 

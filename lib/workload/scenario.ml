@@ -17,6 +17,7 @@ type spec = {
   jurisdictions : string list;
   ha : Rvaas.Failover.config option;
   engine : Rvaas.Plumbing.engine;
+  frontend : Rvaas.Frontend.config;
 }
 
 let default_spec topo =
@@ -39,6 +40,7 @@ let default_spec topo =
     jurisdictions = [ "EU"; "US"; "CH" ];
     ha = None;
     engine = `Sweep;
+    frontend = Rvaas.Frontend.default_config;
   }
 
 type t = {
@@ -116,9 +118,9 @@ let build spec =
         ?conn ~polling:spec.polling ()
     in
     let service =
-      Rvaas.Service.create ~retry:spec.auth_retry ~engine:spec.engine net monitor
-        ~directory ~geo:geo_truth ~keypair:service_keypair
-        ~auth_timeout:spec.auth_timeout ()
+      Rvaas.Service.create ~retry:spec.auth_retry ~engine:spec.engine
+        ~frontend:spec.frontend net monitor ~directory ~geo:geo_truth
+        ~keypair:service_keypair ~auth_timeout:spec.auth_timeout ()
     in
     (monitor, service)
   in
@@ -130,9 +132,9 @@ let build spec =
           ~faults:spec.rvaas_faults ?poll_retry:spec.poll_retry ~polling:spec.polling ()
       in
       let service =
-        Rvaas.Service.create ~retry:spec.auth_retry ~engine:spec.engine net monitor
-          ~directory ~geo:geo_truth ~keypair:service_keypair
-          ~auth_timeout:spec.auth_timeout ()
+        Rvaas.Service.create ~retry:spec.auth_retry ~engine:spec.engine
+          ~frontend:spec.frontend net monitor ~directory ~geo:geo_truth
+          ~keypair:service_keypair ~auth_timeout:spec.auth_timeout ()
       in
       (monitor, service, None)
     | Some config ->

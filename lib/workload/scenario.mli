@@ -36,6 +36,10 @@ type spec = {
       (** the service's verification engine: per-query sweeps
           ([`Sweep], the default) or the compiled plumbing graph
           ([`Compiled]) maintained incrementally from monitor deltas *)
+  frontend : Rvaas.Frontend.config;
+      (** the service's multi-tenant front-end (admission, coalescing,
+          batching); {!Rvaas.Frontend.default_config} — everything
+          off — by default *)
 }
 
 (** [default_spec topo] — two clients, seed 42, randomized polling with

@@ -71,6 +71,41 @@ let test_delta_eviction_unit () =
   let stats = Rvaas.Reach_cache.stats cache in
   check Alcotest.int "delta eviction counted" 1 stats.Rvaas.Reach_cache.delta_evictions
 
+(* Regression: delta invalidation used to leave every evicted key in
+   the second-chance ring forever — under a delta-heavy workload that
+   never hits capacity the ring grew without bound (one dead key per
+   add/invalidate cycle).  The purge must keep it within ~2x the live
+   table across 10k cycles. *)
+let test_clock_queue_bounded () =
+  let cache = Rvaas.Reach_cache.create ~capacity:4096 () in
+  let snapshot = Rvaas.Snapshot.create () in
+  (* A few long-lived entries that never get invalidated (they traverse
+     only switch 999) — the purge must preserve them. *)
+  for i = 100_000 to 100_003 do
+    Rvaas.Reach_cache.add cache (key_of i) ~snapshot (fake_result [ 999 ])
+  done;
+  for i = 0 to 9_999 do
+    Rvaas.Reach_cache.add cache (key_of i) ~snapshot (fake_result [ 0 ]);
+    (* The empty snapshot digests switch 0 as 0L; any other digest
+       marks the entry stale and evicts it from the table. *)
+    Rvaas.Reach_cache.invalidate_switch cache ~sw:0 ~digest:(Int64.of_int (i + 1))
+  done;
+  let live = Rvaas.Reach_cache.length cache in
+  check Alcotest.int "only the long-lived entries remain" 4 live;
+  check Alcotest.bool
+    (Printf.sprintf "clock ring bounded (%d <= %d)"
+       (Rvaas.Reach_cache.clock_length cache)
+       ((2 * live) + 16))
+    true
+    (Rvaas.Reach_cache.clock_length cache <= (2 * live) + 16);
+  let stats = Rvaas.Reach_cache.stats cache in
+  check Alcotest.bool "purge actually ran" true (stats.Rvaas.Reach_cache.clock_purged > 0);
+  (* Long-lived entries survived the purges. *)
+  for i = 100_000 to 100_003 do
+    check Alcotest.bool "long-lived entry still cached" true
+      (Rvaas.Reach_cache.find cache (key_of i) <> None)
+  done
+
 (* ---- system level: Flow-Mod on one switch, queries on others ---- *)
 
 let build topo =
@@ -171,6 +206,7 @@ let () =
         [
           Alcotest.test_case "second-chance eviction" `Quick test_second_chance_eviction;
           Alcotest.test_case "delta eviction (unit)" `Quick test_delta_eviction_unit;
+          Alcotest.test_case "clock queue stays bounded" `Quick test_clock_queue_bounded;
           Alcotest.test_case "delta invalidation end-to-end" `Quick
             test_delta_invalidation_end_to_end;
         ] );

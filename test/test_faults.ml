@@ -153,6 +153,36 @@ let test_service_duplicate_reply_dedup () =
     check Alcotest.bool "duplicates tallied" true
       (svc.auth_replies_duplicate + svc.auth_replies_rejected >= 1)
 
+(* Regression (duplicate request replay): a duplicated {e request}
+   packet used to re-open the query — the replay's pending replaced the
+   original in [open_queries], the original finalized and removed the
+   replay's entry, and the replay then answered a second time against
+   an empty auth round (wrong verdict, duplicated signed answers).  A
+   nonce already in flight must be treated as duplicate delivery:
+   counted, never reopened, exactly one answer. *)
+let test_service_duplicate_request_replay () =
+  let topo = Workload.Topogen.linear p 4 in
+  let s =
+    Workload.Scenario.build
+      (spec_with topo (fun d ->
+           { d with rvaas_faults = Netsim.Faults.make ~dup_prob:1.0 () }))
+  in
+  match isolation_outcome s with
+  | None -> Alcotest.fail "no answer"
+  | Some o ->
+    let a = o.Rvaas.Client_agent.answer in
+    let svc = Rvaas.Service.stats s.service in
+    (* Let any straggler (a second finalize, were one pending) land. *)
+    Workload.Scenario.run s ~until:(Netsim.Sim.now (Netsim.Net.sim s.net) +. 0.5);
+    check Alcotest.bool "not degraded" false a.Rvaas.Query.degraded;
+    check Alcotest.bool "replayed request observed" true
+      (svc.queries_duplicate >= 1);
+    check Alcotest.int "exactly one signed answer" 1 svc.answers_sent;
+    check Alcotest.int "no orphaned open query" 0
+      (Rvaas.Service.open_query_count s.service);
+    check Alcotest.int "no orphaned pending state" 0
+      (Rvaas.Service.pending_probe_count s.service)
+
 (* A muted (uncooperative) client leaves the quorum incomplete: the
    answer must say so instead of looking clean. *)
 let test_service_degraded_flag () =
@@ -420,6 +450,8 @@ let () =
           Alcotest.test_case "retransmit + dedup" `Quick test_service_retransmit_dedup;
           Alcotest.test_case "duplicate replies deduped" `Quick
             test_service_duplicate_reply_dedup;
+          Alcotest.test_case "duplicate request not reopened" `Quick
+            test_service_duplicate_request_replay;
           Alcotest.test_case "degraded flag" `Quick test_service_degraded_flag;
           Alcotest.test_case "retry stack recovers under loss" `Quick
             test_retry_stack_recovers_under_loss;

@@ -154,6 +154,7 @@ let sample_answer =
     meters = [ (5, 100) ];
     transfer = [ (1, 2, Rvaas.Verifier.dst_ip_hs 99) ];
     snapshot_age = 0.25;
+    throttled = false;
   }
 
 let test_codec_answer_roundtrip () =
@@ -321,11 +322,12 @@ let answer_gen =
         (List.sort_uniq (fun (k, _) (k', _) -> compare k k') cells)
     in
     let* age_ns = int_range 0 1_000_000_000 in
+    let* throttled = bool in
     return
       {
         Rvaas.Query.nonce; kind; endpoints; total_auth_requests; auth_replies;
         auth_attempts; degraded; jurisdictions; path_hops; meters; transfer;
-        snapshot_age = float_of_int age_ns /. 1e6;
+        snapshot_age = float_of_int age_ns /. 1e6; throttled;
       })
 
 let answer_equal (a : Rvaas.Query.answer) (b : Rvaas.Query.answer) =
@@ -334,6 +336,7 @@ let answer_equal (a : Rvaas.Query.answer) (b : Rvaas.Query.answer) =
   && a.auth_replies = b.auth_replies
   && a.auth_attempts = b.auth_attempts
   && a.degraded = b.degraded
+  && a.throttled = b.throttled
   && a.jurisdictions = b.jurisdictions
   && a.path_hops = b.path_hops && a.meters = b.meters
   && List.length a.transfer = List.length b.transfer
