@@ -87,6 +87,15 @@ let batch_window_arg =
            together and batched per injection point (0 = flush \
            immediately, no batching).")
 
+let subsume_arg =
+  Arg.(
+    value & flag
+    & info [ "subsume" ]
+        ~doc:
+          "Attach scope-contained reachability queries to a broader queued \
+           or in-flight computation as slices (implies $(b,--coalesce)); \
+           each still receives its own signed answer.")
+
 let limits_conv : Rvaas.Frontend.limits Arg.conv =
   let parse s =
     match String.split_on_char ':' s with
@@ -111,12 +120,13 @@ let limits_arg =
            to BURST; over-budget clients receive a signed throttle answer.")
 
 let frontend_term =
-  let make coalesce batch_window limits =
-    if coalesce || batch_window > 0.0 || limits <> None then
-      { Rvaas.Frontend.limits; coalesce; batch_window }
+  let make coalesce subsume batch_window limits =
+    if coalesce || subsume || batch_window > 0.0 || limits <> None then
+      { Rvaas.Frontend.limits; coalesce = coalesce || subsume; batch_window; subsume }
     else Rvaas.Frontend.default_config
   in
-  Cmdliner.Term.(const make $ coalesce_arg $ batch_window_arg $ limits_arg)
+  Cmdliner.Term.(
+    const make $ coalesce_arg $ subsume_arg $ batch_window_arg $ limits_arg)
 
 let make_topo kind size =
   let p = Workload.Topogen.default_params in

@@ -208,7 +208,27 @@ let complement t = diff (full t.width) t
 
 let mem concrete t = List.exists (fun c -> Tern.mem concrete c) t.cubes
 
-let subset a b = is_empty (diff a b)
+let subset a b =
+  check_width "Hs.subset" a b;
+  if is_empty a then true
+  else if is_empty b then false
+  else if is_full b then true
+  else if not (Tern.subset a.bound b.bound) then
+    (* a ⊆ b forces bound(a) ⊆ bound(b): the bound is the smallest
+       single cube covering its set, and bound(b) covers b ⊇ a. *)
+    false
+  else if List.exists (fun cb -> Tern.subset a.bound cb) b.cubes then
+    (* One cube of b swallows a's whole bounding cube: containment
+       without materialising the diff. *)
+    true
+  else
+    (* Per-cube pre-pass: a cube inside some single cube of b needs no
+       diff; only the stragglers pay the cube-by-cube subtraction. *)
+    List.for_all
+      (fun ca ->
+        List.exists (fun cb -> Tern.subset ca cb) b.cubes
+        || List.fold_left diff_cube_list [ ca ] b.cubes = [])
+      a.cubes
 
 let equal a b = subset a b && subset b a
 

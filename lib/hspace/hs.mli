@@ -84,7 +84,11 @@ val complement : t -> t
 (** [mem concrete t] is true when concrete vector [concrete] is in [t]. *)
 val mem : Tern.t -> t -> bool
 
-(** [subset a b] is true when [a] denotes a subset of [b]. *)
+(** [subset a b] is true when [a] denotes a subset of [b].  Cheap on
+    normalised ({!Builder}) output: non-containing bounding cubes
+    reject without a diff, a single cube of [b] covering [a]'s bound
+    accepts without one, and only cubes of [a] no single cube of [b]
+    subsumes pay the cube-by-cube subtraction. *)
 val subset : t -> t -> bool
 
 (** [equal a b] is semantic equality (mutual subset). *)

@@ -59,6 +59,7 @@ type stats = {
   mutable updates : int;
   mutable stale_sources : int;
   mutable recompiles : int;
+  mutable pool_warms : int;
 }
 
 (* A precomputed source: the full-space propagation from one injection
@@ -454,6 +455,7 @@ let compile ?pool ?churn_threshold ?(boundary = fun _ -> true) ~flows_of topo =
           updates = 0;
           stale_sources = 0;
           recompiles = 0;
+          pool_warms = 0;
         };
     }
   in
@@ -498,6 +500,7 @@ let warm ?pool t ~points =
     t.stats.source_compiles <- t.stats.source_compiles + 1;
     Hashtbl.replace t.sources key s
   in
+  if todo <> [] then t.stats.pool_warms <- t.stats.pool_warms + 1;
   match pool with
   | Some p when Support.Pool.size p > 1 && List.length todo > 1 ->
     (* [compile_source] is pure over [t]'s tables; installs and stats

@@ -50,6 +50,9 @@ type stats = {
       (** precomputed sources re-derived because a traversed switch's
           version moved *)
   mutable recompiles : int;  (** churn-threshold full recompiles *)
+  mutable pool_warms : int;
+      (** {!warm} invocations that found >= 1 cold or stale source —
+          the cross-source pooling the front-end seeds per flush *)
 }
 
 (** [compile ?pool ?churn_threshold ?boundary ~flows_of topo] builds
@@ -86,8 +89,10 @@ val update : t -> sw:int -> unit
 
 (** [warm ?pool t ~points] precompiles (or refreshes) the sources for
     the given [(switch, port)] injection points — typically every
-    access point — so later queries are pure lookups.  With [pool],
-    source propagation is partitioned across workers. *)
+    access point, or the injection points of one front-end flush —
+    so later queries are pure lookups.  With [pool], source
+    propagation is partitioned across workers.  Counted in
+    [stats.pool_warms] when at least one source needed compiling. *)
 val warm : ?pool:Support.Pool.t -> t -> points:(int * int) list -> unit
 
 val stats : t -> stats

@@ -41,6 +41,26 @@ type requester = {
   r_ip : int;
 }
 
+(* A narrower query riding a broader computation: its endpoints are
+   the subset of the subsumer's probes whose arrival space overlaps
+   the slice scope, its answer sliced out at the shared finalize. *)
+type slice_pending = {
+  sp_query : Query.t;  (* the sliced query, journalled for re-issue *)
+  sp_base : Query.answer;
+  sp_targets : Verifier.endpoint list;  (* subset of the subsumer's *)
+  mutable sp_waiters : requester list;  (* newest first *)
+}
+
+(* What makes an in-flight computation joinable by narrower queries:
+   its injection point, the effective scope it evaluated, and the
+   arrival space per endpoint (exact — rewrite-tainted results are
+   never indexed). *)
+type cover = {
+  c_point : int * int;
+  c_scope : Hspace.Hs.t;
+  c_arrivals : (Verifier.endpoint * Hspace.Hs.t) list;
+}
+
 type pending = {
   key : Frontend.key option;
       (* coalescing key while this computation is in flight; [Some]
@@ -50,6 +70,9 @@ type pending = {
   query : Query.t;  (** the parsed query, journalled for re-issue *)
   probes : probe list;
   mutable requesters : requester list;  (* newest first *)
+  mutable slices : slice_pending list;  (* newest first *)
+  cover : cover option;
+      (* [Some] iff indexed in [t.subsumable] for in-flight joins *)
   mutable finalized : bool;
       (* an early finalize (full quorum) races the scheduled one *)
   mutable deadline_at : float;
@@ -85,6 +108,10 @@ type t = {
   coalesced : (Frontend.key, pending) Hashtbl.t;
       (* in-flight computations by coalescing key: a query identical
          to one already evaluating joins it as an extra requester *)
+  subsumable : (int * int, pending list ref) Hashtbl.t;
+      (* in-flight [Reachable_endpoints] computations by injection
+         point whose arrival spaces are exact (untainted): a narrower
+         query at the same point joins one as a slice waiter *)
   queued_nonces : (string, unit) Hashtbl.t;
       (* nonces waiting in the front-end queue (batch_window > 0),
          not yet in [open_queries] — consulted by the duplicate-
@@ -360,10 +387,11 @@ let packet_out t ~sw ~port header payload =
   Netsim.Net.send t.net (Monitor.conn t.monitor) ~sw
     (Ofproto.Message.Packet_out { port; header; payload })
 
-(* The shared (requester-independent) part of a coalesced pending's
-   answer — built once per computation, then re-nonced, re-signed and
-   fanned out to every requester. *)
-let answer_template (p : pending) =
+(* The shared (requester-independent) part of an answer over a probe
+   subset — built once per computation (or per slice, over the slice's
+   targets), then re-nonced, re-signed and fanned out to every
+   requester. *)
+let answer_of ~(base : Query.answer) probes =
   let endpoints =
     List.map
       (fun probe ->
@@ -374,17 +402,19 @@ let answer_template (p : pending) =
           authenticated = probe.seen_authenticated;
           client = probe.seen_client;
         })
-      p.probes
+      probes
   in
-  let replies = List.length (List.filter (fun pr -> pr.seen_authenticated) p.probes) in
+  let replies = List.length (List.filter (fun pr -> pr.seen_authenticated) probes) in
   {
-    p.base with
+    base with
     Query.endpoints;
-    total_auth_requests = List.length p.probes;
+    total_auth_requests = List.length probes;
     auth_replies = replies;
-    auth_attempts = List.fold_left (fun acc pr -> acc + pr.attempts_made) 0 p.probes;
-    degraded = replies < List.length p.probes;
+    auth_attempts = List.fold_left (fun acc pr -> acc + pr.attempts_made) 0 probes;
+    degraded = replies < List.length probes;
   }
+
+let answer_template (p : pending) = answer_of ~base:p.base p.probes
 
 let send_answer t answer (r : requester) =
   let payload = Codec.encode_answer answer ~signer:t.keypair in
@@ -400,6 +430,18 @@ let journal_record t record =
   | None -> ()
   | Some j -> Journal.append j ~at:(now t) ~snapshot:(Monitor.snapshot t.monitor) record
 
+(* Remove a finalized (or torn-down) computation from the in-flight
+   subsumption index. *)
+let drop_cover t (p : pending) =
+  match p.cover with
+  | None -> ()
+  | Some c -> (
+    match Hashtbl.find_opt t.subsumable c.c_point with
+    | Some cell ->
+      cell := List.filter (fun q -> q != p) !cell;
+      if !cell = [] then Hashtbl.remove t.subsumable c.c_point
+    | None -> ())
+
 let finalize t (p : pending) =
   if t.live && not p.finalized then
     if not (Netsim.Net.conn_up (Monitor.conn t.monitor)) then
@@ -411,6 +453,7 @@ let finalize t (p : pending) =
     else begin
       p.finalized <- true;
       List.iter (fun probe -> Hashtbl.remove t.pending probe.challenge) p.probes;
+      drop_cover t p;
       (match p.key with
       | Some k -> (
         (* Only drop the coalescing slot if it is still ours — a
@@ -419,18 +462,29 @@ let finalize t (p : pending) =
         | Some q when q == p -> Hashtbl.remove t.coalesced k
         | _ -> ())
       | None -> ());
+      let answer_out template (r : requester) =
+        (* Guarded removal: never evict a nonce that a newer pending
+           owns (the duplicate-replay corruption this fan-out
+           replaced). *)
+        (match Hashtbl.find_opt t.open_queries r.r_nonce with
+        | Some q when q == p -> Hashtbl.remove t.open_queries r.r_nonce
+        | _ -> ());
+        send_answer t { template with Query.nonce = r.r_nonce } r;
+        journal_record t (Journal.Query_closed { nonce = r.r_nonce })
+      in
       let template = answer_template p in
+      List.iter (answer_out template) (List.rev p.requesters);
+      (* Slice fan-out: each riding query's answer is the subsumer's
+         probe results restricted to the slice's own targets, under the
+         slice's own logical base. *)
       List.iter
-        (fun r ->
-          (* Guarded removal: never evict a nonce that a newer pending
-             owns (the duplicate-replay corruption this fan-out
-             replaced). *)
-          (match Hashtbl.find_opt t.open_queries r.r_nonce with
-          | Some q when q == p -> Hashtbl.remove t.open_queries r.r_nonce
-          | _ -> ());
-          send_answer t { template with Query.nonce = r.r_nonce } r;
-          journal_record t (Journal.Query_closed { nonce = r.r_nonce }))
-        (List.rev p.requesters)
+        (fun sp ->
+          let probes =
+            List.filter (fun pr -> List.mem pr.target sp.sp_targets) p.probes
+          in
+          let template = answer_of ~base:sp.sp_base probes in
+          List.iter (answer_out template) (List.rev sp.sp_waiters))
+        (List.rev p.slices)
     end
 
 let quorum_complete (p : pending) =
@@ -494,9 +548,18 @@ let supersede t nonce =
   | Some old ->
     old.requesters <-
       List.filter (fun r -> not (String.equal r.r_nonce nonce)) old.requesters;
-    if old.requesters = [] then begin
+    List.iter
+      (fun sp ->
+        sp.sp_waiters <-
+          List.filter
+            (fun (r : requester) -> not (String.equal r.r_nonce nonce))
+            sp.sp_waiters)
+      old.slices;
+    old.slices <- List.filter (fun sp -> sp.sp_waiters <> []) old.slices;
+    if old.requesters = [] && old.slices = [] then begin
       old.finalized <- true;
       List.iter (fun probe -> Hashtbl.remove t.pending probe.challenge) old.probes;
+      drop_cover t old;
       match old.key with
       | Some k -> (
         match Hashtbl.find_opt t.coalesced k with
@@ -506,8 +569,10 @@ let supersede t nonce =
     end
 
 (* Open one computation for [requesters] (already evaluated to [base]
-   + probe [targets]) and drive its auth-probe round. *)
-let open_with t ~key ~query ~base ~targets ~requesters =
+   + probe [targets]) — plus any [slices] riding it — and drive its
+   auth-probe round.  A [cover] indexes the computation in
+   [t.subsumable] so later narrower queries can join it in flight. *)
+let open_with t ~key ~query ~base ~targets ?(slices = []) ?cover ~requesters () =
   let probes =
     List.map
       (fun target ->
@@ -522,24 +587,52 @@ let open_with t ~key ~query ~base ~targets ~requesters =
       targets
   in
   let p =
-    { key; base; query; probes; requesters; finalized = false; deadline_at = 0.0 }
+    {
+      key;
+      base;
+      query;
+      probes;
+      requesters;
+      slices;
+      cover;
+      finalized = false;
+      deadline_at = 0.0;
+    }
   in
+  let register query (r : requester) =
+    supersede t r.r_nonce;
+    Hashtbl.replace t.open_queries r.r_nonce p;
+    journal_record t
+      (Journal.Query_opened
+         {
+           q_nonce = r.r_nonce;
+           q_client = r.r_client;
+           q_sw = r.r_sw;
+           q_port = r.r_port;
+           q_ip = Some r.r_ip;
+           q_query = query;
+         })
+  in
+  List.iter (register query) (List.rev requesters);
+  (* Slice waiters journal their own (narrower) query: a recovering
+     standby re-issues the question the client actually asked, not the
+     broader computation it happened to ride. *)
   List.iter
-    (fun r ->
-      supersede t r.r_nonce;
-      Hashtbl.replace t.open_queries r.r_nonce p;
-      journal_record t
-        (Journal.Query_opened
-           {
-             q_nonce = r.r_nonce;
-             q_client = r.r_client;
-             q_sw = r.r_sw;
-             q_port = r.r_port;
-             q_ip = Some r.r_ip;
-             q_query = query;
-           }))
-    (List.rev requesters);
+    (fun sp -> List.iter (register sp.sp_query) (List.rev sp.sp_waiters))
+    (List.rev slices);
   (match key with Some k -> Hashtbl.replace t.coalesced k p | None -> ());
+  (match cover with
+  | Some c ->
+    let cell =
+      match Hashtbl.find_opt t.subsumable c.c_point with
+      | Some cell -> cell
+      | None ->
+        let cell = ref [] in
+        Hashtbl.replace t.subsumable c.c_point cell;
+        cell
+    in
+    cell := p :: !cell
+  | None -> ());
   if probes = [] then finalize t p
   else begin
     List.iter (fun probe -> Hashtbl.replace t.pending probe.challenge p) probes;
@@ -553,13 +646,7 @@ let open_query t ~client ~nonce ~sw ~port ~ip query =
   let base, targets = evaluate t ~client ~sw ~port query in
   open_with t ~key:None ~query ~base ~targets
     ~requesters:[ { r_nonce = nonce; r_client = client; r_sw = sw; r_port = port; r_ip = ip } ]
-
-(* A flushed front-end entry: one evaluation with the leader's
-   coordinates, answers fanned out to every attached waiter. *)
-let open_entry t (e : requester Frontend.entry) =
-  let base, targets = evaluate t ~client:e.e_client ~sw:e.e_sw ~port:e.e_port e.e_query in
-  let key = if (Frontend.config t.frontend).coalesce then Some e.e_key else None in
-  open_with t ~key ~query:e.e_query ~base ~targets ~requesters:e.e_waiters
+    ()
 
 (* A rewrite anywhere on the swept region makes the union split
    unsound: arrival spaces of the pooled sweep may mix headers that
@@ -576,6 +663,80 @@ let union_tainted t (r : Verifier.reach_result) =
         (Snapshot.flows snapshot ~sw))
     r.Verifier.traversed
 
+(* Open a [Reachable_endpoints] computation whose arrival spaces are
+   in hand, together with the slices riding it.  Untainted results are
+   indexed ([cover]) for in-flight subsumption.  A rewrite on the
+   region makes the slice intersection unsound, so — mirroring
+   [open_batch]'s fallback — the subsumer still answers its own
+   waiters exactly while every slice re-runs as its own per-query
+   computation. *)
+let open_reach t ~key ~(query : Query.t) ~sw ~port ~scope ~arrivals ~tainted
+    ~(requesters : requester list) ~(slices : requester Frontend.slice list) =
+  let base = empty_answer t ~nonce:(fresh_hex t) ~kind:query.Query.kind in
+  let targets = List.map fst arrivals in
+  if tainted && slices <> [] then begin
+    Frontend.note_slice_fallback t.frontend (List.length slices);
+    open_with t ~key ~query ~base ~targets ~requesters ();
+    List.iter
+      (fun (sl : requester Frontend.slice) ->
+        match sl.Frontend.sl_waiters with
+        | [] -> ()
+        | lead :: _ ->
+          let b, tg =
+            evaluate t ~client:lead.r_client ~sw ~port sl.Frontend.sl_query
+          in
+          open_with t ~key:None ~query:sl.Frontend.sl_query ~base:b ~targets:tg
+            ~requesters:sl.Frontend.sl_waiters ())
+      slices
+  end
+  else begin
+    let slices =
+      List.map
+        (fun (sl : requester Frontend.slice) ->
+          {
+            sp_query = sl.Frontend.sl_query;
+            sp_base =
+              empty_answer t ~nonce:(fresh_hex t)
+                ~kind:sl.Frontend.sl_query.Query.kind;
+            sp_targets =
+              List.filter_map
+                (fun (ep, arrival) ->
+                  if Hspace.Hs.overlaps arrival sl.Frontend.sl_scope then Some ep
+                  else None)
+                arrivals;
+            sp_waiters = sl.Frontend.sl_waiters;
+          })
+        slices
+    in
+    let cover =
+      if tainted then None
+      else Some { c_point = (sw, port); c_scope = scope; c_arrivals = arrivals }
+    in
+    open_with t ~key ~query ~base ~targets ~slices ?cover ~requesters ()
+  end
+
+(* A flushed front-end entry: one evaluation with the leader's
+   coordinates, answers fanned out to every attached waiter.  With
+   subsumption on, [Reachable_endpoints] evaluates through [reach]
+   directly so the arrival spaces are in hand for the entry's slices
+   and the in-flight index — same [base], same [targets], byte for
+   byte, as the [evaluate] path it bypasses. *)
+let open_entry t (e : requester Frontend.entry) =
+  let cfg = Frontend.config t.frontend in
+  let key = if cfg.coalesce then Some e.e_key else None in
+  match e.e_query.Query.kind with
+  | Query.Reachable_endpoints when cfg.subsume ->
+    let scope = effective_scope e.e_query.Query.scope in
+    let r = reach t ~src_sw:e.e_sw ~src_port:e.e_port ~hs:scope in
+    open_reach t ~key ~query:e.e_query ~sw:e.e_sw ~port:e.e_port ~scope
+      ~arrivals:r.Verifier.endpoints ~tainted:(union_tainted t r)
+      ~requesters:e.e_waiters ~slices:e.e_slices
+  | _ ->
+    let base, targets =
+      evaluate t ~client:e.e_client ~sw:e.e_sw ~port:e.e_port e.e_query
+    in
+    open_with t ~key ~query:e.e_query ~base ~targets ~requesters:e.e_waiters ()
+
 (* A batch of [Reachable_endpoints] entries sharing one injection
    point: union the scopes, run one sweep over the union, split the
    arrival spaces back per member.  Exact absent rewrites — forward
@@ -586,6 +747,7 @@ let open_batch t (es : requester Frontend.entry list) =
   match es with
   | [] -> ()
   | (first : requester Frontend.entry) :: _ ->
+    let cfg = Frontend.config t.frontend in
     let scopes =
       List.map
         (fun (e : requester Frontend.entry) -> effective_scope e.e_query.Query.scope)
@@ -604,28 +766,63 @@ let open_batch t (es : requester Frontend.entry list) =
     else
       List.iter2
         (fun (e : requester Frontend.entry) scope ->
-          let targets =
-            List.filter_map
-              (fun ((ep : Verifier.endpoint), arrival) ->
-                if Hspace.Hs.overlaps arrival scope then Some ep else None)
-              r.Verifier.endpoints
-          in
-          let base = empty_answer t ~nonce:(fresh_hex t) ~kind:e.e_query.Query.kind in
-          let key =
-            if (Frontend.config t.frontend).coalesce then Some e.e_key else None
-          in
-          open_with t ~key ~query:e.e_query ~base ~targets ~requesters:e.e_waiters)
+          let key = if cfg.coalesce then Some e.e_key else None in
+          if cfg.subsume then
+            (* Per-member arrival spaces by intersection — same
+               endpoint set as the [overlaps] filter, but exact
+               arrivals to feed this member's slices and the
+               in-flight subsumption index. *)
+            let arrivals =
+              List.filter_map
+                (fun ((ep : Verifier.endpoint), arrival) ->
+                  let i = Hspace.Hs.inter arrival scope in
+                  if Hspace.Hs.is_empty i then None else Some (ep, i))
+                r.Verifier.endpoints
+            in
+            open_reach t ~key ~query:e.e_query ~sw:e.e_sw ~port:e.e_port ~scope
+              ~arrivals ~tainted:false ~requesters:e.e_waiters
+              ~slices:e.e_slices
+          else
+            let targets =
+              List.filter_map
+                (fun ((ep : Verifier.endpoint), arrival) ->
+                  if Hspace.Hs.overlaps arrival scope then Some ep else None)
+                r.Verifier.endpoints
+            in
+            let base =
+              empty_answer t ~nonce:(fresh_hex t) ~kind:e.e_query.Query.kind
+            in
+            open_with t ~key ~query:e.e_query ~base ~targets
+              ~requesters:e.e_waiters ())
         es scopes
 
 let flush_frontend t =
   if t.live then begin
     Hashtbl.reset t.queued_nonces;
+    let groups = Frontend.flush t.frontend in
+    (* Cross-source pooling: one pooled warm over every injection
+       point this flush evaluates, so cold compiled sources derive in
+       parallel across the worker pool instead of sequentially as
+       each group opens. *)
+    (match t.plumbing with
+    | Some plumbing ->
+      let points =
+        List.sort_uniq compare
+          (List.concat_map
+             (List.filter_map (fun (e : requester Frontend.entry) ->
+                  match e.e_query.Query.kind with
+                  | Query.Reachable_endpoints -> Some (e.e_sw, e.e_port)
+                  | _ -> None))
+             groups)
+      in
+      if List.length points > 1 then Plumbing.warm ~pool:t.pool plumbing ~points
+    | None -> ());
     List.iter
       (function
         | [] -> ()
         | [ e ] -> open_entry t e
         | es -> open_batch t es)
-      (Frontend.flush t.frontend)
+      groups
   end
 
 (* Join an in-flight computation: the new requester rides the probes
@@ -648,6 +845,54 @@ let try_join t key (r : requester) =
     Frontend.note_coalesced t.frontend;
     true
   | _ -> false
+
+(* Ride an in-flight broader computation at the same injection point:
+   the narrower query becomes a slice answered at the shared finalize,
+   costing no evaluation and no probes of its own. *)
+let try_subsume t ~sw ~port ~scope query (r : requester) =
+  match Hashtbl.find_opt t.subsumable (sw, port) with
+  | None -> false
+  | Some cell -> (
+    match
+      List.find_opt
+        (fun p ->
+          (not p.finalized)
+          &&
+          match p.cover with
+          | Some c -> Hspace.Hs.subset scope c.c_scope
+          | None -> false)
+        !cell
+    with
+    | None -> false
+    | Some p ->
+      let c = Option.get p.cover in
+      let targets =
+        List.filter_map
+          (fun (ep, arrival) ->
+            if Hspace.Hs.overlaps arrival scope then Some ep else None)
+          c.c_arrivals
+      in
+      p.slices <-
+        {
+          sp_query = query;
+          sp_base = empty_answer t ~nonce:(fresh_hex t) ~kind:query.Query.kind;
+          sp_targets = targets;
+          sp_waiters = [ r ];
+        }
+        :: p.slices;
+      Hashtbl.replace t.open_queries r.r_nonce p;
+      journal_record t
+        (Journal.Query_opened
+           {
+             q_nonce = r.r_nonce;
+             q_client = r.r_client;
+             q_sw = r.r_sw;
+             q_port = r.r_port;
+             q_ip = Some r.r_ip;
+             q_query = query;
+           });
+      Frontend.note_subsumed t.frontend;
+      true)
 
 let send_throttled t ~nonce ~sw ~port ~ip ~kind =
   let answer = { (empty_answer t ~nonce ~kind) with Query.throttled = true } in
@@ -674,20 +919,35 @@ let accept_request t ~client ~nonce ~sw ~port ~ip (query : Query.t) =
     let cfg = Frontend.config t.frontend in
     let key = Frontend.key_of ~client ~sw ~port query in
     if cfg.coalesce && try_join t key r then ()
-    else
-      match Frontend.submit t.frontend ~key ~client ~sw ~port query ~waiter:r with
-      | `Coalesced -> Hashtbl.replace t.queued_nonces nonce ()
-      | `Queued `Later -> Hashtbl.replace t.queued_nonces nonce ()
-      | `Queued `First ->
-        if cfg.batch_window > 0.0 then begin
-          Hashtbl.replace t.queued_nonces nonce ();
-          Netsim.Sim.schedule (Netsim.Net.sim t.net) ~delay:cfg.batch_window (fun () ->
-              flush_frontend t)
-        end
-        else
-          (* No settle tick: flush synchronously, exactly the
-             pre-frontend per-request behaviour. *)
-          flush_frontend t
+    else begin
+      (* Subsumption works on the effective scope the evaluation would
+         run — computed here only for the batchable kind, only when
+         the policy is on. *)
+      let scope =
+        match query.Query.kind with
+        | Query.Reachable_endpoints when cfg.subsume ->
+          Some (effective_scope query.Query.scope)
+        | _ -> None
+      in
+      match scope with
+      | Some s when try_subsume t ~sw ~port ~scope:s query r -> ()
+      | _ -> (
+        match
+          Frontend.submit t.frontend ~key ?scope ~client ~sw ~port query ~waiter:r
+        with
+        | `Coalesced | `Subsumed | `Queued `Later ->
+          Hashtbl.replace t.queued_nonces nonce ()
+        | `Queued `First ->
+          if cfg.batch_window > 0.0 then begin
+            Hashtbl.replace t.queued_nonces nonce ();
+            Netsim.Sim.schedule (Netsim.Net.sim t.net) ~delay:cfg.batch_window
+              (fun () -> flush_frontend t)
+          end
+          else
+            (* No settle tick: flush synchronously, exactly the
+               pre-frontend per-request behaviour. *)
+            flush_frontend t)
+    end
   end
 
 let inject_query t ~client ~nonce ~sw ~port ~ip query =
@@ -821,6 +1081,7 @@ let create ?pool ?(cache_capacity = 4096) ?(retry = no_retry) ?sweep_deadline
       open_queries = Hashtbl.create 16;
       frontend = Frontend.create frontend;
       coalesced = Hashtbl.create 16;
+      subsumable = Hashtbl.create 16;
       queued_nonces = Hashtbl.create 16;
       measurement = Cryptosim.Attest.measure ~code_identity;
       ctx =
@@ -882,6 +1143,8 @@ let frontend_stats t = Frontend.stats t.frontend
 let frontend_config t = Frontend.config t.frontend
 
 let coalesce_rate t = Frontend.coalesce_rate t.frontend
+
+let subsume_rate t = Frontend.subsume_rate t.frontend
 
 let reinstall_intercepts t = install_intercepts t
 

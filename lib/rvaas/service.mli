@@ -92,9 +92,17 @@ type t
     multi-tenant front-end in front of evaluation: per-client
     token-bucket admission, coalescing of identical in-flight queries
     under one computation (per-requester signed answers fanned out at
-    finalize), and per-injection-point batching of queries arriving
-    within one [batch_window].  Recovery re-issues ({!reissue}) bypass
-    it.  Works under both engines.
+    finalize), per-injection-point batching of queries arriving within
+    one [batch_window], and — with [frontend.subsume] — semantic
+    subsumption: a [Reachable_endpoints] query whose effective scope
+    is contained in a queued or in-flight computation at the same
+    injection point rides it as a slice, its answer cut out of the
+    subsumer's arrival spaces at the shared finalize (rewrite-tainted
+    regions fall back to per-query evaluation).  Under [`Compiled],
+    each flush additionally seeds one pooled {!Plumbing.warm} over
+    every injection point it spans, so cold sources compile across
+    the worker pool instead of sequentially.  Recovery re-issues
+    ({!reissue}) bypass it.  Works under both engines.
     @raise Invalid_argument on a retry policy with [attempts < 1], a
     negative [base_delay], [sweep_deadline <= 0], or an invalid
     front-end config (see {!Frontend.create}). *)
@@ -176,9 +184,9 @@ val evaluate :
 
 (** {1 Multi-tenant front-end} *)
 
-(** [frontend_stats t] exposes the admission/coalescing/batching
-    counters of the front-end configured at {!create} — the subject of
-    experiment E19. *)
+(** [frontend_stats t] exposes the admission/coalescing/subsumption/
+    batching counters of the front-end configured at {!create} — the
+    subject of experiments E19 and E20. *)
 val frontend_stats : t -> Frontend.stats
 
 (** [frontend_config t] is the front-end configuration in effect. *)
@@ -187,6 +195,10 @@ val frontend_config : t -> Frontend.config
 (** [coalesce_rate t] is the fraction of admitted queries absorbed by
     an existing computation (see {!Frontend.coalesce_rate}). *)
 val coalesce_rate : t -> float
+
+(** [subsume_rate t] is the fraction of admitted queries answered as
+    slices of a broader computation (see {!Frontend.subsume_rate}). *)
+val subsume_rate : t -> float
 
 (** [inject_query t ~client ~nonce ~sw ~port ~ip query] feeds a query
     straight into the post-decode serving path (duplicate suppression,

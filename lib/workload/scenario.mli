@@ -38,8 +38,8 @@ type spec = {
           ([`Compiled]) maintained incrementally from monitor deltas *)
   frontend : Rvaas.Frontend.config;
       (** the service's multi-tenant front-end (admission, coalescing,
-          batching); {!Rvaas.Frontend.default_config} — everything
-          off — by default *)
+          subsumption, batching); {!Rvaas.Frontend.default_config} —
+          everything off — by default *)
 }
 
 (** [default_spec topo] — two clients, seed 42, randomized polling with

@@ -25,7 +25,7 @@ let test_config_validation () =
     | _ -> false
   in
   let mk limits batch_window : int F.t =
-    F.create { F.limits; coalesce = true; batch_window }
+    F.create { F.limits; coalesce = true; batch_window; subsume = false }
   in
   check Alcotest.bool "zero rate rejected" true
     (raises (fun () -> mk (Some { F.rate = 0.0; burst = 2.0 }) 0.0));
@@ -42,7 +42,12 @@ let test_config_validation () =
 let test_token_bucket () =
   let fe : int F.t =
     F.create
-      { F.limits = Some { F.rate = 1.0; burst = 2.0 }; coalesce = false; batch_window = 0.0 }
+      {
+        F.limits = Some { F.rate = 1.0; burst = 2.0 };
+        coalesce = false;
+        batch_window = 0.0;
+        subsume = false;
+      }
   in
   (* Fresh bucket starts full: the burst passes, the next query not. *)
   check Alcotest.bool "burst 1 admitted" true (F.admit fe ~client:0 ~now:0.0);
@@ -145,6 +150,55 @@ let test_flush_batching () =
   check Alcotest.int "fallback unwinds batched" 0 s.F.batched;
   check Alcotest.int "fallback counted" 2 s.F.batch_fallbacks;
   check Alcotest.(list (list int)) "empty flush" [] (F.flush fe |> List.map (List.map (fun e -> e.F.e_client)))
+
+(* ---- unit: subsumption queue — submit-time attach and flush fold ---- *)
+
+let test_subsumption_queue () =
+  let fe : int F.t = F.create (F.coalescing ~subsume:true ()) in
+  let submit ~client ~sw ~port ~scope q w =
+    ignore (F.admit fe ~client ~now:0.0);
+    F.submit fe ~key:(F.key_of ~client ~sw ~port q) ~scope ~client ~sw ~port q
+      ~waiter:w
+  in
+  let broad_scope = scope_a () in
+  let narrow_scope = scope_b 7 in
+  let broad = Rvaas.Query.make ~scope:broad_scope Rvaas.Query.Reachable_endpoints in
+  let narrow = Rvaas.Query.make ~scope:narrow_scope Rvaas.Query.Reachable_endpoints in
+  (* Broad first: the narrower scope attaches at submit time. *)
+  check Alcotest.bool "broad opens the queue" true
+    (submit ~client:0 ~sw:1 ~port:1 ~scope:broad_scope broad 0 = `Queued `First);
+  check Alcotest.bool "contained scope subsumed" true
+    (submit ~client:1 ~sw:1 ~port:1 ~scope:narrow_scope narrow 1 = `Subsumed);
+  (* An identical narrower question shares the existing slice. *)
+  check Alcotest.bool "identical narrow shares the slice" true
+    (submit ~client:2 ~sw:1 ~port:1 ~scope:narrow_scope narrow 2 = `Subsumed);
+  (* A different injection point has no container. *)
+  check Alcotest.bool "other point queued" true
+    (submit ~client:0 ~sw:2 ~port:1 ~scope:narrow_scope narrow 3 = `Queued `Later);
+  let groups = F.flush fe in
+  check Alcotest.int "two evaluation groups" 2 (List.length groups);
+  let g = List.find (fun g -> (List.hd g).F.e_sw = 1) groups in
+  check Alcotest.int "one computation at the shared point" 1 (List.length g);
+  let e = List.hd g in
+  check Alcotest.int "one slice riding it" 1 (List.length e.F.e_slices);
+  check
+    Alcotest.(list int)
+    "slice waiters newest first" [ 2; 1 ]
+    (List.hd e.F.e_slices).F.sl_waiters;
+  (* Narrow-before-broad: submit's forward scan cannot catch it, the
+     flush-time fold does. *)
+  check Alcotest.bool "narrow reopens the queue" true
+    (submit ~client:0 ~sw:1 ~port:1 ~scope:narrow_scope narrow 4 = `Queued `First);
+  check Alcotest.bool "broad queued after" true
+    (submit ~client:0 ~sw:1 ~port:1 ~scope:broad_scope broad 5 = `Queued `Later);
+  (match F.flush fe with
+  | [ [ leader ] ] ->
+    check Alcotest.(list int) "broad leads the fold" [ 5 ] leader.F.e_waiters;
+    check Alcotest.int "narrow folded as slice" 1 (List.length leader.F.e_slices)
+  | _ -> Alcotest.fail "expected one folded group");
+  let st = F.stats fe in
+  check Alcotest.int "subsumed counted" 3 st.F.subsumed;
+  check (Alcotest.float 1e-9) "subsume rate" 0.5 (F.subsume_rate fe)
 
 (* ---- system helpers ---- *)
 
@@ -316,6 +370,181 @@ let batch_parity engine () =
     nonces;
   check Alcotest.int "no open queries" 0 (Rvaas.Service.open_query_count s.service)
 
+(* ---- system: sliced answers equal direct evaluation (oracle) ---- *)
+
+(* Reference evaluation: the eager-guard textbook verifier over the
+   service's believed configuration, restricted like the service
+   restricts ([effective_scope] = scope ∩ IP traffic). *)
+let oracle_points (s : Workload.Scenario.t) (pt : Rvaas.Verifier.endpoint) scope =
+  let snapshot = Rvaas.Monitor.snapshot s.monitor in
+  let flows_of sw = Rvaas.Snapshot.flows snapshot ~sw in
+  let r =
+    Rvaas.Verifier_ref.reach ~flows_of (Netsim.Net.topology s.net)
+      ~src_sw:pt.Rvaas.Verifier.sw ~src_port:pt.Rvaas.Verifier.port
+      ~hs:(Hspace.Hs.inter scope (Rvaas.Verifier.ip_traffic_hs ()))
+  in
+  List.sort compare
+    (List.map
+       (fun ((ep : Rvaas.Verifier.endpoint), _) -> (ep.sw, ep.port))
+       r.Rvaas.Verifier.endpoints)
+
+(* Send a broad and a narrow query back to back from the same agent (so
+   the settle tick sees both) and return their outcomes. *)
+let subsume_round s (pt : Rvaas.Verifier.endpoint) ~broad ~narrow =
+  let agent = Workload.Scenario.agent s ~host:pt.Rvaas.Verifier.host in
+  let outcomes = ref [] in
+  Rvaas.Client_agent.set_answer_callback agent (fun o -> outcomes := o :: !outcomes);
+  let send scope =
+    Rvaas.Client_agent.send_query agent
+      (Rvaas.Query.make ~scope Rvaas.Query.Reachable_endpoints)
+  in
+  let n_broad = send broad in
+  let n_narrow = send narrow in
+  settle s;
+  let find n =
+    List.find_opt
+      (fun (o : Rvaas.Client_agent.outcome) ->
+        String.equal o.answer.Rvaas.Query.nonce n)
+      !outcomes
+  in
+  (find n_broad, find n_narrow)
+
+(* Random subsumer/subsumee pairs: the broad scope is a union of
+   destination-host cubes, the narrow scope one of those cubes — so
+   containment holds by construction and the answers can be checked
+   against [Verifier_ref] independently of the subsumption machinery.
+   With [attack] set, an exfiltration rewrite taints the region and the
+   service must fall back to per-query evaluation — same verdicts. *)
+let prop_subsume_parity engine ?attack ~name () =
+  let topo = Workload.Topogen.linear p 5 in
+  let s =
+    Workload.Scenario.build
+      (spec_with topo (fun d ->
+           {
+             d with
+             engine;
+             frontend = F.coalescing ~batch_window:0.002 ~subsume:true ();
+           }))
+  in
+  (match attack with
+  | Some a ->
+    Sdnctl.Attack.launch s.net s.addressing ~conn:(Sdnctl.Provider.conn s.provider) a
+  | None -> ());
+  settle s;
+  let pt = first_point s in
+  QCheck2.Test.make ~name ~count:8
+    QCheck2.Gen.(pair (int_range 1 31) (int_range 0 100))
+    (fun (mask, pick) ->
+      let subset = List.filter (fun h -> (mask lsr h) land 1 = 1) [ 0; 1; 2; 3; 4 ] in
+      let broad =
+        List.fold_left
+          (fun acc h -> Hspace.Hs.union acc (scope_b (ip_of s ~host:h)))
+          (Hspace.Hs.empty Hspace.Field.total_width)
+          subset
+      in
+      let narrow = scope_b (ip_of s ~host:(List.nth subset (pick mod List.length subset))) in
+      match subsume_round s pt ~broad ~narrow with
+      | Some ob, Some on ->
+        ob.Rvaas.Client_agent.signature_ok
+        && on.Rvaas.Client_agent.signature_ok
+        && endpoint_points ob.Rvaas.Client_agent.answer = oracle_points s pt broad
+        && endpoint_points on.Rvaas.Client_agent.answer = oracle_points s pt narrow
+      | _ -> false)
+
+(* ---- system: the subsumption counters on the served path ---- *)
+
+let test_service_subsume_fanin () =
+  let topo = Workload.Topogen.linear p 4 in
+  let s =
+    Workload.Scenario.build
+      (spec_with topo (fun d ->
+           { d with frontend = F.coalescing ~batch_window:0.002 ~subsume:true () }))
+  in
+  settle s;
+  let pt = first_point s in
+  (match subsume_round s pt ~broad:(scope_a ()) ~narrow:(scope_b (ip_of s ~host:2)) with
+  | Some _, Some on ->
+    check
+      Alcotest.(list (pair int int))
+      "sliced verdict equals direct evaluation"
+      (oracle_points s pt (scope_b (ip_of s ~host:2)))
+      (endpoint_points on.Rvaas.Client_agent.answer)
+  | _ -> Alcotest.fail "subsumed round unanswered");
+  let fs = Rvaas.Service.frontend_stats s.service in
+  check Alcotest.int "one computation" 1 fs.F.entries;
+  check Alcotest.int "narrow subsumed" 1 fs.F.subsumed;
+  check Alcotest.int "nothing fell back" 0 fs.F.slice_fallbacks;
+  check (Alcotest.float 1e-9) "subsume rate 1/2" 0.5
+    (Rvaas.Service.subsume_rate s.service);
+  check Alcotest.int "no open queries" 0 (Rvaas.Service.open_query_count s.service);
+  check Alcotest.int "no pending probes" 0
+    (Rvaas.Service.pending_probe_count s.service)
+
+(* ---- system: rewrite taint falls back, counted, same verdicts ---- *)
+
+let test_service_subsume_taint_fallback () =
+  let topo = Workload.Topogen.linear p 4 in
+  let s =
+    Workload.Scenario.build
+      (spec_with topo (fun d ->
+           { d with frontend = F.coalescing ~batch_window:0.002 ~subsume:true () }))
+  in
+  Sdnctl.Attack.launch s.net s.addressing ~conn:(Sdnctl.Provider.conn s.provider)
+    (Sdnctl.Attack.Exfiltrate { victim_host = 2; attacker_host = 3 });
+  settle s;
+  let pt = first_point s in
+  let narrow = scope_b (ip_of s ~host:2) in
+  (match subsume_round s pt ~broad:(scope_a ()) ~narrow with
+  | Some _, Some on ->
+    check
+      Alcotest.(list (pair int int))
+      "fallback verdict equals direct evaluation" (oracle_points s pt narrow)
+      (endpoint_points on.Rvaas.Client_agent.answer)
+  | _ -> Alcotest.fail "tainted round unanswered");
+  let fs = Rvaas.Service.frontend_stats s.service in
+  check Alcotest.int "attach still counted" 1 fs.F.subsumed;
+  check Alcotest.int "slice fell back" 1 fs.F.slice_fallbacks;
+  check Alcotest.int "no open queries" 0 (Rvaas.Service.open_query_count s.service)
+
+(* ---- system: a throttled query never enters the subsumption graph ---- *)
+
+let test_throttled_never_subsumed () =
+  let topo = Workload.Topogen.linear p 4 in
+  let s =
+    Workload.Scenario.build
+      (spec_with topo (fun d ->
+           {
+             d with
+             frontend =
+               F.coalescing
+                 ~limits:{ F.rate = 0.01; burst = 1.0 }
+                 ~batch_window:0.05 ~subsume:true ();
+           }))
+  in
+  settle s;
+  let pt = first_point s in
+  let client = client_of s ~host:pt.Rvaas.Verifier.host in
+  let ip = ip_of s ~host:pt.Rvaas.Verifier.host in
+  let inject nonce scope =
+    Rvaas.Service.inject_query s.service ~client ~nonce ~sw:pt.Rvaas.Verifier.sw
+      ~port:pt.Rvaas.Verifier.port ~ip
+      (Rvaas.Query.make ~scope Rvaas.Query.Reachable_endpoints)
+  in
+  (* The broad query is admitted and queued; the narrower one — which
+     would otherwise ride it as a slice — blows the budget and must be
+     refused before any subsumption decision is made. *)
+  inject "broad" (scope_a ());
+  inject "narrow" (scope_b (ip_of s ~host:2));
+  let fs = Rvaas.Service.frontend_stats s.service in
+  check Alcotest.int "refused, not subsumed" 0 fs.F.subsumed;
+  check Alcotest.int "throttle counted" 1 fs.F.throttled;
+  check Alcotest.int "throttle answered" 1
+    (Rvaas.Service.stats s.service).queries_throttled;
+  settle s;
+  check Alcotest.int "only the broad computation ran" 1 fs.F.entries;
+  check Alcotest.int "still nothing subsumed" 0 fs.F.subsumed;
+  check Alcotest.int "no open queries" 0 (Rvaas.Service.open_query_count s.service)
+
 let () =
   Alcotest.run "frontend"
     [
@@ -325,6 +554,7 @@ let () =
           Alcotest.test_case "token bucket" `Quick test_token_bucket;
           Alcotest.test_case "coalescing keys" `Quick test_coalescing_keys;
           Alcotest.test_case "flush batching" `Quick test_flush_batching;
+          Alcotest.test_case "subsumption queue" `Quick test_subsumption_queue;
         ] );
       ( "service",
         [
@@ -333,5 +563,25 @@ let () =
             test_service_throttle_signed;
           Alcotest.test_case "batch parity (sweep)" `Quick (batch_parity `Sweep);
           Alcotest.test_case "batch parity (compiled)" `Quick (batch_parity `Compiled);
+          Alcotest.test_case "subsumption fan-in" `Quick test_service_subsume_fanin;
+          Alcotest.test_case "taint fallback" `Quick
+            test_service_subsume_taint_fallback;
+          Alcotest.test_case "throttled never subsumed" `Quick
+            test_throttled_never_subsumed;
+        ] );
+      ( "subsume-parity",
+        [
+          QCheck_alcotest.to_alcotest
+            (prop_subsume_parity `Sweep ~name:"sliced = direct (sweep)" ());
+          QCheck_alcotest.to_alcotest
+            (prop_subsume_parity `Compiled ~name:"sliced = direct (compiled)" ());
+          QCheck_alcotest.to_alcotest
+            (prop_subsume_parity `Sweep
+               ~attack:(Sdnctl.Attack.Exfiltrate { victim_host = 2; attacker_host = 4 })
+               ~name:"sliced = direct under taint (sweep)" ());
+          QCheck_alcotest.to_alcotest
+            (prop_subsume_parity `Compiled
+               ~attack:(Sdnctl.Attack.Exfiltrate { victim_host = 2; attacker_host = 4 })
+               ~name:"sliced = direct under taint (compiled)" ());
         ] );
     ]
