@@ -1126,6 +1126,8 @@ let e16_config =
     checkpoint_every = 32;
     standbys = 1;
     auto_compact = false;
+    replica_lag = 8;
+    replica_delay = 0.0;
   }
 
 let e16_scenario ~seed =
@@ -2205,6 +2207,356 @@ let e20 () =
         "E20 strict: speedup, subsumption, pooling and parity checks passed"
 
 (* ---------------------------------------------------------------- *)
+(* E21: replicated segmented journal — sealed segments, lag-tolerant *)
+(* quorum elections, encryption-at-rest                              *)
+(* ---------------------------------------------------------------- *)
+
+let e21_rm_rf dir =
+  if Sys.file_exists dir && Sys.is_directory dir then begin
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+    Unix.rmdir dir
+  end
+
+let e21_tmp_dir () =
+  let dir = Filename.temp_file "rvaas_e21" "" in
+  Sys.remove dir;
+  dir
+
+let e21_read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let b = really_input_string ic n in
+  close_in ic;
+  b
+
+let e21_write_file path bytes =
+  let oc = open_out_bin path in
+  output_string oc bytes;
+  close_out oc
+
+let e21_is_prefix xs ys =
+  let rec go = function
+    | [], _ -> true
+    | _, [] -> false
+    | x :: xs, y :: ys -> x = y && go (xs, ys)
+  in
+  go (xs, ys)
+
+(* One monitored run mirrored into a segmented store under [dir]. *)
+let e21_store_run ~seed ~duration ~encrypt ~auto_compact ~dir =
+  let topo = Workload.Topogen.linear Workload.Topogen.default_params 4 in
+  let s =
+    Workload.Scenario.build
+      {
+        (Workload.Scenario.default_spec topo) with
+        seed;
+        polling = Rvaas.Monitor.Periodic 0.02;
+        ha =
+          Some
+            {
+              Rvaas.Failover.default_config with
+              checkpoint_every = 32;
+              auto_compact;
+            };
+        persist =
+          Some
+            {
+              Workload.Scenario.p_dir = dir;
+              p_segment_bytes = 2048;
+              p_encrypt = encrypt;
+            };
+      }
+  in
+  Workload.Scenario.run s ~until:duration;
+  let store = Workload.Scenario.store s in
+  Support.Segment_store.sync store;
+  let live =
+    Rvaas.Snapshot.digest_vector
+      (Rvaas.Monitor.snapshot (Workload.Scenario.monitor s))
+  in
+  (s, store, live, Workload.Scenario.storage_key s)
+
+(* Mean recovery latency (us) plus the recovered journal. *)
+let e21_timed_recover ?crypt dir =
+  match Support.Segment_store.recover_from_dir ?crypt dir with
+  | Error e -> Error e
+  | Ok first ->
+    let t0 = Unix.gettimeofday () in
+    let reps = 10 in
+    let log = ref first in
+    for _ = 1 to reps do
+      match Support.Segment_store.recover_from_dir ?crypt dir with
+      | Ok l -> log := l
+      | Error e -> failwith ("E21: recover_from_dir: " ^ e)
+    done;
+    Ok (!log, 1e6 *. (Unix.gettimeofday () -. t0) /. float_of_int reps)
+
+(* Crash matrix over one store directory: every crash state is a
+   prefix of the write stream — later segment files absent, the torn
+   file truncated.  A state passes when recovery yields a verified
+   entry prefix of the undamaged recovery (a hard [Error] is allowed
+   only for first-file damage). *)
+let e21_crash_matrix ?crypt ~dir ~full () =
+  let files =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f ->
+           Filename.check_suffix f ".rvsg" || Filename.check_suffix f ".act")
+    |> List.sort compare
+  in
+  let backup = List.map (fun f -> (f, e21_read_file (Filename.concat dir f))) files in
+  let restore () =
+    Array.iter
+      (fun f ->
+        if not (List.mem_assoc f backup) then Sys.remove (Filename.concat dir f))
+      (Sys.readdir dir);
+    List.iter (fun (f, b) -> e21_write_file (Filename.concat dir f) b) backup
+  in
+  let points = ref 0 and violations = ref 0 in
+  List.iteri
+    (fun i (name, bytes) ->
+      List.iter
+        (fun quarters ->
+          restore ();
+          List.iteri
+            (fun j (later, _) ->
+              if j > i then Sys.remove (Filename.concat dir later))
+            backup;
+          let cut = String.length bytes * quarters / 4 in
+          e21_write_file (Filename.concat dir name) (String.sub bytes 0 cut);
+          incr points;
+          match Support.Segment_store.recover_from_dir ?crypt dir with
+          | Error _ -> if i > 0 then incr violations
+          | Ok log' ->
+            let got = Support.Journal.valid_prefix log' in
+            if not (Support.Journal.verify log' && e21_is_prefix got full) then
+              incr violations)
+        [ 1; 3 ])
+    backup;
+  restore ();
+  (!points, !violations)
+
+let e21_lag_config =
+  { e16_config with standbys = 3; replica_lag = 64; replica_delay = 0.02 }
+
+(* Crash trial where every election read goes through a lag-bounded
+   replica tail (20 ms behind the journal). *)
+let e21_lag_trial ~seed =
+  let topo = Workload.Topogen.linear Workload.Topogen.default_params 4 in
+  let s =
+    Workload.Scenario.build
+      {
+        (Workload.Scenario.default_spec topo) with
+        seed;
+        polling = Rvaas.Monitor.Periodic 0.02;
+        ha = Some { e21_lag_config with standbys = 0 };
+      }
+  in
+  let ctrl = Workload.Scenario.controller s in
+  let now () = Netsim.Sim.now (Netsim.Net.sim s.net) in
+  let rng = Support.Rng.create (seed * 7919) in
+  Workload.Scenario.run s ~until:0.3;
+  (* stagger the standbys off the tick grid so rival claims can still
+     be in flight when the winner decides *)
+  Rvaas.Failover.enable_standbys
+    ~phase:(fun sid -> float_of_int (((seed * 7) + (sid * 13)) mod 29) *. 0.0007)
+    ctrl ~count:3;
+  Workload.Scenario.run s ~until:(0.4 +. Support.Rng.float rng 0.01);
+  Rvaas.Failover.crash ctrl;
+  let deadline = now () +. 1.0 in
+  while Rvaas.Failover.last_takeover ctrl = None && now () < deadline do
+    Workload.Scenario.run s ~until:(now () +. 0.01)
+  done;
+  Workload.Scenario.run s ~until:(now () +. 0.25);
+  (Rvaas.Failover.last_takeover ctrl, List.length (Rvaas.Failover.takeovers ctrl))
+
+let e21 () =
+  section
+    "E21: replicated segmented journal (linear-4, 20 ms polling, 2 KiB\n\
+     segments).  (a) sealed-segment compaction deletes whole files and\n\
+     rewrites no retained byte; recovery stays a verified prefix across a\n\
+     torn-tail crash matrix; (b) quorum elections over lag-bounded replica\n\
+     tails (3 standbys, 20 ms replica delay); (c) encryption-at-rest:\n\
+     keyed recovery parity, keyless recovery refused, bit flips rejected\n\
+     by the frame MAC";
+  let strict = Sys.getenv_opt "RVAAS_E21_STRICT" <> None in
+  let failures = ref 0 in
+  (* -- (a) store growth, compaction, crash matrix ------------------- *)
+  Printf.printf "%-8s | %8s %10s %7s %8s %12s %7s\n" "compact" "entries"
+    "bytes" "sealed" "deleted" "recover(us)" "parity";
+  let bytes_by_mode = Hashtbl.create 4 in
+  List.iter
+    (fun auto_compact ->
+      let dir = e21_tmp_dir () in
+      Fun.protect
+        ~finally:(fun () -> e21_rm_rf dir)
+        (fun () ->
+          let s, store, live, _ =
+            e21_store_run ~seed:42 ~duration:1.5 ~encrypt:false ~auto_compact
+              ~dir
+          in
+          (if not auto_compact then begin
+             (* compact mid-store at the support layer: whole sealed
+                files below the cut die, every retained byte survives
+                untouched *)
+             let ctrl = Workload.Scenario.controller s in
+             let log = Rvaas.Journal.log (Rvaas.Failover.journal ctrl) in
+             let before =
+               List.map
+                 (fun p -> (p, e21_read_file p))
+                 (Support.Segment_store.sealed_paths store)
+             in
+             Support.Journal.compact log
+               ~upto_seq:(Support.Journal.last_seq log - 20);
+             let deleted =
+               List.length
+                 (List.filter (fun (p, _) -> not (Sys.file_exists p)) before)
+             in
+             let rewritten =
+               List.length
+                 (List.filter
+                    (fun (p, b) ->
+                      Sys.file_exists p && e21_read_file p <> b)
+                    before)
+             in
+             Printf.printf
+               "mid-store compaction: %d sealed file(s) deleted whole, %d \
+                retained file(s) rewritten\n"
+               deleted rewritten;
+             if strict && (deleted = 0 || rewritten > 0) then incr failures
+           end);
+          Support.Segment_store.close store;
+          match e21_timed_recover dir with
+          | Error e -> failwith ("E21: recover_from_dir: " ^ e)
+          | Ok (log', recover_us) ->
+            let r = Rvaas.Journal.recover log' in
+            let parity =
+              live = Rvaas.Snapshot.digest_vector r.Rvaas.Journal.snapshot
+            in
+            if not parity then incr failures;
+            Hashtbl.replace bytes_by_mode auto_compact
+              (Support.Segment_store.written_bytes store);
+            Printf.printf "%-8s | %8d %10d %7d %8d %12.1f %7s\n"
+              (if auto_compact then "on" else "off")
+              (Support.Journal.length log')
+              (Support.Segment_store.written_bytes store)
+              (Support.Segment_store.sealed_count store)
+              (Support.Segment_store.sealed_deleted store)
+              recover_us
+              (if parity then "ok" else "MISMATCH");
+            if strict && auto_compact
+               && Support.Segment_store.sealed_deleted store = 0
+            then incr failures;
+            let points, violations =
+              e21_crash_matrix ~dir ~full:(Support.Journal.valid_prefix log') ()
+            in
+            Printf.printf "crash matrix: %d point(s), %d prefix violation(s)\n"
+              points violations;
+            if strict && violations > 0 then incr failures))
+    [ false; true ];
+  (match
+     (Hashtbl.find_opt bytes_by_mode true, Hashtbl.find_opt bytes_by_mode false)
+   with
+  | Some on, Some off when strict && on >= off ->
+    incr failures;
+    Printf.printf "E21 strict: compaction did not shrink the store (%d >= %d)\n"
+      on off
+  | _ -> ());
+  (* -- (b) elections over lagging replica tails --------------------- *)
+  Printf.printf "%-5s | %10s %6s %4s %10s %9s\n" "seed" "detect(ms)" "winner"
+    "gen" "reconciled" "takeovers";
+  let reconciled_total = ref 0 in
+  for seed = 1 to 8 do
+    match e21_lag_trial ~seed with
+    | None, _ ->
+      incr failures;
+      Printf.printf "%-5d | no takeover\n" seed
+    | Some r, takeovers ->
+      let detect = r.Rvaas.Failover.detected_at -. r.Rvaas.Failover.crashed_at in
+      reconciled_total := !reconciled_total + r.Rvaas.Failover.reconciled_records;
+      if strict
+         && (takeovers <> 1 || detect > 0.12
+            || r.Rvaas.Failover.winner < 0
+            || r.Rvaas.Failover.winner >= 3)
+      then incr failures;
+      Printf.printf "%-5d | %10.1f %6d %4d %10d %9d\n" seed (1000.0 *. detect)
+        r.Rvaas.Failover.winner r.Rvaas.Failover.generation
+        r.Rvaas.Failover.reconciled_records takeovers
+  done;
+  if strict && !reconciled_total = 0 then begin
+    incr failures;
+    print_endline "E21 strict: no winner ever reconciled in-transit frames"
+  end;
+  (* -- (c) encryption-at-rest --------------------------------------- *)
+  let dir = e21_tmp_dir () in
+  Fun.protect
+    ~finally:(fun () -> e21_rm_rf dir)
+    (fun () ->
+      let _, store, live, key =
+        e21_store_run ~seed:7 ~duration:1.0 ~encrypt:true ~auto_compact:false
+          ~dir
+      in
+      let sealed = Support.Segment_store.sealed_paths store in
+      Support.Segment_store.close store;
+      let crypt = Cryptosim.Atrest.crypt ~key in
+      match e21_timed_recover ~crypt dir with
+      | Error e -> failwith ("E21: encrypted recover: " ^ e)
+      | Ok (log', recover_us) ->
+        let r = Rvaas.Journal.recover log' in
+        let parity =
+          live = Rvaas.Snapshot.digest_vector r.Rvaas.Journal.snapshot
+        in
+        if not parity then incr failures;
+        let keyless_refused =
+          match Support.Segment_store.recover_from_dir dir with
+          | Error _ -> true
+          | Ok _ -> false
+        in
+        if not keyless_refused then incr failures;
+        let wrong_key_entries =
+          let wrong =
+            Cryptosim.Atrest.crypt
+              ~key:(Cryptosim.Hmac.key_of_string "not-the-storage-key")
+          in
+          match Support.Segment_store.recover_from_dir ~crypt:wrong dir with
+          | Error _ -> 0
+          | Ok l -> List.length (Support.Journal.valid_prefix l)
+        in
+        if wrong_key_entries > 0 then incr failures;
+        let flipped_entries =
+          match sealed with
+          | [] -> -1
+          | p :: _ ->
+            let b = Bytes.of_string (e21_read_file p) in
+            let pos = Bytes.length b / 2 in
+            Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 0x40));
+            e21_write_file p (Bytes.to_string b);
+            (match Support.Segment_store.recover_from_dir ~crypt dir with
+            | Error _ -> 0
+            | Ok l -> List.length (Support.Journal.valid_prefix l))
+        in
+        let full_entries = Support.Journal.length log' in
+        if strict && not (flipped_entries >= 0 && flipped_entries < full_entries)
+        then incr failures;
+        Printf.printf
+          "encrypted: %d entries, %d bytes, keyed recover %.1f us (parity \
+           %s)\n\
+           keyless recover refused: %b; wrong-key verified entries: %d\n\
+           bit-flipped sealed frame: MAC rejected, %d/%d entries recovered\n"
+          full_entries
+          (Support.Segment_store.written_bytes store)
+          recover_us
+          (if parity then "ok" else "MISMATCH")
+          keyless_refused wrong_key_entries flipped_entries full_entries);
+  if strict then
+    if !failures > 0 then begin
+      Printf.printf "E21 strict: %d failing check(s)\n" !failures;
+      exit 1
+    end
+    else
+      print_endline
+        "E21 strict: segment, quorum-under-lag and at-rest checks passed"
+
+(* ---------------------------------------------------------------- *)
 (* Micro-benchmarks (Bechamel)                                       *)
 (* ---------------------------------------------------------------- *)
 
@@ -2333,6 +2685,7 @@ let experiments =
     ("e18", e18);
     ("e19", e19);
     ("e20", e20);
+    ("e21", e21);
     ("micro", micro);
   ]
 

@@ -29,6 +29,8 @@ let config =
     checkpoint_every = 32;
     standbys = 1;
     auto_compact = false;
+    replica_lag = 8;
+    replica_delay = 0.0;
   }
 
 let crash_after = 0.002 (* seconds after the query goes out *)

@@ -1,13 +1,16 @@
 (* Durable persistence: survive a SIGKILL of the whole process.
 
    PR 4's journal survived controller crashes inside one process; this
-   demo exercises the on-disk backend ([Support.Journal_file]): a
-   child process runs a monitored deployment with its journal mirrored
-   to a file, records the digest vector of its live snapshot, then
-   kills itself with SIGKILL — no atexit, no flush, no goodbye.  The
-   parent recovers from the file alone and checks that the recovered
-   snapshot's digest vector matches the child's last-known state
-   exactly.
+   demo exercises the on-disk backends.  Round one uses the monolithic
+   image ([Support.Journal_file]); round two the segmented store with
+   encryption-at-rest ([Support.Segment_store] + [Cryptosim.Atrest]).
+   Each round: a child process runs a monitored deployment with its
+   journal mirrored to disk, records the digest vector of its live
+   snapshot, then kills itself with SIGKILL — no atexit, no flush, no
+   goodbye.  The parent recovers from the disk bytes alone (for the
+   encrypted store: re-deriving the storage key from the scenario
+   seed, the key-escrow stand-in) and checks that the recovered digest
+   vector matches the child's last-known state exactly.
 
    Run with:  dune exec examples/persistence_demo.exe *)
 
@@ -40,36 +43,39 @@ let read_lines path =
   in
   go []
 
-let child_run ~journal_path ~digest_path =
-  let topo = Workload.Topogen.linear Workload.Topogen.default_params 4 in
-  let s =
-    Workload.Scenario.build
-      {
-        (Workload.Scenario.default_spec topo) with
-        polling = Rvaas.Monitor.Periodic 0.02;
-        ha = Some config;
-      }
-  in
+let topo () = Workload.Topogen.linear Workload.Topogen.default_params 4
+
+let build_scenario ~persist =
+  Workload.Scenario.build
+    {
+      (Workload.Scenario.default_spec (topo ())) with
+      polling = Rvaas.Monitor.Periodic 0.02;
+      ha = Some config;
+      persist;
+    }
+
+(* [attach s] installs any extra backend right after build (before the
+   run) and returns a thunk describing the on-disk state. *)
+let child_run ~persist ~digest_path ~attach =
+  let s = build_scenario ~persist in
+  let describe = attach s in
+  Workload.Scenario.run s ~until:1.0;
   let ctrl = Workload.Scenario.controller s in
   let log = Rvaas.Journal.log (Rvaas.Failover.journal ctrl) in
-  let file = Support.Journal_file.attach log ~path:journal_path in
-  Workload.Scenario.run s ~until:1.0;
   let snapshot = Rvaas.Monitor.snapshot (Workload.Scenario.monitor s) in
   write_lines digest_path (digest_lines snapshot);
   Printf.printf
-    "child: ran 1 s of monitoring, %d journal entries (%d bytes on disk, %d synced)\n\
+    "child: ran 1 s of monitoring, %d journal entries (%s)\n\
      child: digest vector written; dying by SIGKILL mid-flight\n%!"
-    (Support.Journal.length log)
-    (Support.Journal_file.written_bytes file)
-    (Support.Journal_file.synced_bytes file);
+    (Support.Journal.length log) (describe ());
   Unix.kill (Unix.getpid ()) Sys.sigkill
 
-let () =
-  let journal_path = Filename.temp_file "rvaas_persist" ".rvjl" in
-  let digest_path = Filename.temp_file "rvaas_persist" ".digest" in
+(* Fork a child, let it die by SIGKILL, recover in the parent. *)
+let round ~name ~persist ~digest_path ~attach ~recover =
+  Printf.printf "== %s ==\n%!" name;
   (match Unix.fork () with
   | 0 ->
-    child_run ~journal_path ~digest_path;
+    child_run ~persist ~digest_path ~attach;
     assert false (* SIGKILL does not return *)
   | pid -> (
     let _, status = Unix.waitpid [] pid in
@@ -79,7 +85,7 @@ let () =
     | _ ->
       print_endline "parent: child did not die by SIGKILL — demo broken";
       exit 1);
-    match Support.Journal_file.recover_from_file journal_path with
+    match recover () with
     | Error msg ->
       Printf.printf "parent: recovery failed: %s\n" msg;
       exit 1
@@ -98,6 +104,54 @@ let () =
       else begin
         print_endline "parent: DIGEST MISMATCH — recovery lost state";
         exit 1
-      end));
+      end))
+
+let rm_rf dir =
+  if Sys.file_exists dir && Sys.is_directory dir then begin
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+    Unix.rmdir dir
+  end
+
+let () =
+  (* Round 1: monolithic image. *)
+  let journal_path = Filename.temp_file "rvaas_persist" ".rvjl" in
+  let digest_path = Filename.temp_file "rvaas_persist" ".digest" in
+  round ~name:"monolithic image" ~persist:None ~digest_path
+    ~attach:(fun s ->
+      let ctrl = Workload.Scenario.controller s in
+      let file =
+        Support.Journal_file.attach
+          (Rvaas.Journal.log (Rvaas.Failover.journal ctrl))
+          ~path:journal_path
+      in
+      fun () ->
+        Printf.sprintf "%d bytes on disk, %d synced"
+          (Support.Journal_file.written_bytes file)
+          (Support.Journal_file.synced_bytes file))
+    ~recover:(fun () -> Support.Journal_file.recover_from_file journal_path);
   Sys.remove journal_path;
+  (* Round 2: segmented store, encrypted at rest.  The child's store
+     seals segments as it goes and compaction unlinks whole files; the
+     parent re-derives the storage key from the (deterministic)
+     scenario seed and recovers from ciphertext alone. *)
+  let dir = Filename.temp_file "rvaas_segments" "" in
+  Sys.remove dir;
+  let persist =
+    Some { Workload.Scenario.p_dir = dir; p_segment_bytes = 2048; p_encrypt = true }
+  in
+  round ~name:"segmented store, encrypted at rest" ~persist ~digest_path
+    ~attach:(fun s ->
+      let store = Workload.Scenario.store s in
+      fun () ->
+        Printf.sprintf
+          "%d bytes in %d sealed + 1 active encrypted segments, %d dropped by compaction"
+          (Support.Segment_store.written_bytes store)
+          (Support.Segment_store.sealed_count store)
+          (Support.Segment_store.sealed_deleted store))
+    ~recover:(fun () ->
+      (* key escrow stand-in: rebuild the keypair from the same seed *)
+      let key = Workload.Scenario.storage_key (build_scenario ~persist:None) in
+      Support.Segment_store.recover_from_dir
+        ~crypt:(Cryptosim.Atrest.crypt ~key) dir);
+  rm_rf dir;
   Sys.remove digest_path

@@ -1,0 +1,28 @@
+(** Authenticated encryption-at-rest for journal frames (simulated).
+
+    A stream cipher whose keystream is derived from (key, per-segment
+    nonce, frame index), with a per-frame MAC over the binding context
+    and ciphertext.  Plaintext journal bytes never reach disk; any
+    corruption of a frame — or of the length prefix delimiting it —
+    fails the MAC, and recovery stops at the first unverifiable frame
+    (the torn-tail contract, preserved under encryption).
+
+    Like the rest of [cryptosim], this simulates the protocol role
+    only — the underlying hash is not cryptographically secure (see
+    DESIGN.md §3). *)
+
+(** [wrap ~key ~nonce ~index plain] encrypts and authenticates one
+    frame; the tag is prepended to the ciphertext. *)
+val wrap : key:Hmac.key -> nonce:string -> index:int -> string -> string
+
+(** [unwrap ~key ~nonce ~index payload] inverts {!wrap}; [None] when
+    the MAC does not verify. *)
+val unwrap : key:Hmac.key -> nonce:string -> index:int -> string -> string option
+
+(** [nonce ~key ~seg] is the per-segment nonce — deterministic in
+    (key, segment index), stored in the segment header. *)
+val nonce : key:Hmac.key -> seg:int -> string
+
+(** [crypt ~key] packages the hooks for
+    {!Support.Segment_store.attach}. *)
+val crypt : key:Hmac.key -> Support.Segment_store.crypt

@@ -22,3 +22,9 @@ let verify ~public msg ~signature =
   | Some secret -> Hmac.verify secret (public ^ "/" ^ msg) signature
 
 let forge_signature msg = Hash.digest_hex ("forged:" ^ msg)
+
+(* Purpose-bound subkey: deterministic in (secret, purpose), so a
+   separate recovery process holding the same keypair re-derives the
+   same storage key — the stand-in for key escrow. *)
+let derive kp ~purpose =
+  Hmac.key_of_string (Hmac.key_to_string kp.secret ^ "/derive/" ^ purpose)

@@ -26,3 +26,10 @@ val verify : public:public -> string -> signature:string -> bool
 (** [forge_signature msg] produces a plausible-looking but invalid
     signature — used by attack scenarios and negative tests. *)
 val forge_signature : string -> string
+
+(** [derive keypair ~purpose] is a purpose-bound symmetric subkey,
+    deterministic in (secret, purpose): a recovery process holding the
+    same keypair re-derives the same storage key (key-escrow
+    stand-in).  Used to key {!Atrest} for journal
+    encryption-at-rest. *)
+val derive : keypair -> purpose:string -> Hmac.key

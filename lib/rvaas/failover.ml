@@ -5,6 +5,8 @@ type config = {
   checkpoint_every : int;
   standbys : int;
   auto_compact : bool;
+  replica_lag : int; (* record bound on each standby's replica tail *)
+  replica_delay : float; (* in-transit delay of replica frames (sim time) *)
 }
 
 let default_config =
@@ -15,6 +17,8 @@ let default_config =
     checkpoint_every = 64;
     standbys = 1;
     auto_compact = false;
+    replica_lag = 8;
+    replica_delay = 0.0;
   }
 
 type report = {
@@ -24,6 +28,7 @@ type report = {
   mutable resynced_at : float;
   replayed_entries : int;
   reissued_queries : int;
+  reconciled_records : int; (* replica frames the winner applied pre-takeover *)
   generation : int;
   winner : int;
 }
@@ -37,9 +42,13 @@ type build =
 
 (* One warm standby.  [sb_claim] is set while it has a journalled
    claim pending decision; [sb_next_claim] implements the post-loss
-   back-off that lets a stale claim expire before re-claiming. *)
+   back-off that lets a stale claim expire before re-claiming.
+   [sb_replica] is the standby's own lag-bounded tail of the primary's
+   journal — every read in the election (staleness, competing claims)
+   goes through it, never through the primary's memory. *)
 type standby = {
   sid : int;
+  sb_replica : Support.Replica.t;
   mutable sb_partitioned : bool;
   mutable sb_claim : (float * int) option; (* claimed_at, generation then *)
   mutable sb_next_claim : float;
@@ -136,7 +145,7 @@ let arm_resync_watch t (r : report) =
    snapshot, re-attach over the existing session registration,
    re-install interception, resynchronise with an immediate poll
    sweep, and re-issue every query that was in flight at the crash. *)
-let takeover t ~detected_at ~winner =
+let takeover ?(reconciled = 0) t ~detected_at ~winner =
   let log = Journal.log t.journal in
   let generation = Support.Journal.begin_generation log ~at:(now t) in
   let recovery = Journal.recover log in
@@ -159,6 +168,7 @@ let takeover t ~detected_at ~winner =
       resynced_at = 0.0;
       replayed_entries = recovery.replayed;
       reissued_queries = List.length recovery.open_queries;
+      reconciled_records = reconciled;
       generation;
       winner;
     }
@@ -174,52 +184,75 @@ let restart t = takeover t ~detected_at:(now t) ~winner:(-1)
 
 (* ---- quorum takeover ----
 
-   Several warm standbys tail the same journal.  Staleness is judged
-   by the freshest {e non-claim} entry (claims are standby writes and
-   must not mask a dead primary).  A standby that observes staleness
-   journals a claim, waits one [check_period] for competing claims to
-   land, then decides: the {e lowest} standby id among unexpired
-   claims wins and takes over; losers back off one claim TTL so the
-   expired claims drain before anyone re-claims.  Two generations can
-   never run concurrently: the decision re-checks that no takeover
+   Several warm standbys each tail their own lag-bounded replica of
+   the primary's journal ([Support.Replica]); every election read —
+   staleness, competing claims — goes through the standby's replica
+   view, never the primary's memory.  Staleness is judged by the
+   freshest {e non-claim} entry the replica holds (claims are standby
+   writes and must not mask a dead primary).  A standby that observes
+   staleness journals a claim, waits one claim window ([check_period]
+   plus the replica delay, so lagging replicas see competing claims)
+   for rivals to land, then decides over the {e merge} of every
+   non-partitioned standby's replica view: the lowest standby id among
+   unexpired claims wins — a replica may lag and still vote and win —
+   reconciles its replica to the longest verified chain prefix
+   ([Replica.catch_up]) and takes over; losers back off one claim TTL
+   so expired claims drain before anyone re-claims.  Two generations
+   can never run concurrently: the decision re-checks that no takeover
    happened since the claim (generation guard) and that the service is
-   still dead, and a partitioned standby neither reads nor writes the
-   journal, so it can never win an election it did not observe. *)
+   still dead, and a partitioned standby's replica neither receives
+   frames nor contributes to the merge, so it can never win an
+   election it did not observe. *)
 
-let claim_window t = t.config.check_period
+let claim_window t = t.config.check_period +. t.config.replica_delay
 
-let claim_ttl t = Float.max t.config.takeover_timeout (2.0 *. t.config.check_period)
+let claim_ttl t =
+  Float.max t.config.takeover_timeout (2.0 *. t.config.check_period)
+  +. t.config.replica_delay
 
-let primary_stale t ~now:now_ =
+(* Judged from the standby's own replica: a lagging replica sees an
+   older tail, so its staleness estimate is conservative (it can only
+   over-estimate, never miss a genuinely dead primary). *)
+let primary_stale t (s : standby) ~now:now_ =
   match
-    Support.Journal.find_newest (Journal.log t.journal) ~f:(fun e ->
+    Support.Journal.find_newest (Support.Replica.view s.sb_replica) ~f:(fun e ->
         not (String.equal e.tag Journal.claim_tag))
   with
   | None -> false
   | Some e -> now_ -. e.at > t.config.takeover_timeout
 
-(* Standby ids with an unexpired claim in the journal (any order). *)
+(* Standby ids with an unexpired claim, merged over every
+   non-partitioned standby's replica view: no single replica needs to
+   hold all claims for the election to see them. *)
 let claimants t ~now:now_ =
   let ttl = claim_ttl t in
-  List.filter_map
-    (fun (e : Support.Journal.entry) ->
-      if String.equal e.tag Journal.claim_tag && now_ -. e.at <= ttl then
-        match Journal.decode_entry e with
-        | Ok (Journal.Claim { sid }) -> Some sid
-        | Ok _ | Error _ -> None
-      else None)
-    (Support.Journal.entries (Journal.log t.journal))
+  List.concat_map
+    (fun (s : standby) ->
+      if s.sb_partitioned then []
+      else
+        List.filter_map
+          (fun (e : Support.Journal.entry) ->
+            if String.equal e.tag Journal.claim_tag && now_ -. e.at <= ttl then
+              match Journal.decode_entry e with
+              | Ok (Journal.Claim { sid }) -> Some sid
+              | Ok _ | Error _ -> None
+            else None)
+          (Support.Journal.entries (Support.Replica.view s.sb_replica)))
+    t.standby_pool
+  |> List.sort_uniq compare
 
 let standby_tick t (s : standby) () =
   if s.sb_partitioned then true
   else begin
     let now_ = now t in
+    let delivered0 = Support.Replica.delivered s.sb_replica in
+    Support.Replica.pump s.sb_replica ~now:now_;
     if Service.live t.service then begin
       (* healthy primary (possibly a fresh winner): drop any claim *)
       s.sb_claim <- None;
       true
     end
-    else if not (primary_stale t ~now:now_) then begin
+    else if not (primary_stale t s ~now:now_) then begin
       s.sb_claim <- None;
       true
     end
@@ -241,8 +274,19 @@ let standby_tick t (s : standby) () =
         else begin
           let lowest = List.fold_left min s.sid (claimants t ~now:now_) in
           s.sb_claim <- None;
-          if lowest = s.sid then
-            ignore (takeover t ~detected_at:claimed_at ~winner:s.sid)
+          if lowest = s.sid then begin
+            (* winner reconciliation: apply every replica frame still
+               in transit, so takeover recovers from the longest
+               verified chain prefix this standby can reach.  The
+               count covers the whole decision tick — a lagging
+               replica's backlog drains partly in this tick's pump,
+               partly in the explicit catch-up. *)
+            ignore (Support.Replica.catch_up s.sb_replica);
+            let reconciled =
+              Support.Replica.delivered s.sb_replica - delivered0
+            in
+            ignore (takeover t ~detected_at:claimed_at ~winner:s.sid ~reconciled)
+          end
           else s.sb_next_claim <- now_ +. claim_ttl t;
           true
         end
@@ -259,7 +303,14 @@ let enable_standbys ?phase t ~count =
   if count < 1 then invalid_arg "Failover.enable_standbys: count must be >= 1";
   let existing = List.length t.standby_pool in
   for sid = existing to count - 1 do
-    let s = { sid; sb_partitioned = false; sb_claim = None; sb_next_claim = 0.0 } in
+    let sb_replica =
+      Support.Replica.create ~max_lag:t.config.replica_lag
+        ~delay:t.config.replica_delay
+        (Journal.log t.journal)
+    in
+    let s =
+      { sid; sb_replica; sb_partitioned = false; sb_claim = None; sb_next_claim = 0.0 }
+    in
     t.standby_pool <- t.standby_pool @ [ s ];
     let delay =
       match phase with
@@ -281,16 +332,25 @@ let find_standby t ~sid fn_name =
   | Some s -> s
   | None -> invalid_arg (fn_name ^ ": unknown standby id")
 
-(* A partitioned standby is cut off from the journal wholesale: it
-   neither observes staleness nor writes claims until healed. *)
+(* A partitioned standby is cut off from the journal wholesale: its
+   replica stops receiving frames (in-flight ones are lost), it
+   neither observes staleness nor writes claims, and its view is
+   excluded from the claim merge until healed. *)
 let partition_standby t ~sid =
-  (find_standby t ~sid "Failover.partition_standby").sb_partitioned <- true
+  let s = find_standby t ~sid "Failover.partition_standby" in
+  s.sb_partitioned <- true;
+  Support.Replica.partition s.sb_replica
 
 let heal_standby t ~sid =
   let s = find_standby t ~sid "Failover.heal_standby" in
   s.sb_partitioned <- false;
-  (* anything it believed before the partition is stale *)
+  (* the replica resyncs wholesale; anything it believed before the
+     partition is stale *)
+  Support.Replica.heal s.sb_replica;
   s.sb_claim <- None
+
+let standby_replica t ~sid =
+  (find_standby t ~sid "Failover.standby_replica").sb_replica
 
 let crash t =
   if Service.live t.service then begin

@@ -15,12 +15,19 @@
       number — re-attaching every switch, re-issuing every in-flight
       query.
 
-    Quorum election: a standby that observes staleness journals a
-    {!Journal.Claim} entry, waits one [check_period] for competing
-    claims, then the {e lowest} claiming standby id wins; the journal
-    itself is the coordination medium, so the election leaves an audit
-    trail and a partitioned standby (which can neither read nor write
-    the log) can never seize a network it cannot observe.  Losers back
+    Quorum election: every standby tails its own lag-bounded
+    {!Support.Replica} of the journal — election reads (staleness,
+    competing claims) go through the standby's replica view, never the
+    primary's memory.  A standby that observes staleness journals a
+    {!Journal.Claim} entry, waits one claim window ([check_period +
+    replica_delay], so lagging replicas see competing claims), then
+    decides over the {e merge} of all non-partitioned replica views:
+    the lowest claiming standby id wins — a lagging replica can vote
+    and win — reconciles its replica to the longest verified chain
+    prefix it holds, and takes over.  The journal is the coordination
+    medium, so the election leaves an audit trail, and a partitioned
+    standby (whose replica receives nothing and is excluded from the
+    merge) can never seize a network it cannot observe.  Losers back
     off until the winning claim expires and rejoin as standbys of the
     new incarnation — two generations never run concurrently.
 
@@ -41,10 +48,17 @@ type config = {
   auto_compact : bool;
       (** bound the journal to [2 x checkpoint_every] entries via
           {!Journal.compact} *)
+  replica_lag : int;
+      (** record bound on each standby's replica tail: at most this
+          many frames queue before eager apply *)
+  replica_delay : float;
+      (** in-transit delay of replica frames, in simulated seconds;
+          frames younger than this stay queued until the next tick *)
 }
 
 (** 10ms heartbeats, 50ms takeover, 10ms checks, checkpoint every 64
-    records, one standby, no auto-compaction. *)
+    records, one standby, no auto-compaction, replica lag 8 records
+    with zero delay (replicas catch up fully at every tick). *)
 val default_config : config
 
 (** One takeover, as measured by the recovering side. *)
@@ -59,6 +73,10 @@ type report = {
           then) *)
   replayed_entries : int;  (** journal mutations replayed over the image *)
   reissued_queries : int;  (** in-flight queries re-driven *)
+  reconciled_records : int;
+      (** replica frames the winner applied during pre-takeover
+          reconciliation (0 for {!restart} and fully-caught-up
+          winners) *)
   generation : int;  (** the new incarnation's generation number *)
   winner : int;  (** standby id that won the election (-1 = {!restart}) *)
 }
@@ -139,10 +157,15 @@ val standby_count : t -> int
     @raise Invalid_argument on an unknown [sid]. *)
 val partition_standby : t -> sid:int -> unit
 
-(** [heal_standby t ~sid] reconnects a partitioned standby; it rejoins
-    as a standby of whatever incarnation now runs (any pre-partition
-    claim is discarded). *)
+(** [heal_standby t ~sid] reconnects a partitioned standby; its
+    replica resyncs wholesale and it rejoins as a standby of whatever
+    incarnation now runs (any pre-partition claim is discarded). *)
 val heal_standby : t -> sid:int -> unit
+
+(** [standby_replica t ~sid] is standby [sid]'s replica tail — tests
+    inspect lag, queue depth and resync counts through it.
+    @raise Invalid_argument on an unknown [sid]. *)
+val standby_replica : t -> sid:int -> Support.Replica.t
 
 (** [takeovers t] lists takeover reports, oldest first. *)
 val takeovers : t -> report list

@@ -246,6 +246,11 @@ let compact t ~at =
   if Support.Journal.length log > 0 then begin
     let r = recover log in
     let cut = Support.Journal.last_seq log + 1 in
+    (* Roll segmented backends first: the re-appended block then lands
+       in a fresh active segment whose base is exactly the cut, so the
+       subsequent [compact] drops whole sealed segments without
+       rewriting a single retained byte. *)
+    Support.Journal.roll log;
     List.iter (fun q -> append_record t ~at (Query_opened q)) r.open_queries;
     append_checkpoint t ~at ~image:(Snapshot.to_bytes r.snapshot);
     Support.Journal.compact log ~upto_seq:cut

@@ -7,14 +7,18 @@ type entry = {
   checksum : int64;
 }
 
-(* A backend (e.g. [Journal_file]) mirrors the in-memory log onto
-   durable storage.  [on_append] sees every new entry, [on_sync] must
-   not return until prior appends are durable, [on_rewrite] is told
+(* A backend (e.g. [Journal_file], [Segment_store]) mirrors the
+   in-memory log onto durable storage; replica tails ([Replica]) are
+   sinks too, so several can be attached at once.  [on_append] sees
+   every new entry, [on_sync] must not return until prior appends are
+   durable, [on_roll] marks a segment boundary (segmented backends
+   seal the active segment; others ignore it), [on_rewrite] is told
    the whole image changed wholesale (compaction) and must replace its
    copy atomically. *)
 type sink = {
   on_append : entry -> unit;
   on_sync : unit -> unit;
+  on_roll : unit -> unit;
   on_rewrite : unit -> unit;
 }
 
@@ -31,7 +35,7 @@ type t = {
   mutable base_seq : int;
   mutable base_gen : int;
   mutable base_checksum : int64;
-  mutable sink : sink option;
+  mutable sinks : sink list; (* notification order: oldest attach first *)
 }
 
 (* FNV-1a, 64 bit.  Self-contained: [support] sits below [cryptosim]
@@ -78,7 +82,7 @@ let create () =
     base_seq = 0;
     base_gen = 1;
     base_checksum = fnv_offset;
-    sink = None;
+    sinks = [];
   }
 
 let generation t = t.gen
@@ -87,15 +91,25 @@ let length t = t.count
 
 let base_seq t = t.base_seq
 
+let base_gen t = t.base_gen
+
+let base_checksum t = t.base_checksum
+
+let tail_checksum t = t.tail_checksum
+
 let last_seq t = t.next_seq - 1
 
 let last_at t = match t.rev_entries with [] -> None | e :: _ -> Some e.at
 
-let attach t sink = t.sink <- Some sink
+let attach t sink = t.sinks <- t.sinks @ [ sink ]
 
-let detach t = t.sink <- None
+let detach t = t.sinks <- []
 
-let sync t = match t.sink with Some s -> s.on_sync () | None -> ()
+let detach_sink t sink = t.sinks <- List.filter (fun s -> s != sink) t.sinks
+
+let sync t = List.iter (fun s -> s.on_sync ()) t.sinks
+
+let roll t = List.iter (fun s -> s.on_roll ()) t.sinks
 
 let append t ~at ~tag ~payload =
   let seq = t.next_seq in
@@ -107,8 +121,21 @@ let append t ~at ~tag ~payload =
   t.tail_checksum <- checksum;
   t.rev_entries <- e :: t.rev_entries;
   t.count <- t.count + 1;
-  (match t.sink with Some s -> s.on_append e | None -> ());
+  List.iter (fun s -> s.on_append e) t.sinks;
   e
+
+(* Replicate a primary-stamped entry verbatim into a follower log: the
+   entry keeps its generation, sequence number and chained checksum.
+   The chain must stay continuous — a gap means the follower lost
+   frames and has to resync from the primary wholesale. *)
+let ingest t (e : entry) =
+  if e.seq <> t.next_seq then invalid_arg "Journal.ingest: sequence gap";
+  t.gen <- max t.gen e.gen;
+  t.next_seq <- e.seq + 1;
+  t.tail_checksum <- e.checksum;
+  t.rev_entries <- e :: t.rev_entries;
+  t.count <- t.count + 1;
+  List.iter (fun s -> s.on_append e) t.sinks
 
 let generation_tag = "generation"
 
@@ -162,7 +189,7 @@ let compact t ~upto_seq =
       t.base_seq <- newest_dropped.seq + 1;
       t.base_gen <- newest_dropped.gen;
       t.base_checksum <- newest_dropped.checksum;
-      (match t.sink with Some s -> s.on_rewrite () | None -> ())
+      List.iter (fun s -> s.on_rewrite ()) t.sinks
   end
 
 let verify t =

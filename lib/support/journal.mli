@@ -47,6 +47,15 @@ val create : unit -> t
     and chained checksum, appends, and returns the entry. *)
 val append : t -> at:float -> tag:string -> payload:string -> entry
 
+(** [ingest t e] appends a primary-stamped entry {e verbatim} —
+    generation, sequence number and chained checksum are kept, not
+    re-derived.  This is how a replica tail applies frames received
+    from the primary; the chain stays verifiable because the frames
+    arrive in order.
+    @raise Invalid_argument when [e.seq] is not the next sequence
+    number (the follower lost frames and must resync wholesale). *)
+val ingest : t -> entry -> unit
+
 (** [generation t] is the current writer generation (starts at 1). *)
 val generation : t -> int
 
@@ -65,6 +74,18 @@ val length : t -> int
     journal can still hold — 0 for a fresh journal, moved forward by
     {!compact}. *)
 val base_seq : t -> int
+
+(** [base_gen t] is the generation at the compaction base. *)
+val base_gen : t -> int
+
+(** [base_checksum t] is the chain root: the checksum the first
+    retained entry's link hashes over. *)
+val base_checksum : t -> int64
+
+(** [tail_checksum t] is the chain state after the newest entry (equal
+    to {!base_checksum} when empty) — the chain base a segmented
+    backend records for a segment starting at the current tail. *)
+val tail_checksum : t -> int64
 
 (** [last_seq t] is the sequence number of the newest entry
     ([base_seq t - 1] when empty). *)
@@ -109,30 +130,48 @@ val compact : t -> upto_seq:int -> unit
 
 (** {1 Backends}
 
-    A sink mirrors the in-memory log onto durable storage; callers of
-    this module never see it — appending, syncing and compacting work
-    identically with or without one attached. *)
+    A sink mirrors the in-memory log onto durable storage (or a
+    replica tail); callers of this module never see them — appending,
+    syncing and compacting work identically with zero, one or several
+    attached. *)
 
 type sink = {
   on_append : entry -> unit;  (** called after each append *)
   on_sync : unit -> unit;
       (** make prior appends durable before returning (fsync) *)
+  on_roll : unit -> unit;
+      (** a segment boundary: segmented backends seal the active
+          segment and start a fresh one; others ignore it *)
   on_rewrite : unit -> unit;
       (** the image changed wholesale (compaction); replace atomically *)
 }
 
-(** [attach t sink] installs the backend (replacing any previous
-    one).  The sink does NOT retroactively see existing entries —
+(** [attach t sink] adds a backend.  Several sinks can be attached at
+    once (a durable store plus replica tails); they are notified in
+    attach order.  A sink does NOT retroactively see existing entries —
     backends write the current image on attach ([Journal_file.attach]
     does). *)
 val attach : t -> sink -> unit
 
+(** [detach t] removes every attached sink. *)
 val detach : t -> unit
 
-(** [sync t] asks the attached backend to make all appends durable;
+(** [detach_sink t sink] removes exactly [sink] (physical equality),
+    leaving other backends attached. *)
+val detach_sink : t -> sink -> unit
+
+(** [sync t] asks every attached backend to make all appends durable;
     no-op without one.  The typed layer calls this on checkpoint
     records — the fsync boundary of the durability contract. *)
 val sync : t -> unit
+
+(** [roll t] marks a segment boundary: a segmented backend seals its
+    active segment (finalized header, span checksum, fsync) and starts
+    a fresh one at the current chain tail.  The typed layer calls this
+    right before re-appending the retained block during compaction, so
+    the subsequent {!compact} can drop whole sealed segments without
+    rewriting any retained bytes.  No-op for non-segmented sinks. *)
+val roll : t -> unit
 
 (** {1 Binary persistence}
 
@@ -153,5 +192,10 @@ val encode_open : t -> string
 (** [encode_entry e] is the wire frame of a single entry, exactly as
     it appears in an image after the header. *)
 val encode_entry : entry -> string
+
+(** The open-ended header count written by {!encode_open}: the decoder
+    treats it as an upper bound.  Segmented backends write it into
+    active-segment headers and synthesized recovery images. *)
+val open_count : int
 
 val decode : string -> (t, string) result

@@ -8,7 +8,13 @@
    fsyncs, which the typed layer invokes on checkpoint records.
    Compaction rewrites the whole image to a temp file and renames it
    over the old one, so a crash mid-rewrite leaves either the old or
-   the new image, never a mix. *)
+   the new image, never a mix.
+
+   Error containment: a write or fsync failure (ENOSPC, a yanked
+   disk) must never escape into the journal's append path — the
+   in-memory journal stays authoritative.  The backend catches the
+   exception, marks itself degraded (no further mirroring) and counts
+   it in [sink_errors]; the caller keeps running on memory alone. *)
 
 type t = {
   path : string;
@@ -17,6 +23,10 @@ type t = {
   mutable written : int; (* bytes handed to the OS (post-flush) *)
   mutable synced : int; (* bytes known durable (post-fsync) *)
   mutable dir_syncs : int; (* directory fsyncs after image renames *)
+  mutable stale_temps_removed : int; (* leftover *.tmp cleaned on attach *)
+  mutable sink_errors : int; (* write/fsync failures swallowed *)
+  mutable degraded : bool; (* mirroring stopped after a sink error *)
+  mutable sink : Journal.sink option; (* our registration, for detach_sink *)
 }
 
 let path t = t.path
@@ -71,40 +81,87 @@ let write_image t =
   t.written <- String.length img;
   t.synced <- t.written
 
+(* An I/O failure marks the backend degraded and is swallowed: the
+   typed layer's append must not be poisoned mid-record.  Once
+   degraded, nothing more is mirrored (the on-disk image is a stale
+   but still-verifiable prefix). *)
+let contain t f =
+  if not t.degraded then
+    try f ()
+    with Sys_error _ | Unix.Unix_error _ ->
+      t.sink_errors <- t.sink_errors + 1;
+      t.degraded <- true
+
 let handle_append t e =
-  let oc = channel t in
-  let frame = Journal.encode_entry e in
-  output_string oc frame;
-  flush oc;
-  t.written <- t.written + String.length frame
+  contain t (fun () ->
+      let oc = channel t in
+      let frame = Journal.encode_entry e in
+      output_string oc frame;
+      flush oc;
+      t.written <- t.written + String.length frame)
 
 let handle_sync t =
-  (match t.oc with Some oc -> fsync_channel oc | None -> ());
-  t.synced <- t.written
+  contain t (fun () ->
+      (match t.oc with Some oc -> fsync_channel oc | None -> ());
+      t.synced <- t.written)
 
 let dir_syncs t = t.dir_syncs
 
+let stale_temps_removed t = t.stale_temps_removed
+
+let sink_errors t = t.sink_errors
+
+let degraded t = t.degraded
+
 let attach log ~path =
-  let t = { path; log; oc = None; written = 0; synced = 0; dir_syncs = 0 } in
+  let t =
+    {
+      path;
+      log;
+      oc = None;
+      written = 0;
+      synced = 0;
+      dir_syncs = 0;
+      stale_temps_removed = 0;
+      sink_errors = 0;
+      degraded = false;
+      sink = None;
+    }
+  in
+  (* A crash between temp-file creation and the rename strands the
+     temp forever (write_image always opens a fresh one); sweep it up
+     here rather than letting them accumulate across restarts. *)
+  if Sys.file_exists (temp_path t) then begin
+    (try Sys.remove (temp_path t) with Sys_error _ -> ());
+    t.stale_temps_removed <- t.stale_temps_removed + 1
+  end;
   write_image t;
-  Journal.attach log
+  let sink =
     {
       Journal.on_append = (fun e -> handle_append t e);
       on_sync = (fun () -> handle_sync t);
-      on_rewrite = (fun () -> write_image t);
-    };
+      on_roll = (fun () -> ());
+      on_rewrite = (fun () -> contain t (fun () -> write_image t));
+    }
+  in
+  t.sink <- Some sink;
+  Journal.attach log sink;
   t
 
 let sync t = handle_sync t
 
 let close t =
-  Journal.detach t.log;
+  (match t.sink with
+  | Some sink -> Journal.detach_sink t.log sink
+  | None -> ());
+  t.sink <- None;
   match t.oc with
   | None -> ()
   | Some oc ->
-    fsync_channel oc;
-    t.synced <- t.written;
-    close_out oc;
+    contain t (fun () ->
+        fsync_channel oc;
+        t.synced <- t.written);
+    close_out_noerr oc;
     t.oc <- None
 
 let read_file path =

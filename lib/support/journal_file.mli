@@ -45,6 +45,20 @@ val synced_bytes : t -> int
     cannot resurrect the old image. *)
 val dir_syncs : t -> int
 
+(** Stale [*.tmp] files removed by {!attach}: a crash between the
+    temp-file write and the rename strands the temp forever, so each
+    attach sweeps it up and counts it here. *)
+val stale_temps_removed : t -> int
+
+(** Write/fsync failures (e.g. ENOSPC) swallowed by the backend.  The
+    in-memory journal stays authoritative — an I/O failure must never
+    poison the typed append path mid-record. *)
+val sink_errors : t -> int
+
+(** [degraded t] is [true] once a sink error stopped the mirroring;
+    the on-disk image is then a stale but still-verifiable prefix. *)
+val degraded : t -> bool
+
 (** Explicit fsync; equivalent to {!Journal.sync} on the attached
     log. *)
 val sync : t -> unit

@@ -1,0 +1,69 @@
+(* Deterministic fault plan for storage backends and replica tails.
+
+   The crash matrix used to be driven only by process kills and
+   post-hoc byte surgery on the image; this plan lets a test script
+   the fault at the exact I/O operation instead: the Nth frame write
+   is torn short, the Nth fsync fails, the Nth append raises (ENOSPC),
+   replica frames are held back.  Backends consult the plan at each
+   operation and bump the matching counter, so assertions can check
+   both the effect (recovered prefix) and that the fault actually
+   fired. *)
+
+type t = {
+  mutable short_write_at : int option;
+      (* frame write #n (0-based) is truncated to half its bytes *)
+  mutable fail_sync_at : int option; (* fsync #n raises Sys_error *)
+  mutable fail_append_at : int option; (* append #n raises Sys_error *)
+  mutable hold_frames : bool; (* replica: queue frames, deliver nothing *)
+  (* counters *)
+  mutable writes : int;
+  mutable syncs : int;
+  mutable short_writes : int;
+  mutable failed_syncs : int;
+  mutable failed_appends : int;
+}
+
+let create () =
+  {
+    short_write_at = None;
+    fail_sync_at = None;
+    fail_append_at = None;
+    hold_frames = false;
+    writes = 0;
+    syncs = 0;
+    short_writes = 0;
+    failed_syncs = 0;
+    failed_appends = 0;
+  }
+
+(* Consulted by a backend before mirroring an append; raises when the
+   plan says this append fails wholesale (simulated ENOSPC). *)
+let on_append t =
+  let n = t.writes in
+  (match t.fail_append_at with
+  | Some k when k = n ->
+    t.failed_appends <- t.failed_appends + 1;
+    t.writes <- n + 1;
+    raise (Sys_error "Storefault: injected append failure (ENOSPC)")
+  | _ -> ());
+  t.writes <- n + 1
+
+(* [frame_bytes t n frame] is what actually reaches the device for
+   frame number [n]: the full frame, or a torn prefix when the plan
+   schedules a short write there. *)
+let frame_bytes t n frame =
+  match t.short_write_at with
+  | Some k when k = n ->
+    t.short_writes <- t.short_writes + 1;
+    String.sub frame 0 (String.length frame / 2)
+  | _ -> frame
+
+(* Consulted before each fsync; raises when the plan fails it. *)
+let on_sync t =
+  let n = t.syncs in
+  t.syncs <- n + 1;
+  match t.fail_sync_at with
+  | Some k when k = n ->
+    t.failed_syncs <- t.failed_syncs + 1;
+    raise (Sys_error "Storefault: injected fsync failure")
+  | _ -> ()

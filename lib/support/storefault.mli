@@ -1,0 +1,42 @@
+(** Deterministic fault injection for storage backends and replica
+    tails.
+
+    A plan schedules faults by operation index — the Nth frame write
+    torn short, the Nth fsync raising, the Nth append failing like
+    ENOSPC, replica frames held in transit — so the crash matrix in
+    [test_persistence.ml] can hit exact boundaries (mid-seal,
+    mid-compaction, fsync edge) deterministically instead of only via
+    process kills and post-hoc byte surgery.  Backends accept an
+    optional plan at attach time ({!Segment_store.attach},
+    {!Replica.create}) and bump the counters as faults fire. *)
+
+type t = {
+  mutable short_write_at : int option;
+      (** frame write number (0-based) to truncate to half its bytes *)
+  mutable fail_sync_at : int option;  (** fsync number to fail *)
+  mutable fail_append_at : int option;
+      (** append number to fail wholesale (simulated ENOSPC) *)
+  mutable hold_frames : bool;
+      (** replica tails: keep queueing, deliver nothing until cleared *)
+  mutable writes : int;  (** frame writes attempted so far *)
+  mutable syncs : int;  (** fsyncs attempted so far *)
+  mutable short_writes : int;  (** scheduled short writes that fired *)
+  mutable failed_syncs : int;
+  mutable failed_appends : int;
+}
+
+(** A plan with no faults scheduled and all counters zero. *)
+val create : unit -> t
+
+(** [on_append t] counts an append; raises [Sys_error] when the plan
+    fails this one. *)
+val on_append : t -> unit
+
+(** [frame_bytes t n frame] is what reaches the device for frame
+    number [n] — the full frame, or a torn prefix on a scheduled short
+    write. *)
+val frame_bytes : t -> int -> string -> string
+
+(** [on_sync t] counts an fsync; raises [Sys_error] when the plan
+    fails this one. *)
+val on_sync : t -> unit

@@ -1,3 +1,13 @@
+(* Durable storage for the HA journal: a segmented store in [p_dir],
+   optionally encrypted at rest with a key derived from the service
+   keypair (deterministic in the scenario seed, so a separate recovery
+   process re-derives it — the key-escrow stand-in). *)
+type persist = {
+  p_dir : string;
+  p_segment_bytes : int;
+  p_encrypt : bool;
+}
+
 type spec = {
   topo : Netsim.Topology.t;
   clients : int;
@@ -16,6 +26,7 @@ type spec = {
   whitelist : (int * int) list;
   jurisdictions : string list;
   ha : Rvaas.Failover.config option;
+  persist : persist option;
   engine : Rvaas.Plumbing.engine;
   frontend : Rvaas.Frontend.config;
 }
@@ -39,6 +50,7 @@ let default_spec topo =
     whitelist = [];
     jurisdictions = [ "EU"; "US"; "CH" ];
     ha = None;
+    persist = None;
     engine = `Sweep;
     frontend = Rvaas.Frontend.default_config;
   }
@@ -51,11 +63,16 @@ type t = {
   monitor : Rvaas.Monitor.t;
   service : Rvaas.Service.t;
   controller : Rvaas.Failover.t option;
+  store : Support.Segment_store.t option;
   directory : Rvaas.Directory.t;
   geo_truth : Geo.Registry.t;
   agents : (int * Rvaas.Client_agent.t) list;
   service_keypair : Cryptosim.Keys.keypair;
 }
+
+let atrest_purpose = "journal-at-rest"
+
+let storage_key_of keypair = Cryptosim.Keys.derive keypair ~purpose:atrest_purpose
 
 let build spec =
   if spec.clients < 1 then invalid_arg "Scenario.build: need at least one client";
@@ -141,6 +158,28 @@ let build spec =
       let ctrl = Rvaas.Failover.start ~config ~build:build_controller net in
       (Rvaas.Failover.monitor ctrl, Rvaas.Failover.service ctrl, Some ctrl)
   in
+  (* Durable journal storage: a segmented store tailing the HA journal
+     (only the HA path owns a journal to persist). *)
+  let store =
+    match spec.persist with
+    | None -> None
+    | Some p ->
+      let ctrl =
+        match controller with
+        | Some c -> c
+        | None -> invalid_arg "Scenario.build: spec.persist requires spec.ha"
+      in
+      let crypt =
+        if p.p_encrypt then
+          Some (Cryptosim.Atrest.crypt ~key:(storage_key_of service_keypair))
+        else None
+      in
+      let config = { Support.Segment_store.segment_bytes = p.p_segment_bytes; crypt } in
+      Some
+        (Support.Segment_store.attach ~config
+           (Rvaas.Journal.log (Rvaas.Failover.journal ctrl))
+           ~dir:p.p_dir)
+  in
   let service_public = Rvaas.Service.public service in
   (* One agent per host. *)
   let agents =
@@ -164,6 +203,7 @@ let build spec =
       monitor;
       service;
       controller;
+      store;
       directory;
       geo_truth;
       agents;
@@ -189,6 +229,13 @@ let controller t =
   match t.controller with
   | Some c -> c
   | None -> invalid_arg "Scenario.controller: spec.ha is None"
+
+let store t =
+  match t.store with
+  | Some s -> s
+  | None -> invalid_arg "Scenario.store: spec.persist is None"
+
+let storage_key t = storage_key_of t.service_keypair
 
 let agent t ~host = List.assoc host t.agents
 

@@ -6,6 +6,17 @@
     registry with ground-truth switch locations, and one client agent
     per host.  All randomness derives from [seed]. *)
 
+(** Durable storage for the HA journal: a {!Support.Segment_store} in
+    [p_dir] with [p_segment_bytes] segments; with [p_encrypt] every
+    frame is encrypted at rest under a key derived from the service
+    keypair — deterministic in the scenario seed, so a separate
+    recovery process re-derives it ({!storage_key}). *)
+type persist = {
+  p_dir : string;
+  p_segment_bytes : int;
+  p_encrypt : bool;
+}
+
 type spec = {
   topo : Netsim.Topology.t;
   clients : int;  (** hosts are assigned to clients round-robin *)
@@ -32,6 +43,9 @@ type spec = {
           election among them on takeover) and, with
           [config.auto_compact], a self-bounding journal — all
           reachable via {!controller} *)
+  persist : persist option;
+      (** when set (requires [ha]), the journal is mirrored into a
+          segmented on-disk store reachable via {!val-store} *)
   engine : Rvaas.Plumbing.engine;
       (** the service's verification engine: per-query sweeps
           ([`Sweep], the default) or the compiled plumbing graph
@@ -57,6 +71,8 @@ type t = {
           which tracks takeovers *)
   service : Rvaas.Service.t;  (** initial incarnation; see {!val-service} *)
   controller : Rvaas.Failover.t option;  (** present iff [spec.ha] was set *)
+  store : Support.Segment_store.t option;
+      (** present iff [spec.persist] was set *)
   directory : Rvaas.Directory.t;
   geo_truth : Geo.Registry.t;
   agents : (int * Rvaas.Client_agent.t) list;  (** host id → agent *)
@@ -82,6 +98,17 @@ val service : t -> Rvaas.Service.t
 (** [controller t] is the failover harness.
     @raise Invalid_argument when [spec.ha] was [None]. *)
 val controller : t -> Rvaas.Failover.t
+
+(** [store t] is the segmented on-disk journal store.
+    @raise Invalid_argument when [spec.persist] was [None]. *)
+val store : t -> Support.Segment_store.t
+
+(** [storage_key t] is the encryption-at-rest key — derived from the
+    service keypair, hence deterministic in [spec.seed]: a recovery
+    process that rebuilds the scenario (or just the keypair) gets the
+    same key.  Pair with {!Cryptosim.Atrest.crypt} for
+    {!Support.Segment_store.recover_from_dir}. *)
+val storage_key : t -> Cryptosim.Hmac.key
 
 (** [agent t ~host] returns the host's agent.
     @raise Not_found for unknown hosts. *)

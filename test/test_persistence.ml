@@ -436,6 +436,439 @@ let test_compaction_preserves_generations () =
       (Support.Journal.length log');
     check Alcotest.int "decoded generation" 2 (Support.Journal.generation log')
 
+(* ---- segmented store: seals, crash matrix, fault injection ---- *)
+
+let with_tmp_dir f =
+  let dir = Filename.temp_file "rvaas_segments" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dir && Sys.is_directory dir then begin
+        Array.iter
+          (fun g -> try Sys.remove (Filename.concat dir g) with Sys_error _ -> ())
+          (Sys.readdir dir);
+        try Unix.rmdir dir with Unix.Unix_error _ -> ()
+      end)
+    (fun () -> f dir)
+
+let seg_config ?crypt segment_bytes = { Support.Segment_store.segment_bytes; crypt }
+
+let seg_files dir =
+  Sys.readdir dir |> Array.to_list
+  |> List.filter (fun f ->
+         Filename.check_suffix f ".rvsg" || Filename.check_suffix f ".act")
+  |> List.sort compare
+
+let atrest_key = Cryptosim.Hmac.key_of_string "test-at-rest-key"
+
+let atrest = Cryptosim.Atrest.crypt ~key:atrest_key
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.equal (String.sub hay i nn) needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let test_segment_roundtrip () =
+  with_tmp_dir (fun dir ->
+      let j, snap =
+        apply_ops
+          (QCheck2.Gen.generate1 ~rand:(Random.State.make [| 23 |])
+             QCheck2.Gen.(list_repeat 80 gen_op))
+      in
+      let log = Rvaas.Journal.log j in
+      let store = Support.Segment_store.attach ~config:(seg_config 512) log ~dir in
+      check Alcotest.bool "threshold sealing kicked in" true
+        (Support.Segment_store.sealed_count store >= 2);
+      Rvaas.Journal.heartbeat j ~at:99.0;
+      Rvaas.Journal.checkpoint j ~at:99.1 ~snapshot:snap;
+      check Alcotest.int "checkpoint fsynced everything"
+        (Support.Segment_store.written_bytes store)
+        (Support.Segment_store.synced_bytes store);
+      Support.Segment_store.close store;
+      match Support.Segment_store.recover_from_dir dir with
+      | Error e -> Alcotest.failf "recover_from_dir: %s" e
+      | Ok log' ->
+        check Alcotest.int "store recovers every entry"
+          (List.length (Support.Journal.entries log))
+          (List.length (Support.Journal.entries log'));
+        List.iter2
+          (fun a b -> check Alcotest.bool "entry preserved" true (entry_equal a b))
+          (Support.Journal.entries log)
+          (Support.Journal.entries log');
+        let r = Rvaas.Journal.recover log' in
+        check Alcotest.bool "digest parity through the segments" true
+          (Rvaas.Snapshot.digest_vector snap
+          = Rvaas.Snapshot.digest_vector r.Rvaas.Journal.snapshot))
+
+(* A crashed rewrite (or any earlier tooling) can leave [*.tmp] litter
+   and dead segments in the directory; attach must sweep both — and
+   count the temps so operators can see the crash happened. *)
+let test_attach_sweeps_stale_state () =
+  with_tmp_dir (fun dir ->
+      write_file (Filename.concat dir "journal.rvjl.tmp") "half-written temp";
+      write_file (Filename.concat dir "seg-000099.rvsg") "segment from a previous life";
+      let j, _ =
+        apply_ops
+          (QCheck2.Gen.generate1 ~rand:(Random.State.make [| 29 |]) gen_ops)
+      in
+      let log = Rvaas.Journal.log j in
+      let store = Support.Segment_store.attach log ~dir in
+      check Alcotest.int "stale temp swept and counted" 1
+        (Support.Segment_store.stale_temps_removed store);
+      check Alcotest.bool "stale segments replaced" false
+        (Sys.file_exists (Filename.concat dir "seg-000099.rvsg"));
+      Support.Segment_store.close store;
+      match Support.Segment_store.recover_from_dir dir with
+      | Error e -> Alcotest.failf "fresh store: %s" e
+      | Ok log' ->
+        check Alcotest.int "fresh store recovers in full"
+          (Support.Journal.length log)
+          (Support.Journal.length log'))
+
+(* Damage one arbitrary segment file — sealed or active, any position:
+   recovery must return a verified prefix of the in-memory oracle.
+   Only damage to the first segment (no prefix left to salvage) may
+   hard-error; damage anywhere else must degrade gracefully, and in
+   particular must never splice later segments over the gap. *)
+let mk_damage_prop ~name ~crypt damage =
+  QCheck2.Test.make ~count:40 ~name
+    QCheck2.Gen.(triple gen_ops (int_bound 1_000_000) (int_bound 1_000_000))
+    (fun (ops, pick_raw, pos_raw) ->
+      with_tmp_dir (fun dir ->
+          let j, _ = apply_ops ops in
+          let log = Rvaas.Journal.log j in
+          let store =
+            Support.Segment_store.attach ~config:(seg_config ?crypt 512) log ~dir
+          in
+          Support.Segment_store.close store;
+          let files = seg_files dir in
+          let victim = pick_raw mod List.length files in
+          damage (Filename.concat dir (List.nth files victim)) pos_raw;
+          let oracle = Support.Journal.valid_prefix log in
+          match Support.Segment_store.recover_from_dir ?crypt dir with
+          | Error _ -> victim = 0
+          | Ok log' ->
+            Support.Journal.verify log'
+            && is_prefix_of (Support.Journal.entries log') oracle))
+
+let truncate_file path pos_raw =
+  let img = read_file path in
+  write_file path (String.sub img 0 (pos_raw mod (String.length img + 1)))
+
+let bitflip_file path pos_raw =
+  let img = Bytes.of_string (read_file path) in
+  let pos = pos_raw mod Bytes.length img in
+  Bytes.set img pos
+    (Char.chr (Char.code (Bytes.get img pos) lxor (1 lsl (pos_raw mod 8))));
+  write_file path (Bytes.to_string img)
+
+let prop_segment_truncation =
+  mk_damage_prop ~crypt:None
+    ~name:"any segment truncated at any offset recovers a verified prefix"
+    truncate_file
+
+let prop_segment_bitflip =
+  mk_damage_prop ~crypt:None
+    ~name:"any segment with any bit flipped recovers a verified prefix"
+    bitflip_file
+
+(* The seal protocol has three crash points: after the header patch
+   but before the rename, mid-patch (sealed flag never landed), and a
+   torn frame tail on top of either.  None may lose a verified
+   entry — the first two lose nothing at all. *)
+let test_crash_mid_seal () =
+  with_tmp_dir (fun dir ->
+      let j, snap =
+        apply_ops
+          (QCheck2.Gen.generate1 ~rand:(Random.State.make [| 31 |])
+             QCheck2.Gen.(list_repeat 60 gen_op))
+      in
+      let log = Rvaas.Journal.log j in
+      let store = Support.Segment_store.attach ~config:(seg_config 512) log ~dir in
+      Support.Segment_store.seal_active store;
+      Support.Segment_store.close store;
+      let full = Support.Journal.length log in
+      (* Crash point 1: header finalized and fsynced, rename never ran
+         — the newest sealed segment still carries its active name and
+         the empty successor was never created. *)
+      List.iter
+        (fun f ->
+          if Filename.check_suffix f ".act" then Sys.remove (Filename.concat dir f))
+        (seg_files dir);
+      let last_sealed =
+        match List.rev (seg_files dir) with
+        | f :: _ -> f
+        | [] -> Alcotest.fail "no sealed segment"
+      in
+      let act_name = Filename.chop_suffix last_sealed ".rvsg" ^ ".act" in
+      Sys.rename (Filename.concat dir last_sealed) (Filename.concat dir act_name);
+      (match Support.Segment_store.recover_from_dir dir with
+      | Error e -> Alcotest.failf "finalized-but-unrenamed: %s" e
+      | Ok log' ->
+        check Alcotest.int "crash after finalize loses nothing" full
+          (Support.Journal.length log');
+        let r = Rvaas.Journal.recover log' in
+        check Alcotest.bool "digest parity at the seal point" true
+          (Rvaas.Snapshot.digest_vector snap
+          = Rvaas.Snapshot.digest_vector r.Rvaas.Journal.snapshot));
+      (* Crash point 2: the flags byte never landed — the segment still
+         reads as active, and its frames must all survive. *)
+      let path = Filename.concat dir act_name in
+      let img = Bytes.of_string (read_file path) in
+      Bytes.set img 5 '\000';
+      write_file path (Bytes.to_string img);
+      (match Support.Segment_store.recover_from_dir dir with
+      | Error e -> Alcotest.failf "unpatched flags: %s" e
+      | Ok log' ->
+        check Alcotest.int "crash mid-patch loses nothing" full
+          (Support.Journal.length log'));
+      (* Crash point 3: same segment with a torn frame tail — recovery
+         drops the torn frame and keeps the verified prefix. *)
+      write_file path (Bytes.sub_string img 0 (Bytes.length img - 7));
+      match Support.Segment_store.recover_from_dir dir with
+      | Error e -> Alcotest.failf "torn seal tail: %s" e
+      | Ok log' ->
+        let got = Support.Journal.entries log' in
+        check Alcotest.bool "torn tail keeps a strictly shorter prefix" true
+          (List.length got < full
+          && is_prefix_of got (Support.Journal.valid_prefix log)))
+
+(* Compaction unlinks dead sealed segments oldest-first, so a crash
+   between unlinks leaves the deleted list's suffix on disk — every
+   such state must recover to exactly the post-compaction state, and
+   retained sealed segments must not have a single byte rewritten. *)
+let is_suffix_of got full =
+  let n = List.length got and m = List.length full in
+  n <= m && List.for_all2 entry_equal got (List.filteri (fun i _ -> i >= m - n) full)
+
+let test_crash_mid_compaction_unlink () =
+  with_tmp_dir (fun dir ->
+      let ops = List.init 70 (fun i -> Obs (i mod 4, i * 7 mod 256)) in
+      let j, _ = apply_ops ~checkpoint_every:16 ops in
+      let log = Rvaas.Journal.log j in
+      let store = Support.Segment_store.attach ~config:(seg_config 512) log ~dir in
+      let backup =
+        List.map (fun f -> (f, read_file (Filename.concat dir f))) (seg_files dir)
+      in
+      let full = Support.Journal.entries log in
+      let digest0 =
+        Rvaas.Snapshot.digest_vector (Rvaas.Journal.recover log).Rvaas.Journal.snapshot
+      in
+      (* Rebase the chain mid-store — the primitive the typed layer's
+         compaction drives — so segments below the cut die and the
+         ones above must survive byte-identical. *)
+      Support.Journal.compact log ~upto_seq:(Support.Journal.last_seq log - 20);
+      let after_files = seg_files dir in
+      let deleted = List.filter (fun (f, _) -> not (List.mem f after_files)) backup in
+      let retained =
+        List.filter (fun f -> List.mem_assoc f backup) after_files
+      in
+      check Alcotest.bool "compaction deleted whole sealed files" true
+        (List.length deleted >= 2 && Support.Segment_store.sealed_deleted store >= 2);
+      check Alcotest.bool "segments above the cut retained" true
+        (List.exists (fun f -> Filename.check_suffix f ".rvsg") retained);
+      List.iter
+        (fun f ->
+          check Alcotest.bool "retained segment bytes untouched" true
+            (String.equal (read_file (Filename.concat dir f)) (List.assoc f backup)))
+        retained;
+      Support.Segment_store.close store;
+      (* Every partial-unlink crash state: oldest-first deletion means a
+         crash between unlinks leaves a suffix of the deleted list on
+         disk.  Each state must recover a chain-contiguous suffix of
+         the original journal and replay to the same digest vector. *)
+      let check_state msg =
+        match Support.Segment_store.recover_from_dir dir with
+        | Error e -> Alcotest.failf "%s: %s" msg e
+        | Ok log' ->
+          let got = Support.Journal.entries log' in
+          check Alcotest.bool (msg ^ ": contiguous suffix of the chain") true
+            (got <> [] && is_suffix_of got full);
+          check Alcotest.bool (msg ^ ": length covers the retained tail" ) true
+            (List.length got >= 21);
+          let r = Rvaas.Journal.recover log' in
+          check Alcotest.bool (msg ^ ": digest parity") true
+            (Rvaas.Snapshot.digest_vector r.Rvaas.Journal.snapshot = digest0)
+      in
+      check_state "all unlinks done";
+      List.iteri
+        (fun i (f, bytes) ->
+          write_file (Filename.concat dir f) bytes;
+          check_state (Printf.sprintf "unlink crash point %d (%s back)" i f))
+        (List.rev deleted))
+
+(* ---- injected faults: ENOSPC, short writes, failed fsyncs ---- *)
+
+let seg_observe j snap i =
+  let ev = Ofproto.Message.Flow_added (sample_spec i) in
+  Rvaas.Snapshot.apply_event snap ~sw:0 ~now:(0.01 *. float_of_int i) ev;
+  Rvaas.Journal.append j ~at:(0.01 *. float_of_int i) ~snapshot:snap
+    (Rvaas.Journal.Observation { sw = 0; event = ev })
+
+let test_enospc_containment () =
+  with_tmp_dir (fun dir ->
+      let j = Rvaas.Journal.create ~checkpoint_every:100 () in
+      let log = Rvaas.Journal.log j in
+      let snap = Rvaas.Snapshot.create () in
+      let faults = Support.Storefault.create () in
+      faults.Support.Storefault.fail_append_at <- Some 6;
+      let store =
+        Support.Segment_store.attach ~config:(seg_config 65536) ~faults log ~dir
+      in
+      for i = 1 to 12 do
+        seg_observe j snap i
+      done;
+      check Alcotest.bool "store degraded" true (Support.Segment_store.degraded store);
+      check Alcotest.int "one sink error" 1 (Support.Segment_store.sink_errors store);
+      check Alcotest.int "the injected failure fired" 1
+        faults.Support.Storefault.failed_appends;
+      check Alcotest.int "in-memory journal took every append" 12
+        (Support.Journal.length log);
+      check Alcotest.bool "in-memory journal still verifies" true
+        (Support.Journal.verify log);
+      Support.Segment_store.close store;
+      match Support.Segment_store.recover_from_dir dir with
+      | Error e -> Alcotest.failf "degraded store: %s" e
+      | Ok log' ->
+        check Alcotest.int "disk holds the pre-fault prefix" 6
+          (Support.Journal.length log');
+        check Alcotest.bool "prefix verified" true
+          (is_prefix_of
+             (Support.Journal.entries log')
+             (Support.Journal.valid_prefix log)))
+
+let test_short_write_tears_one_frame () =
+  with_tmp_dir (fun dir ->
+      let j = Rvaas.Journal.create ~checkpoint_every:100 () in
+      let log = Rvaas.Journal.log j in
+      let snap = Rvaas.Snapshot.create () in
+      let faults = Support.Storefault.create () in
+      faults.Support.Storefault.short_write_at <- Some 5;
+      let store =
+        Support.Segment_store.attach ~config:(seg_config 65536) ~faults log ~dir
+      in
+      for i = 1 to 10 do
+        seg_observe j snap i
+      done;
+      check Alcotest.int "the short write fired" 1
+        faults.Support.Storefault.short_writes;
+      check Alcotest.bool "torn frame degraded the store" true
+        (Support.Segment_store.degraded store);
+      Support.Segment_store.close store;
+      match Support.Segment_store.recover_from_dir dir with
+      | Error e -> Alcotest.failf "torn store: %s" e
+      | Ok log' ->
+        check Alcotest.int "recovery drops the torn frame and the dark tail" 5
+          (Support.Journal.length log');
+        check Alcotest.bool "prefix verified" true
+          (is_prefix_of
+             (Support.Journal.entries log')
+             (Support.Journal.valid_prefix log)))
+
+let test_failed_fsync_degrades () =
+  with_tmp_dir (fun dir ->
+      let j = Rvaas.Journal.create ~checkpoint_every:4 () in
+      let log = Rvaas.Journal.log j in
+      let snap = Rvaas.Snapshot.create () in
+      let faults = Support.Storefault.create () in
+      faults.Support.Storefault.fail_sync_at <- Some 0;
+      let store =
+        Support.Segment_store.attach ~config:(seg_config 65536) ~faults log ~dir
+      in
+      (* the 4th observation triggers the cadence checkpoint, whose
+         fsync is the injected failure *)
+      for i = 1 to 4 do
+        seg_observe j snap i
+      done;
+      check Alcotest.int "the fsync failure fired" 1
+        faults.Support.Storefault.failed_syncs;
+      check Alcotest.bool "failed fsync degraded the store" true
+        (Support.Segment_store.degraded store);
+      for i = 5 to 8 do
+        seg_observe j snap i
+      done;
+      check Alcotest.int "degraded store stopped mirroring" 10
+        (Support.Journal.length log);
+      Support.Segment_store.close store;
+      match Support.Segment_store.recover_from_dir dir with
+      | Error e -> Alcotest.failf "degraded store: %s" e
+      | Ok log' ->
+        check Alcotest.int "disk holds the pre-fault prefix" 5
+          (Support.Journal.length log');
+        check Alcotest.bool "prefix verified" true
+          (is_prefix_of
+             (Support.Journal.entries log')
+             (Support.Journal.valid_prefix log)))
+
+(* ---- encryption-at-rest ---- *)
+
+let test_encrypted_roundtrip () =
+  let canary = "plaintext-canary-3f9c51" in
+  let run_store ?crypt dir =
+    let j, snap =
+      apply_ops
+        (QCheck2.Gen.generate1 ~rand:(Random.State.make [| 37 |])
+           QCheck2.Gen.(list_repeat 50 gen_op))
+    in
+    let log = Rvaas.Journal.log j in
+    let store = Support.Segment_store.attach ~config:(seg_config ?crypt 512) log ~dir in
+    Rvaas.Journal.append j ~at:99.0 ~snapshot:snap
+      (Rvaas.Journal.Query_opened (query_open canary));
+    Rvaas.Journal.checkpoint j ~at:99.1 ~snapshot:snap;
+    Support.Segment_store.close store;
+    (log, snap)
+  in
+  with_tmp_dir (fun enc_dir ->
+      with_tmp_dir (fun plain_dir ->
+          let log, snap = run_store ~crypt:atrest enc_dir in
+          let _ = run_store plain_dir in
+          let dir_has_canary dir =
+            List.exists
+              (fun f -> contains (read_file (Filename.concat dir f)) canary)
+              (seg_files dir)
+          in
+          check Alcotest.bool "canary methodology works (plaintext store)" true
+            (dir_has_canary plain_dir);
+          check Alcotest.bool "plaintext never reaches the encrypted store" false
+            (dir_has_canary enc_dir);
+          (match Support.Segment_store.recover_from_dir ~crypt:atrest enc_dir with
+          | Error e -> Alcotest.failf "keyed recovery: %s" e
+          | Ok log' ->
+            check Alcotest.int "ciphertext recovers every entry"
+              (Support.Journal.length log)
+              (Support.Journal.length log');
+            let r = Rvaas.Journal.recover log' in
+            check Alcotest.bool "digest parity through the ciphertext" true
+              (Rvaas.Snapshot.digest_vector snap
+              = Rvaas.Snapshot.digest_vector r.Rvaas.Journal.snapshot);
+            check Alcotest.bool "open query survives encrypted recovery" true
+              (List.mem canary (open_nonces r)));
+          (match Support.Segment_store.recover_from_dir enc_dir with
+          | Error e ->
+            check Alcotest.bool "refusal names the missing key" true
+              (contains e "no key")
+          | Ok _ -> Alcotest.fail "recovered ciphertext without a key");
+          match
+            Support.Segment_store.recover_from_dir
+              ~crypt:(Cryptosim.Atrest.crypt ~key:(Cryptosim.Hmac.key_of_string "wrong"))
+              enc_dir
+          with
+          | Error _ -> ()
+          | Ok log' ->
+            check Alcotest.int "wrong key yields nothing, never plaintext" 0
+              (Support.Journal.length log')))
+
+let prop_encrypted_truncation =
+  mk_damage_prop ~crypt:(Some atrest)
+    ~name:"encrypted segment truncated anywhere recovers a verified prefix"
+    truncate_file
+
+let prop_encrypted_bitflip =
+  mk_damage_prop ~crypt:(Some atrest)
+    ~name:"bit-flipped encrypted frame is rejected by its MAC"
+    bitflip_file
+
 (* ---- end to end: a live HA deployment journaling to disk ---- *)
 
 let test_scenario_file_recovery () =
@@ -495,6 +928,35 @@ let () =
             test_crash_mid_rewrite;
           Alcotest.test_case "generation audit trail preserved" `Quick
             test_compaction_preserves_generations;
+        ] );
+      ( "segment-store",
+        [
+          Alcotest.test_case "attach, seal, recover round-trip" `Quick
+            test_segment_roundtrip;
+          Alcotest.test_case "attach sweeps stale temps and segments" `Quick
+            test_attach_sweeps_stale_state;
+          QCheck_alcotest.to_alcotest prop_segment_truncation;
+          QCheck_alcotest.to_alcotest prop_segment_bitflip;
+          Alcotest.test_case "crash points inside the seal protocol" `Quick
+            test_crash_mid_seal;
+          Alcotest.test_case "crash between compaction unlinks" `Quick
+            test_crash_mid_compaction_unlink;
+        ] );
+      ( "injected-faults",
+        [
+          Alcotest.test_case "ENOSPC is contained, memory stays authoritative"
+            `Quick test_enospc_containment;
+          Alcotest.test_case "short write tears exactly one frame" `Quick
+            test_short_write_tears_one_frame;
+          Alcotest.test_case "failed fsync degrades the sink" `Quick
+            test_failed_fsync_degrades;
+        ] );
+      ( "encrypted-store",
+        [
+          Alcotest.test_case "ciphertext round-trip, canary, key gating" `Quick
+            test_encrypted_roundtrip;
+          QCheck_alcotest.to_alcotest prop_encrypted_truncation;
+          QCheck_alcotest.to_alcotest prop_encrypted_bitflip;
         ] );
       ( "end-to-end",
         [

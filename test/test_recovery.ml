@@ -281,6 +281,8 @@ let ha_config =
     checkpoint_every = 32;
     standbys = 1;
     auto_compact = false;
+    replica_lag = 8;
+    replica_delay = 0.0;
   }
 
 let ha_scenario ?(seed = 42) ?(config = ha_config) () =
@@ -529,6 +531,135 @@ let test_quorum_partitioned_loser_heals () =
       r2.Rvaas.Failover.winner
   done
 
+(* ---- replica lag: elections over lag-bounded replica tails ---- *)
+
+let lag_config = { ha_config with standbys = 0; replica_lag = 64; replica_delay = 0.02 }
+
+(* The reconcile mechanics in isolation: a delayed tail is genuinely
+   behind its source, and catch-up — what an election winner runs
+   before takeover — applies the backlog until the view reaches the
+   source exactly. *)
+let test_replica_catch_up_mechanics () =
+  let j = Rvaas.Journal.create ~checkpoint_every:100 () in
+  let log = Rvaas.Journal.log j in
+  let replica = Support.Replica.create ~max_lag:64 ~delay:0.02 log in
+  for i = 1 to 10 do
+    Rvaas.Journal.heartbeat j ~at:(0.01 *. float_of_int i)
+  done;
+  Support.Replica.pump replica ~now:0.105;
+  check Alcotest.bool "tail lags the source" true (Support.Replica.queued replica > 0);
+  check Alcotest.bool "view is behind" true
+    (Support.Journal.length (Support.Replica.view replica) < Support.Journal.length log);
+  let applied = Support.Replica.catch_up replica in
+  check Alcotest.bool "catch-up applied the backlog" true (applied > 0);
+  check Alcotest.int "view reaches the source"
+    (Support.Journal.length log)
+    (Support.Journal.length (Support.Replica.view replica));
+  check Alcotest.bool "caught-up view verifies" true
+    (Support.Journal.verify (Support.Replica.view replica))
+
+let test_lagging_quorum_elections () =
+  (* 24 seeds; each: replicas demonstrably behind the primary, crash,
+     exactly one winner despite every election read going through a
+     lagging view.  The takeover report shows the winners reconciling
+     in-transit frames whenever rival claims were still in flight. *)
+  let reconciling = ref 0 in
+  for seed = 1 to 24 do
+    let s = ha_scenario ~seed ~config:lag_config () in
+    run_sim s ~until:0.3;
+    let ctrl = Workload.Scenario.controller s in
+    arm_phased ctrl ~seed ~count:3;
+    run_sim s ~until:0.35;
+    check Alcotest.bool
+      (Printf.sprintf "seed %d: some replica tail is behind" seed)
+      true
+      (List.exists
+         (fun sid ->
+           Support.Replica.queued (Rvaas.Failover.standby_replica ctrl ~sid) > 0)
+         [ 0; 1; 2 ]);
+    Rvaas.Failover.crash ctrl;
+    run_sim s ~until:0.9;
+    let tks = Rvaas.Failover.takeovers ctrl in
+    check Alcotest.int
+      (Printf.sprintf "seed %d: exactly one takeover" seed)
+      1 (List.length tks);
+    let r = List.hd tks in
+    check Alcotest.bool "winner is an armed standby" true
+      (r.Rvaas.Failover.winner >= 0 && r.Rvaas.Failover.winner < 3);
+    check Alcotest.int "generation 2" 2 r.Rvaas.Failover.generation;
+    check Alcotest.bool "service live under the new generation" true
+      (Rvaas.Service.live (Workload.Scenario.service s));
+    if r.Rvaas.Failover.reconciled_records > 0 then incr reconciling
+  done;
+  check Alcotest.bool "lagging winners reconciled in-transit frames" true
+    (!reconciling >= 6)
+
+let test_lagging_winner_verdict_parity () =
+  (* The non-crashed oracle and the crash-during-query run must extract
+     the same verdict even when the election ran over lagging
+     replicas. *)
+  for seed = 1 to 3 do
+    let s0 = ha_scenario ~seed ~config:lag_config () in
+    run_sim s0 ~until:0.3;
+    launch_join s0;
+    run_sim s0 ~until:0.4;
+    let expected = drive_query s0 in
+    check Alcotest.bool "oracle run answers" true (expected <> None);
+    let s = ha_scenario ~seed ~config:lag_config () in
+    run_sim s ~until:0.3;
+    let ctrl = Workload.Scenario.controller s in
+    arm_phased ctrl ~seed ~count:3;
+    launch_join s;
+    run_sim s ~until:0.4;
+    let got = drive_query ~crash_offset:0.002 s in
+    (match Rvaas.Failover.last_takeover ctrl with
+    | None -> Alcotest.fail "no takeover under replica lag"
+    | Some r -> check Alcotest.int "generation 2" 2 r.Rvaas.Failover.generation);
+    check Alcotest.bool "crashed run answers" true (got <> None);
+    check
+      (Alcotest.pair Alcotest.int (Alcotest.list Alcotest.string))
+      (Printf.sprintf "seed %d: verdict parity under replica lag" seed)
+      (Option.get expected) (Option.get got);
+    check Alcotest.bool "join attack flagged" true (snd (Option.get got) <> [])
+  done
+
+let test_lagging_partitioned_cannot_win () =
+  (* A partitioned replica receives nothing and is excluded from the
+     claim merge: even as first claimant it must never win, and its
+     heal goes through a wholesale resync. *)
+  for seed = 1 to 6 do
+    let s = ha_scenario ~seed ~config:lag_config () in
+    run_sim s ~until:0.3;
+    let ctrl = Workload.Scenario.controller s in
+    Rvaas.Failover.enable_standbys
+      ~phase:(fun sid -> if sid = 0 then 0.0 else 0.004)
+      ctrl ~count:3;
+    run_sim s ~until:0.32;
+    Rvaas.Failover.crash ctrl;
+    let log = Rvaas.Journal.log (Rvaas.Failover.journal ctrl) in
+    let deadline = sim_now s +. 0.3 in
+    while (not (has_claim_by log ~sid:0)) && sim_now s < deadline do
+      run_sim s ~until:(sim_now s +. 0.002)
+    done;
+    check Alcotest.bool "standby 0 claimed" true (has_claim_by log ~sid:0);
+    Rvaas.Failover.partition_standby ctrl ~sid:0;
+    check Alcotest.bool "replica tail cut" true
+      (Support.Replica.partitioned (Rvaas.Failover.standby_replica ctrl ~sid:0));
+    run_sim s ~until:(sim_now s +. 0.4);
+    let tks = Rvaas.Failover.takeovers ctrl in
+    check Alcotest.int
+      (Printf.sprintf "seed %d: healthy standby took over" seed)
+      1 (List.length tks);
+    check Alcotest.bool "partitioned lagging claimant did not win" true
+      ((List.hd tks).Rvaas.Failover.winner <> 0);
+    Rvaas.Failover.heal_standby ctrl ~sid:0;
+    run_sim s ~until:(sim_now s +. 0.2);
+    check Alcotest.bool "healed replica resynced wholesale" true
+      (Support.Replica.resyncs (Rvaas.Failover.standby_replica ctrl ~sid:0) >= 1);
+    check Alcotest.int "no split brain after the heal" 1
+      (List.length (Rvaas.Failover.takeovers ctrl))
+  done
+
 let () =
   Alcotest.run "recovery"
     [
@@ -562,5 +693,16 @@ let () =
             test_quorum_single_winner;
           Alcotest.test_case "partitioned loser heals and rejoins" `Quick
             test_quorum_partitioned_loser_heals;
+        ] );
+      ( "replica-lag",
+        [
+          Alcotest.test_case "delayed tail catch-up mechanics" `Quick
+            test_replica_catch_up_mechanics;
+          Alcotest.test_case "lagging quorum elections over 24 seeds" `Quick
+            test_lagging_quorum_elections;
+          Alcotest.test_case "lagging winner verdict parity" `Quick
+            test_lagging_winner_verdict_parity;
+          Alcotest.test_case "partitioned lagging claimant cannot win" `Quick
+            test_lagging_partitioned_cannot_win;
         ] );
     ]
