@@ -2557,6 +2557,254 @@ let e21 () =
         "E21 strict: segment, quorum-under-lag and at-rest checks passed"
 
 (* ---------------------------------------------------------------- *)
+(* E22: internet-scale soak — 1000+ switch multi-domain world,       *)
+(* millions of range-addressed hosts, an hour of simulated churn     *)
+(* ---------------------------------------------------------------- *)
+
+(* Peak resident set (VmHWM) in KiB from /proc/self/status; 0 when
+   unavailable (non-Linux). *)
+let e22_peak_rss_kb () =
+  match open_in "/proc/self/status" with
+  | exception Sys_error _ -> 0
+  | ic ->
+    let rec scan () =
+      match input_line ic with
+      | exception End_of_file -> 0
+      | line ->
+        if String.length line > 6 && String.sub line 0 6 = "VmHWM:" then
+          Scanf.sscanf (String.sub line 6 (String.length line - 6)) " %d" Fun.id
+        else scan ()
+    in
+    let kb = scan () in
+    close_in ic;
+    kb
+
+(* Full verdict agreement, controller hits included (E18's comparator
+   plus the interception dimension the soak's attacks exercise). *)
+let e22_agree (a : Rvaas.Verifier.reach_result) (b : Rvaas.Verifier.reach_result) =
+  List.map fst a.endpoints = List.map fst b.endpoints
+  && List.for_all2
+       (fun (_, x) (_, y) -> Hspace.Hs.equal x y)
+       a.endpoints b.endpoints
+  && a.traversed = b.traversed
+  && List.map fst a.controller_hits = List.map fst b.controller_hits
+  && List.for_all2
+       (fun (_, x) (_, y) -> Hspace.Hs.equal x y)
+       a.controller_hits b.controller_hits
+
+let e22 () =
+  let smoke = Sys.getenv_opt "RVAAS_E22_SMOKE" <> None in
+  let strict = Sys.getenv_opt "RVAAS_E22_STRICT" <> None in
+  let duration = if smoke then 300.0 else 3600.0 in
+  let samples = if smoke then 5 else 12 in
+  section
+    (Printf.sprintf
+       "E22: internet-scale soak — multi-domain world (leaf-spine DC +\n\
+        scale-free backbone), every attachment point a /16 range gateway\n\
+        carried as one Hs cube, %.0f s simulated churn campaign (rolling\n\
+        upgrades, link flaps, transient attacks, query storms) on the\n\
+        compiled engine behind a coalescing front-end; sweep-vs-compiled\n\
+        verdict parity sampled throughout%s"
+       duration
+       (if smoke then " [smoke]" else ""));
+  let params =
+    { Workload.Topogen.default_params with hosts_per_switch = 1; host_stride = 24 }
+  in
+  let md, topo_wall =
+    wall (fun () ->
+        Workload.Topogen.multi_domain params (Support.Rng.create 22) ~peering:3
+          [
+            Workload.Topogen.Leaf_spine { spines = 4; leaves = 996 };
+            Workload.Topogen.Scale_free { n = 40; m = 2 };
+          ])
+  in
+  let topo = md.Workload.Topogen.md_topo in
+  let gateways = Array.of_list (Netsim.Topology.hosts topo) in
+  let clients = Array.length gateways in
+  let s, deploy_wall =
+    wall (fun () ->
+        Workload.Scenario.build
+          {
+            (Workload.Scenario.default_spec topo) with
+            clients;
+            seed = 22;
+            polling = Rvaas.Monitor.Periodic 60.0;
+            engine = `Compiled;
+            frontend = Rvaas.Frontend.coalescing ~batch_window:0.002 ();
+            range_hosts = 0x10000;
+          })
+  in
+  let sim = Netsim.Net.sim s.net in
+  let now () = Netsim.Sim.now sim in
+  Workload.Scenario.run s ~until:(now () +. 1.0);
+  Printf.printf
+    "world: %d switches in %d domains, %d gateways, %d addresses, %d \
+     provider rules\n\
+     build: topology %.2f s, deployment %.2f s\n"
+    (Workload.Topogen.switch_count topo)
+    (Array.length md.Workload.Topogen.md_domains)
+    clients
+    (Workload.Scenario.address_count s)
+    (Sdnctl.Provider.rule_count s.provider)
+    topo_wall deploy_wall;
+  let profile =
+    {
+      Workload.Churn.upgrades_per_min = 0.5;
+      flaps_per_min = 1.0;
+      attacks_per_min = 0.5;
+      storms_per_min = 1.0;
+      upgrade_outage = 5.0;
+      flap_down = 3.0;
+      attack_dwell = 10.0;
+      storm_queries = 30;
+      storm_spread = 5.0;
+    }
+  in
+  let start = now () in
+  let campaign = Workload.Churn.plan s profile ~seed:22 ~start ~duration in
+  let planned =
+    List.fold_left
+      (fun (u, f, a, st) (_, e) ->
+        match e with
+        | Workload.Churn.Upgrade _ -> (u + 1, f, a, st)
+        | Workload.Churn.Flap _ -> (u, f + 1, a, st)
+        | Workload.Churn.Attack_burst _ -> (u, f, a + 1, st)
+        | Workload.Churn.Storm _ -> (u, f, a, st + 1))
+      (0, 0, 0, 0) campaign.Workload.Churn.c_events
+  in
+  let pu, pf, pa, ps = planned in
+  Printf.printf
+    "campaign: %d events over %.0f s (%d upgrades, %d flaps, %d attacks, %d \
+     storms)\n"
+    (Workload.Churn.event_count campaign)
+    duration pu pf pa ps;
+  let report = Workload.Churn.schedule s campaign in
+  let points = Array.of_list (Rvaas.Verifier.access_points topo) in
+  let parity_checks = ref 0 and parity_mismatches = ref 0 in
+  let executed0 = Netsim.Sim.executed sim in
+  let wall0 = now_s () in
+  Printf.printf "%-7s | %9s %9s %8s | %6s %8s %7s | %6s\n" "sim(s)" "events"
+    "ev/s(w)" "wall(s)" "cache%" "coalesce" "rss(MB)" "parity";
+  for k = 1 to samples do
+    let (), step_wall =
+      wall (fun () ->
+          Workload.Scenario.run s
+            ~until:(start +. (float_of_int k *. (duration /. float_of_int samples))))
+    in
+    (* Parity sample: the compiled engine's verdict vs a sweep of the
+       same believed view — one range-scoped query (a /16 carried as a
+       single cube) and one broad ip-traffic query, from two rotating
+       access points. *)
+    let snapshot = Rvaas.Monitor.snapshot (Workload.Scenario.monitor s) in
+    let flows_of sw = Rvaas.Snapshot.flows snapshot ~sw in
+    let scope_gw = gateways.(k * 13 mod Array.length gateways) in
+    let scopes =
+      [
+        Option.get (Workload.Scenario.range_scope s ~host:scope_gw);
+        Rvaas.Verifier.ip_traffic_hs ();
+      ]
+    in
+    List.iter
+      (fun (ep : Rvaas.Verifier.endpoint) ->
+        List.iter
+          (fun hs ->
+            incr parity_checks;
+            let live =
+              Rvaas.Service.reach (Workload.Scenario.service s) ~src_sw:ep.sw
+                ~src_port:ep.port ~hs
+            in
+            let sweep =
+              Rvaas.Verifier.reach ~flows_of topo ~src_sw:ep.sw
+                ~src_port:ep.port ~hs
+            in
+            if not (e22_agree live sweep) then incr parity_mismatches)
+          scopes)
+      [ points.(k mod Array.length points);
+        points.(k * 7 mod Array.length points);
+      ];
+    let executed = Netsim.Sim.executed sim - executed0 in
+    let cache = Rvaas.Reach_cache.hit_rate (Rvaas.Service.reach_cache (Workload.Scenario.service s)) in
+    let frontend = Rvaas.Service.frontend_stats (Workload.Scenario.service s) in
+    let coalesce_rate =
+      if frontend.Rvaas.Frontend.admitted = 0 then 0.0
+      else
+        float_of_int frontend.Rvaas.Frontend.coalesced
+        /. float_of_int frontend.Rvaas.Frontend.admitted
+    in
+    Printf.printf "%-7.0f | %9d %9.0f %8.1f | %6.1f %8.1f %7.1f | %6s\n"
+      (now () -. start) executed
+      (float_of_int executed /. (now_s () -. wall0))
+      step_wall (100.0 *. cache) (100.0 *. coalesce_rate)
+      (float_of_int (e22_peak_rss_kb ()) /. 1024.0)
+      (if !parity_mismatches = 0 then "ok" else "MISMATCH");
+    flush stdout
+  done;
+  (* Let the last transients retract, then summarise. *)
+  Workload.Scenario.run s ~until:(now () +. 15.0);
+  let total_wall = now_s () -. wall0 in
+  let executed = Netsim.Sim.executed sim - executed0 in
+  let plumbing_stats =
+    Option.map Rvaas.Plumbing.stats
+      (Rvaas.Service.plumbing (Workload.Scenario.service s))
+  in
+  Printf.printf
+    "soak: %.0f s simulated in %.1f s wall — %.0f events/s sustained, peak \
+     RSS %.1f MB\n\
+     churn executed: %d/%d upgrades, %d/%d flaps, %d/%d attacks, %d/%d \
+     storms\n\
+     storms: %d queries sent, %d answered, %d throttled\n\
+     parity: %d/%d sampled verdicts agree\n"
+    (now () -. 15.0 -. start) total_wall
+    (float_of_int executed /. total_wall)
+    (float_of_int (e22_peak_rss_kb ()) /. 1024.0)
+    report.Workload.Churn.upgrades pu report.Workload.Churn.flaps pf
+    report.Workload.Churn.attacks pa report.Workload.Churn.storms ps
+    report.Workload.Churn.storm_queries_sent
+    report.Workload.Churn.storm_answers report.Workload.Churn.storm_throttled
+    (!parity_checks - !parity_mismatches)
+    !parity_checks;
+  (match plumbing_stats with
+  | Some st ->
+    Printf.printf
+      "plumbing: %d incremental updates, %d recompiles, %d scoped lookups, \
+       %d fallback sweeps\n"
+      st.Rvaas.Plumbing.updates st.Rvaas.Plumbing.recompiles
+      st.Rvaas.Plumbing.scoped_lookups st.Rvaas.Plumbing.fallback_sweeps
+  | None -> ());
+  if strict then begin
+    let failures = ref 0 in
+    let fail msg =
+      incr failures;
+      Printf.printf "E22 strict: %s\n" msg
+    in
+    if !parity_mismatches > 0 then
+      fail
+        (Printf.sprintf "%d sweep-vs-compiled parity mismatch(es)"
+           !parity_mismatches);
+    if Workload.Topogen.switch_count topo < 1000 then
+      fail "world below 1000 switches";
+    if Workload.Scenario.address_count s < 2_000_000 then
+      fail "fewer than two million range-carried addresses";
+    if (not smoke) && now () -. start < 3600.0 then
+      fail "less than an hour of simulated time";
+    if
+      report.Workload.Churn.upgrades <> pu
+      || report.Workload.Churn.flaps <> pf
+      || report.Workload.Churn.attacks <> pa
+      || report.Workload.Churn.storms <> ps
+    then fail "campaign did not execute every planned event";
+    if ps > 0 && report.Workload.Churn.storm_answers = 0 then
+      fail "storm queries never answered";
+    if !failures > 0 then begin
+      Printf.printf "E22 strict: %d failing check(s)\n" !failures;
+      exit 1
+    end
+    else
+      print_endline
+        "E22 strict: scale, campaign-completion and parity checks passed"
+  end
+
+(* ---------------------------------------------------------------- *)
 (* Micro-benchmarks (Bechamel)                                       *)
 (* ---------------------------------------------------------------- *)
 
@@ -2686,6 +2934,7 @@ let experiments =
     ("e19", e19);
     ("e20", e20);
     ("e21", e21);
+    ("e22", e22);
     ("micro", micro);
   ]
 

@@ -19,8 +19,11 @@ let topo_conv =
       ("star", `Star);
       ("grid", `Grid);
       ("fat-tree", `Fat_tree);
+      ("leaf-spine", `Leaf_spine);
       ("waxman", `Waxman);
       ("isp", `Isp);
+      ("scale-free", `Scale_free);
+      ("multi-domain", `Multi_domain);
     ]
 
 let topo_arg =
@@ -136,9 +139,25 @@ let make_topo kind size =
   | `Star -> Workload.Topogen.star p size
   | `Grid -> Workload.Topogen.grid p ~rows:size ~cols:size
   | `Fat_tree -> Workload.Topogen.fat_tree p ~k:(if size mod 2 = 0 then size else size + 1)
+  | `Leaf_spine ->
+    Workload.Topogen.leaf_spine p ~spines:(max 1 (size / 4)) ~leaves:(max 1 size)
   | `Waxman ->
     Workload.Topogen.waxman p (Support.Rng.create 7) ~n:size ~alpha:0.4 ~beta:0.4
   | `Isp -> Workload.Topogen.isp p ~core:(max 3 size) ~pops_per_core:2
+  | `Scale_free ->
+    let n = max 4 size in
+    Workload.Topogen.scale_free p (Support.Rng.create 7) ~n ~m:2
+  | `Multi_domain ->
+    (* A DC fabric peered to a scale-free backbone, sized by --size leaves. *)
+    let leaves = max 2 size in
+    let m =
+      Workload.Topogen.multi_domain p (Support.Rng.create 7) ~peering:2
+        [
+          Workload.Topogen.Leaf_spine { spines = max 1 (leaves / 4); leaves };
+          Workload.Topogen.Scale_free { n = max 4 (leaves / 2); m = 2 };
+        ]
+    in
+    m.Workload.Topogen.md_topo
 
 let make_polling mode period =
   match mode with

@@ -23,8 +23,11 @@ type conn = {
   mutable handler : Ofproto.Message.to_controller -> unit;
   mutable up : bool; (* session alive?  down = crash or partition *)
   mutable sessions : int; (* establishments: 1 + reconnect count *)
-  mutable switches : int list;
-  mutable monitored : int list;
+  (* Membership sets, not lists: a single controller attaches every
+     switch of a generated world, and attach/send/monitor checks run
+     per message. *)
+  switches : (int, unit) Hashtbl.t;
+  monitored : (int, unit) Hashtbl.t;
   mutable tx : int; (* controller -> switch messages sent *)
   mutable rx : int; (* switch -> controller messages delivered *)
   mutable lost : int;
@@ -121,10 +124,10 @@ let to_controller t conn msg =
       (ctrl_copies t conn)
 
 let monitoring_conns t sw =
-  List.filter (fun c -> List.mem sw c.monitored) t.conns
+  List.filter (fun c -> Hashtbl.mem c.monitored sw) t.conns
 
 let attached_conns t sw =
-  List.filter (fun c -> List.mem sw c.switches) t.conns
+  List.filter (fun c -> Hashtbl.mem c.switches sw) t.conns
 
 (* Per-switch processing latency: lookup + action execution. *)
 let switch_latency = 1e-6
@@ -280,8 +283,8 @@ let register_controller t ~name ~delay ?(loss_prob = 0.0) ?(faults = Faults.none
       handler = (fun _ -> ());
       up = true;
       sessions = 1;
-      switches = [];
-      monitored = [];
+      switches = Hashtbl.create 64;
+      monitored = Hashtbl.create 64;
       tx = 0;
       rx = 0;
       lost = 0;
@@ -294,14 +297,14 @@ let set_handler conn f = conn.handler <- f
 
 let attach t conn ~sw ~monitor =
   ignore (switch_state t sw);
-  if not (List.mem sw conn.switches) then conn.switches <- sw :: conn.switches;
-  if monitor && not (List.mem sw conn.monitored) then
-    conn.monitored <- sw :: conn.monitored
+  Hashtbl.replace conn.switches sw ();
+  if monitor then Hashtbl.replace conn.monitored sw ()
 
-let attached _t conn = List.sort compare conn.switches
+let attached _t conn =
+  List.sort compare (Hashtbl.fold (fun sw () acc -> sw :: acc) conn.switches [])
 
 let send t conn ~sw msg =
-  if not (List.mem sw conn.switches) then
+  if not (Hashtbl.mem conn.switches sw) then
     invalid_arg "Net.send: connection not attached to switch";
   conn.tx <- conn.tx + 1;
   if not conn.up then session_drop t conn
@@ -334,6 +337,11 @@ let conn_up conn = conn.up
 let conn_sessions conn = conn.sessions
 
 let set_link_faults t endpoint faults = Hashtbl.replace t.link_faults endpoint faults
+
+(* A per-endpoint entry overrides [default_link_faults] entirely, so
+   restoring a flapped link must remove the entry rather than set it
+   to [Faults.none]. *)
+let clear_link_faults t endpoint = Hashtbl.remove t.link_faults endpoint
 
 let set_default_link_faults t faults = t.default_link_faults <- faults
 

@@ -153,6 +153,12 @@ val conn_sessions : conn -> int
     overriding the default. *)
 val set_link_faults : t -> Topology.endpoint -> Faults.t -> unit
 
+(** [clear_link_faults t endpoint] removes the per-endpoint override,
+    restoring the default fault config for that endpoint (a
+    per-endpoint entry shadows the default entirely, so flap-restore
+    must delete it rather than set {!Faults.none}). *)
+val clear_link_faults : t -> Topology.endpoint -> unit
+
 (** [set_default_link_faults t faults] applies [faults] to every
     data-plane hop without a per-endpoint override. *)
 val set_default_link_faults : t -> Faults.t -> unit

@@ -4,27 +4,101 @@ type endpoint = { node : node; port : int }
 
 type link = { a : endpoint; b : endpoint; delay : float }
 
+(* Per-switch adjacency, maintained incrementally by [connect] so that
+   reads are O(result) instead of a fold over the whole wiring table —
+   the difference between seconds and hours on the internet-scale
+   worlds Topogen now produces (thousands of switches, each queried
+   many times per BFS).  Sorted views are memoised and invalidated on
+   insertion. *)
+type adj = {
+  mutable ports : int list; (* wired ports, descending insertion *)
+  mutable adj_hosts : (int * int) list; (* (host, switch port) *)
+  mutable neighbors : (int * int * int) list; (* (port, remote sw, remote port) *)
+  mutable ports_sorted : int list option;
+  mutable hosts_sorted : (int * int) list option;
+  mutable neighbors_sorted : (int * int * int) list option;
+}
+
 type t = {
-  mutable switch_ids : int list; (* descending insertion; sorted on read *)
+  switch_set : (int, unit) Hashtbl.t;
+  host_set : (int, unit) Hashtbl.t;
+  mutable switch_ids : int list; (* descending insertion; sorted memo below *)
   mutable host_ids : int list;
+  mutable switches_sorted : int list option;
+  mutable hosts_sorted : int list option;
   mutable link_list : link list; (* reverse insertion order *)
   wiring : (endpoint, endpoint * float) Hashtbl.t;
+  adjacency : (int, adj) Hashtbl.t; (* switch id -> adjacency *)
+  attachments : (int, endpoint list) Hashtbl.t; (* host -> switch endpoints *)
 }
 
 let create () =
-  { switch_ids = []; host_ids = []; link_list = []; wiring = Hashtbl.create 64 }
+  {
+    switch_set = Hashtbl.create 64;
+    host_set = Hashtbl.create 64;
+    switch_ids = [];
+    host_ids = [];
+    switches_sorted = None;
+    hosts_sorted = None;
+    link_list = [];
+    wiring = Hashtbl.create 64;
+    adjacency = Hashtbl.create 64;
+    attachments = Hashtbl.create 64;
+  }
+
+let fresh_adj () =
+  {
+    ports = [];
+    adj_hosts = [];
+    neighbors = [];
+    ports_sorted = None;
+    hosts_sorted = None;
+    neighbors_sorted = None;
+  }
+
+let adj t sw =
+  match Hashtbl.find_opt t.adjacency sw with
+  | Some a -> a
+  | None ->
+    let a = fresh_adj () in
+    Hashtbl.replace t.adjacency sw a;
+    a
 
 let add_switch t id =
-  if List.mem id t.switch_ids then invalid_arg "Topology.add_switch: duplicate id";
-  t.switch_ids <- id :: t.switch_ids
+  if Hashtbl.mem t.switch_set id then invalid_arg "Topology.add_switch: duplicate id";
+  Hashtbl.replace t.switch_set id ();
+  t.switch_ids <- id :: t.switch_ids;
+  t.switches_sorted <- None
 
 let add_host t id =
-  if List.mem id t.host_ids then invalid_arg "Topology.add_host: duplicate id";
-  t.host_ids <- id :: t.host_ids
+  if Hashtbl.mem t.host_set id then invalid_arg "Topology.add_host: duplicate id";
+  Hashtbl.replace t.host_set id ();
+  t.host_ids <- id :: t.host_ids;
+  t.hosts_sorted <- None
 
 let declared t = function
-  | Switch id -> List.mem id t.switch_ids
-  | Host id -> List.mem id t.host_ids
+  | Switch id -> Hashtbl.mem t.switch_set id
+  | Host id -> Hashtbl.mem t.host_set id
+
+let note_endpoint t e far =
+  match e.node with
+  | Switch sw ->
+    let a = adj t sw in
+    a.ports <- e.port :: a.ports;
+    a.ports_sorted <- None;
+    (match far.node with
+    | Host h ->
+      a.adj_hosts <- (h, e.port) :: a.adj_hosts;
+      a.hosts_sorted <- None
+    | Switch remote ->
+      a.neighbors <- (e.port, remote, far.port) :: a.neighbors;
+      a.neighbors_sorted <- None)
+  | Host h -> (
+    match far.node with
+    | Switch _ ->
+      let prev = Option.value ~default:[] (Hashtbl.find_opt t.attachments h) in
+      Hashtbl.replace t.attachments h (far :: prev)
+    | Host _ -> ())
 
 let connect t a b ~delay =
   if not (declared t a.node) then invalid_arg "Topology.connect: undeclared node";
@@ -34,52 +108,69 @@ let connect t a b ~delay =
   if delay < 0.0 then invalid_arg "Topology.connect: negative delay";
   Hashtbl.replace t.wiring a (b, delay);
   Hashtbl.replace t.wiring b (a, delay);
+  note_endpoint t a b;
+  note_endpoint t b a;
   t.link_list <- { a; b; delay } :: t.link_list
 
 let peer t e = Option.map fst (Hashtbl.find_opt t.wiring e)
 
 let link_delay t e = Option.map snd (Hashtbl.find_opt t.wiring e)
 
-let switches t = List.sort compare t.switch_ids
+let switches t =
+  match t.switches_sorted with
+  | Some s -> s
+  | None ->
+    let s = List.sort compare t.switch_ids in
+    t.switches_sorted <- Some s;
+    s
 
-let hosts t = List.sort compare t.host_ids
+let hosts t =
+  match t.hosts_sorted with
+  | Some s -> s
+  | None ->
+    let s = List.sort compare t.host_ids in
+    t.hosts_sorted <- Some s;
+    s
 
 let links t = List.rev t.link_list
 
 let switch_ports t sw =
-  Hashtbl.fold
-    (fun e _ acc -> match e.node with Switch id when id = sw -> e.port :: acc | _ -> acc)
-    t.wiring []
-  |> List.sort compare
+  match Hashtbl.find_opt t.adjacency sw with
+  | None -> []
+  | Some a -> (
+    match a.ports_sorted with
+    | Some s -> s
+    | None ->
+      let s = List.sort compare a.ports in
+      a.ports_sorted <- Some s;
+      s)
 
 let host_attachment t host =
-  let candidates =
-    Hashtbl.fold
-      (fun e (far, _) acc ->
-        match e.node, far.node with
-        | Host id, Switch _ when id = host -> far :: acc
-        | _ -> acc)
-      t.wiring []
-  in
-  match candidates with [ e ] -> Some e | [] | _ :: _ -> None
+  match Hashtbl.find_opt t.attachments host with
+  | Some [ e ] -> Some e
+  | Some _ | None -> None
 
 let hosts_on_switch t sw =
-  Hashtbl.fold
-    (fun e (far, _) acc ->
-      match e.node, far.node with
-      | Switch id, Host h when id = sw -> (h, e.port) :: acc
-      | _ -> acc)
-    t.wiring []
-  |> List.sort compare
+  match Hashtbl.find_opt t.adjacency sw with
+  | None -> []
+  | Some a -> (
+    match a.hosts_sorted with
+    | Some s -> s
+    | None ->
+      let s = List.sort compare a.adj_hosts in
+      a.hosts_sorted <- Some s;
+      s)
 
 let neighbor_switches t sw =
-  Hashtbl.fold
-    (fun e (far, _) acc ->
-      match e.node, far.node with
-      | Switch id, Switch remote when id = sw -> (e.port, remote, far.port) :: acc
-      | _ -> acc)
-    t.wiring []
-  |> List.sort compare
+  match Hashtbl.find_opt t.adjacency sw with
+  | None -> []
+  | Some a -> (
+    match a.neighbors_sorted with
+    | Some s -> s
+    | None ->
+      let s = List.sort compare a.neighbors in
+      a.neighbors_sorted <- Some s;
+      s)
 
 let shortest_paths t ~from_sw =
   let dist = Hashtbl.create 32 and via = Hashtbl.create 32 in
@@ -99,6 +190,31 @@ let shortest_paths t ~from_sw =
       (neighbor_switches t sw)
   done;
   (dist, via)
+
+(* One BFS from the destination yields every switch's next hop towards
+   it: when [v] (already reached) expands edge (port_v, u, port_u), the
+   unvisited [u] routes to [dst_sw] through its own [port_u].  O(V+E)
+   for the whole table, vs. [next_hop_port]'s BFS per (source, dst)
+   pair — the provider's rule computation over thousands of switches
+   depends on this. *)
+let routes_to t ~dst_sw =
+  let next = Hashtbl.create 64 in
+  let seen = Hashtbl.create 64 in
+  Hashtbl.replace seen dst_sw ();
+  let queue = Queue.create () in
+  Queue.add dst_sw queue;
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    List.iter
+      (fun (_port_v, u, port_u) ->
+        if not (Hashtbl.mem seen u) then begin
+          Hashtbl.replace seen u ();
+          Hashtbl.replace next u port_u;
+          Queue.add u queue
+        end)
+      (neighbor_switches t v)
+  done;
+  next
 
 let next_hop_port t ~from_sw ~to_sw =
   if from_sw = to_sw then None

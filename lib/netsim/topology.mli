@@ -71,6 +71,13 @@ val shortest_paths : t -> from_sw:int -> (int, int) Hashtbl.t * (int, int * int)
     equal). *)
 val next_hop_port : t -> from_sw:int -> to_sw:int -> int option
 
+(** [routes_to t ~dst_sw] is every switch's next-hop egress port
+    towards [dst_sw] on some shortest path, computed with a single
+    BFS from the destination.  [dst_sw] itself and unreachable
+    switches are absent from the table.  Agrees with
+    {!next_hop_port} up to shortest-path tie-breaking. *)
+val routes_to : t -> dst_sw:int -> (int, int) Hashtbl.t
+
 (** [shortest_switch_path t ~from_sw ~to_sw] is the switch sequence of
     some shortest path, inclusive of both ends ([\[from_sw\]] when
     equal); [None] when unreachable. *)

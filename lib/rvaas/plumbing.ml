@@ -90,6 +90,10 @@ type t = {
   dirty : (int, unit) Hashtbl.t;
       (* distinct switches updated since the last recompile or query —
          the churn-threshold trigger *)
+  stale : (int, unit) Hashtbl.t;
+      (* switches whose node arrays are out of date — re-derived in one
+         batch at the next query instead of once per Flow-Mod, so an
+         install burst of [k] rules costs one refresh, not [k] *)
   stats : stats;
 }
 
@@ -153,6 +157,15 @@ let refresh_switch t sw =
   List.iter
     (fun port -> Hashtbl.replace t.tables (sw, port) (compile_port t sw port))
     (Netsim.Topology.switch_ports t.topo sw)
+
+(* Bring every stale switch's tables current.  Runs at query (and
+   instrumentation) entry, so the cost of a churn burst is one
+   re-derivation per touched switch regardless of burst length. *)
+let flush t =
+  if Hashtbl.length t.stale > 0 then begin
+    Hashtbl.iter (fun sw () -> refresh_switch t sw) t.stale;
+    Hashtbl.reset t.stale
+  end
 
 (* ---- propagation over the compiled tables ---- *)
 
@@ -390,6 +403,7 @@ let reach t ~src_sw ~src_port ~hs =
   (* A query is the settle point of an update burst: the churn window
      for the recompile threshold restarts here. *)
   Hashtbl.reset t.dirty;
+  flush t;
   let s = source t ~src_sw ~src_port in
   if is_full_scope hs then begin
     t.stats.lookups <- t.stats.lookups + 1;
@@ -417,7 +431,7 @@ let recompile t =
   List.iter
     (fun sw ->
       Hashtbl.replace t.versions sw t.global_version;
-      refresh_switch t sw)
+      Hashtbl.replace t.stale sw ())
     (member_switches t)
 
 let update t ~sw =
@@ -426,7 +440,7 @@ let update t ~sw =
     Hashtbl.replace t.dirty sw ();
     if Hashtbl.length t.dirty > t.churn_threshold then recompile t
     else begin
-      refresh_switch t sw;
+      Hashtbl.replace t.stale sw ();
       t.global_version <- t.global_version + 1;
       Hashtbl.replace t.versions sw t.global_version
     end
@@ -446,6 +460,7 @@ let compile ?pool ?churn_threshold ?(boundary = fun _ -> true) ~flows_of topo =
       global_version = 0;
       sources = Hashtbl.create 16;
       dirty = Hashtbl.create 8;
+      stale = Hashtbl.create 8;
       stats =
         {
           source_compiles = 0;
@@ -488,6 +503,7 @@ let compile ?pool ?churn_threshold ?(boundary = fun _ -> true) ~flows_of topo =
   t
 
 let warm ?pool t ~points =
+  flush t;
   let todo =
     List.filter
       (fun (sw, port) ->
@@ -526,6 +542,7 @@ type graph_stats = { nodes : int; edges : int; ports : int }
    the (rule, rule) adjacency NetPlumber materialises, derived here on
    demand for instrumentation. *)
 let graph t =
+  flush t;
   let nodes = Hashtbl.fold (fun _ arr acc -> acc + Array.length arr) t.tables 0 in
   let ports = Hashtbl.length t.tables in
   let edges = ref 0 in

@@ -6,9 +6,13 @@ type view = {
       (* memoised flow-table fingerprint; [None] after any mutation *)
 }
 
-type t = { views : (int, view) Hashtbl.t }
+type t = {
+  views : (int, view) Hashtbl.t;
+  mutable global_digest : int64 option;
+      (* memoised whole-snapshot fingerprint; [None] after any mutation *)
+}
 
-let create () = { views = Hashtbl.create 32 }
+let create () = { views = Hashtbl.create 32; global_digest = None }
 
 let view t sw =
   match Hashtbl.find_opt t.views sw with
@@ -29,6 +33,7 @@ let apply_event t ~sw ~now event =
   let v = view t sw in
   v.refreshed <- now;
   v.table_digest <- None;
+  t.global_digest <- None;
   match event with
   | Ofproto.Message.Flow_added spec | Ofproto.Message.Flow_modified spec ->
     Ofproto.Flow_table.add v.table spec ~now
@@ -44,6 +49,7 @@ let replace_flows t ~sw ~now specs =
   let v = view t sw in
   v.refreshed <- now;
   v.table_digest <- None;
+  t.global_digest <- None;
   Ofproto.Flow_table.clear v.table;
   List.iter (fun spec -> Ofproto.Flow_table.add v.table spec ~now) specs
 
@@ -88,16 +94,28 @@ let switch_digest t ~sw =
 let digest_vector t =
   List.map (fun sw -> (sw, switch_digest t ~sw)) (switches t)
 
+(* Composed from the memoised per-switch digests rather than
+   re-fingerprinting every rule: the monitor computes this after every
+   stats reply, and at internet scale a rule-by-rule rendering turns
+   each poll sweep quadratic in the network size.  Switches with empty
+   tables contribute nothing, so a view that merely exists (e.g. only
+   meters were polled) leaves the digest unchanged, as before. *)
 let digest t =
-  let lines =
-    List.concat_map
-      (fun sw ->
-        List.map
-          (fun spec -> string_of_int sw ^ "|" ^ spec_fingerprint spec)
-          (flows t ~sw))
-      (switches t)
-  in
-  Cryptosim.Hash.digest (String.concat "\n" (List.sort String.compare lines))
+  match t.global_digest with
+  | Some d -> d
+  | None ->
+    let lines =
+      List.filter_map
+        (fun sw ->
+          match Hashtbl.find_opt t.views sw with
+          | Some v when Ofproto.Flow_table.size v.table > 0 ->
+            Some (Printf.sprintf "%d:%Lx" sw (switch_digest t ~sw))
+          | Some _ | None -> None)
+        (switches t)
+    in
+    let d = Cryptosim.Hash.digest (String.concat "\n" lines) in
+    t.global_digest <- Some d;
+    d
 
 (* ---- binary persistence ----
 

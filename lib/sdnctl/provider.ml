@@ -8,7 +8,14 @@ type t = {
   addressing : Addressing.t;
   policy : policy;
   conn : Netsim.Net.conn;
+  (* Next-hop tables keyed by destination switch, computed lazily with
+     one BFS each ([Topology.routes_to]) and shared across every rule
+     that routes towards that switch.  The topology is immutable after
+     [Net.create], so entries never go stale. *)
+  routes : (int, (int, int) Hashtbl.t) Hashtbl.t;
 }
+
+type dst = Exact of int | Prefix of int * int
 
 let routing_priority = 100
 
@@ -25,52 +32,72 @@ let create net addressing ~policy ~conn_delay =
   List.iter
     (fun sw -> Netsim.Net.attach net conn ~sw ~monitor:false)
     (Netsim.Topology.switches (Netsim.Net.topology net));
-  { net; addressing; policy; conn }
+  { net; addressing; policy; conn; routes = Hashtbl.create 64 }
 
 let conn t = t.conn
 
-(* Egress action at switch [sw] for traffic addressed to [info]:
-   directly to the host when attached here, otherwise towards the next
-   hop on a shortest path. *)
-let route_action t sw (info : Addressing.host_info) =
-  let topo = Netsim.Net.topology t.net in
-  match Netsim.Topology.host_attachment topo info.host with
-  | None -> None
-  | Some { Netsim.Topology.node = Netsim.Topology.Switch dst_sw; port = dst_port } ->
-    if sw = dst_sw then Some (Ofproto.Action.Output dst_port)
-    else
-      Option.map
-        (fun port -> Ofproto.Action.Output port)
-        (Netsim.Topology.next_hop_port topo ~from_sw:sw ~to_sw:dst_sw)
-  | Some _ -> None
+let routes_towards t dst_sw =
+  match Hashtbl.find_opt t.routes dst_sw with
+  | Some tbl -> tbl
+  | None ->
+    let tbl = Netsim.Topology.routes_to (Netsim.Net.topology t.net) ~dst_sw in
+    Hashtbl.replace t.routes dst_sw tbl;
+    tbl
 
-let routing_mods t =
-  let topo = Netsim.Net.topology t.net in
-  let switches = Netsim.Topology.switches topo in
-  List.concat_map
+let attachment t host =
+  match Netsim.Topology.host_attachment (Netsim.Net.topology t.net) host with
+  | Some { Netsim.Topology.node = Netsim.Topology.Switch sw; port } -> Some (sw, port)
+  | Some _ | None -> None
+
+(* Egress action at switch [sw] for traffic addressed to the host (or
+   range gateway) attached at [dst_sw:dst_port]: directly out the host
+   port when attached here, otherwise towards the next hop on a
+   shortest path. *)
+let route_action t sw ~dst_sw ~dst_port =
+  if sw = dst_sw then Some (Ofproto.Action.Output dst_port)
+  else
+    Option.map
+      (fun port -> Ofproto.Action.Output port)
+      (Hashtbl.find_opt (routes_towards t dst_sw) sw)
+
+(* Every routable destination: individual hosts as exact /32 matches,
+   ranges as one prefix match towards their gateway.  Range gateways do
+   not additionally appear as exact destinations — the prefix covers
+   their base address. *)
+let destinations t =
+  List.filter_map
     (fun (info : Addressing.host_info) ->
-      List.filter_map
-        (fun sw ->
-          match route_action t sw info with
-          | None -> None
-          | Some action ->
-            let match_ =
-              Ofproto.Match_.any
-              |> fun m ->
-              Ofproto.Match_.with_exact m Hspace.Field.Eth_type Hspace.Header.eth_type_ip
-              |> fun m -> Ofproto.Match_.with_exact m Hspace.Field.Ip_dst info.ip
-            in
-            let spec =
-              Ofproto.Flow_entry.make_spec ~cookie ~priority:routing_priority match_
-                [ action ]
-            in
-            Some (sw, Ofproto.Message.Flow_mod (Ofproto.Message.Add_flow spec)))
-        switches)
+      match Addressing.range t.addressing ~host:info.host with
+      | Some r -> Some (Prefix (r.r_base, r.r_prefix_len), info.host)
+      | None -> Some (Exact info.ip, info.host))
     (Addressing.all_hosts t.addressing)
 
-(* Ingress isolation: at each client-facing port, drop IP traffic
-   addressed into any *other* client's subnet unless whitelisted. *)
-let acl_mods t =
+let dst_match ?in_port dst =
+  let m = Ofproto.Match_.any in
+  let m = match in_port with None -> m | Some p -> Ofproto.Match_.with_in_port m p in
+  let m = Ofproto.Match_.with_exact m Hspace.Field.Eth_type Hspace.Header.eth_type_ip in
+  match dst with
+  | Exact ip -> Ofproto.Match_.with_exact m Hspace.Field.Ip_dst ip
+  | Prefix (value, prefix_len) ->
+    Ofproto.Match_.with_prefix m Hspace.Field.Ip_dst ~value ~prefix_len
+
+let add_flow ~priority match_ actions =
+  Ofproto.Message.Flow_mod
+    (Ofproto.Message.Add_flow (Ofproto.Flow_entry.make_spec ~cookie ~priority match_ actions))
+
+let routing_mods_for t sw =
+  List.filter_map
+    (fun (dst, host) ->
+      Option.bind (attachment t host) (fun (dst_sw, dst_port) ->
+          Option.map
+            (fun action -> (sw, add_flow ~priority:routing_priority (dst_match dst) [ action ]))
+            (route_action t sw ~dst_sw ~dst_port)))
+    (destinations t)
+
+(* Ingress isolation: at each client-facing port of [sw], drop IP
+   traffic addressed into any *other* client's subnet unless
+   whitelisted.  The /16 drop covers the client's ranges as well. *)
+let acl_mods_for t sw =
   if not t.policy.isolation then []
   else
     let topo = Netsim.Net.topology t.net in
@@ -81,67 +108,76 @@ let acl_mods t =
           dst_client = src_client
           || List.mem (src_client, dst_client) t.policy.whitelist
         in
-        let points = Addressing.access_points t.addressing topo ~client:src_client in
-        List.concat_map
-          (fun (sw, port) ->
-            List.filter_map
-              (fun dst_client ->
-                if allowed dst_client then None
-                else
-                  let value, prefix_len = Addressing.subnet t.addressing ~client:dst_client in
-                  let match_ =
-                    Ofproto.Match_.any
-                    |> fun m ->
-                    Ofproto.Match_.with_in_port m port
-                    |> fun m ->
-                    Ofproto.Match_.with_exact m Hspace.Field.Eth_type
-                      Hspace.Header.eth_type_ip
-                    |> fun m ->
-                    Ofproto.Match_.with_prefix m Hspace.Field.Ip_dst ~value ~prefix_len
-                  in
-                  let spec =
-                    Ofproto.Flow_entry.make_spec ~cookie ~priority:acl_priority match_ []
-                  in
-                  Some (sw, Ofproto.Message.Flow_mod (Ofproto.Message.Add_flow spec)))
-              clients)
-          points)
+        Addressing.access_points t.addressing topo ~client:src_client
+        |> List.filter (fun (point_sw, _) -> point_sw = sw)
+        |> List.concat_map (fun (_, port) ->
+               List.filter_map
+                 (fun dst_client ->
+                   if allowed dst_client then None
+                   else
+                     let value, prefix_len =
+                       Addressing.subnet t.addressing ~client:dst_client
+                     in
+                     Some
+                       ( sw,
+                         add_flow ~priority:acl_priority
+                           (dst_match ~in_port:port (Prefix (value, prefix_len)))
+                           [] ))
+                 clients))
       clients
 
 (* Whitelisted cross-client pairs get explicit allow rules above the
-   ACLs, replicating the routing action at the source's ingress. *)
-let whitelist_mods t =
+   ACLs, replicating the routing action at the source's ingress.
+   Range destinations stay prefixes here too. *)
+let whitelist_mods_for t sw =
   let topo = Netsim.Net.topology t.net in
   List.concat_map
     (fun (src_client, dst_client) ->
-      let points = Addressing.access_points t.addressing topo ~client:src_client in
-      List.concat_map
-        (fun (sw, port) ->
-          List.filter_map
-            (fun (info : Addressing.host_info) ->
-              match route_action t sw info with
-              | None -> None
-              | Some action ->
-                let match_ =
-                  Ofproto.Match_.any
-                  |> fun m ->
-                  Ofproto.Match_.with_in_port m port
-                  |> fun m ->
-                  Ofproto.Match_.with_exact m Hspace.Field.Eth_type
-                    Hspace.Header.eth_type_ip
-                  |> fun m -> Ofproto.Match_.with_exact m Hspace.Field.Ip_dst info.ip
-                in
-                let spec =
-                  Ofproto.Flow_entry.make_spec ~cookie ~priority:whitelist_priority
-                    match_ [ action ]
-                in
-                Some (sw, Ofproto.Message.Flow_mod (Ofproto.Message.Add_flow spec)))
-            (Addressing.hosts_of_client t.addressing ~client:dst_client))
-        points)
+      let dsts =
+        List.filter_map
+          (fun (info : Addressing.host_info) ->
+            match Addressing.range t.addressing ~host:info.host with
+            | Some r -> Some (Prefix (r.r_base, r.r_prefix_len), info.host)
+            | None -> Some (Exact info.ip, info.host))
+          (Addressing.hosts_of_client t.addressing ~client:dst_client)
+      in
+      Addressing.access_points t.addressing topo ~client:src_client
+      |> List.filter (fun (point_sw, _) -> point_sw = sw)
+      |> List.concat_map (fun (_, port) ->
+             List.filter_map
+               (fun (dst, host) ->
+                 Option.bind (attachment t host) (fun (dst_sw, dst_port) ->
+                     Option.map
+                       (fun action ->
+                         ( sw,
+                           add_flow ~priority:whitelist_priority
+                             (dst_match ~in_port:port dst) [ action ] ))
+                       (route_action t sw ~dst_sw ~dst_port)))
+               dsts))
     t.policy.whitelist
 
-let all_mods t = routing_mods t @ acl_mods t @ whitelist_mods t
+let mods_for_switch t ~sw = routing_mods_for t sw @ acl_mods_for t sw @ whitelist_mods_for t sw
+
+let all_mods t =
+  List.concat_map
+    (fun sw -> mods_for_switch t ~sw)
+    (Netsim.Topology.switches (Netsim.Net.topology t.net))
+
+let mods_via t ~sw ~port =
+  List.filter
+    (fun (_, msg) ->
+      match msg with
+      | Ofproto.Message.Flow_mod (Ofproto.Message.Add_flow spec) ->
+        List.exists
+          (function Ofproto.Action.Output p -> p = port | _ -> false)
+          spec.Ofproto.Flow_entry.actions
+      | _ -> false)
+    (mods_for_switch t ~sw)
 
 let install_all t =
   List.iter (fun (sw, msg) -> Netsim.Net.send t.net t.conn ~sw msg) (all_mods t)
+
+let reinstall t ~sw =
+  List.iter (fun (sw, msg) -> Netsim.Net.send t.net t.conn ~sw msg) (mods_for_switch t ~sw)
 
 let rule_count t = List.length (all_mods t)

@@ -43,8 +43,29 @@ val create :
 val conn : t -> Netsim.Net.conn
 
 (** [install_all t] pushes the complete configuration (routing +
-    ACLs).  Run the simulator afterwards to let Flow-Mods land. *)
+    ACLs).  Run the simulator afterwards to let Flow-Mods land.
+
+    Individually registered hosts are routed with exact /32 matches;
+    {!Addressing.add_range} ranges with a single prefix match towards
+    their gateway — one rule per (switch, range) no matter how many
+    addresses the range holds. *)
 val install_all : t -> unit
+
+(** [mods_for_switch t ~sw] is the slice of the configuration destined
+    for switch [sw] (routing + ACL + whitelist), computed directly
+    rather than by filtering the full rule set. *)
+val mods_for_switch :
+  t -> sw:int -> (int * Ofproto.Message.to_switch) list
+
+(** [mods_via t ~sw ~port] is the subset of [mods_for_switch] whose
+    actions output via [port] — the rules a link flap at that port
+    invalidates. *)
+val mods_via : t -> sw:int -> port:int -> (int * Ofproto.Message.to_switch) list
+
+(** [reinstall t ~sw] re-pushes switch [sw]'s slice of the
+    configuration — the tail end of a rolling upgrade that wiped the
+    switch's tables. *)
+val reinstall : t -> sw:int -> unit
 
 (** [rule_count t] is the number of Flow-Mods [install_all] sends. *)
 val rule_count : t -> int

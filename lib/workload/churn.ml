@@ -1,0 +1,235 @@
+type event =
+  | Upgrade of { sw : int; outage : float }
+  | Flap of { sw : int; port : int; down : float }
+  | Attack_burst of { attack : Sdnctl.Attack.t; dwell : float }
+  | Storm of { host : int; queries : int; spread : float }
+
+type campaign = {
+  c_seed : int;
+  c_start : float;
+  c_duration : float;
+  c_events : (float * event) list;
+}
+
+type profile = {
+  upgrades_per_min : float;
+  flaps_per_min : float;
+  attacks_per_min : float;
+  storms_per_min : float;
+  upgrade_outage : float;
+  flap_down : float;
+  attack_dwell : float;
+  storm_queries : int;
+  storm_spread : float;
+}
+
+let default_profile =
+  {
+    upgrades_per_min = 1.0;
+    flaps_per_min = 2.0;
+    attacks_per_min = 1.0;
+    storms_per_min = 1.0;
+    upgrade_outage = 2.0;
+    flap_down = 1.5;
+    attack_dwell = 3.0;
+    storm_queries = 20;
+    storm_spread = 2.0;
+  }
+
+type report = {
+  mutable upgrades : int;
+  mutable flaps : int;
+  mutable attacks : int;
+  mutable storms : int;
+  mutable storm_queries_sent : int;
+  mutable storm_answers : int;
+  mutable storm_throttled : int;
+}
+
+let fresh_report () =
+  {
+    upgrades = 0;
+    flaps = 0;
+    attacks = 0;
+    storms = 0;
+    storm_queries_sent = 0;
+    storm_answers = 0;
+    storm_throttled = 0;
+  }
+
+let event_count c = List.length c.c_events
+
+let describe = function
+  | Upgrade { sw; outage } -> Printf.sprintf "upgrade s%d (%.1fs outage)" sw outage
+  | Flap { sw; port; down } -> Printf.sprintf "flap s%d:%d (%.1fs down)" sw port down
+  | Attack_burst { attack; dwell } ->
+    Printf.sprintf "attack %s (%.1fs dwell)" (Sdnctl.Attack.describe attack) dwell
+  | Storm { host; queries; spread } ->
+    Printf.sprintf "storm h%d (%d queries over %.1fs)" host queries spread
+
+(* Arrival times of a Poisson process at [per_min] events/minute over
+   [start, start+duration), drawn from [rng]. *)
+let arrivals rng ~per_min ~start ~duration =
+  if per_min <= 0.0 then []
+  else begin
+    let mean_gap = 60.0 /. per_min in
+    let times = ref [] and t = ref (start +. Support.Rng.exponential rng ~mean:mean_gap) in
+    while !t < start +. duration do
+      times := !t :: !times;
+      t := !t +. Support.Rng.exponential rng ~mean:mean_gap
+    done;
+    List.rev !times
+  end
+
+(* A campaign is a pure function of (scenario topology + addressing,
+   profile, seed): replaying the same seed on the same world yields the
+   identical event program.  Each event class draws from its own split
+   stream so changing one rate never perturbs the others' picks. *)
+let plan (s : Scenario.t) profile ~seed ~start ~duration =
+  if duration <= 0.0 then invalid_arg "Churn.plan: duration must be positive";
+  let topo = Netsim.Net.topology s.net in
+  let switches = Array.of_list (Netsim.Topology.switches topo) in
+  let hosts = Array.of_list (Netsim.Topology.hosts topo) in
+  if Array.length switches = 0 then invalid_arg "Churn.plan: no switches";
+  if Array.length hosts = 0 then invalid_arg "Churn.plan: no hosts";
+  let root = Support.Rng.create seed in
+  let upgrade_rng = Support.Rng.split root in
+  let flap_rng = Support.Rng.split root in
+  let attack_rng = Support.Rng.split root in
+  let storm_rng = Support.Rng.split root in
+  let upgrades =
+    arrivals upgrade_rng ~per_min:profile.upgrades_per_min ~start ~duration
+    |> List.map (fun t ->
+           let sw = switches.(Support.Rng.int upgrade_rng (Array.length switches)) in
+           (t, Upgrade { sw; outage = profile.upgrade_outage }))
+  in
+  let flaps =
+    arrivals flap_rng ~per_min:profile.flaps_per_min ~start ~duration
+    |> List.filter_map (fun t ->
+           (* Pick a switch with at least one switch-to-switch link and
+              one of its structural ports. *)
+           let rec pick attempts =
+             if attempts = 0 then None
+             else
+               let sw = switches.(Support.Rng.int flap_rng (Array.length switches)) in
+               match Netsim.Topology.neighbor_switches topo sw with
+               | [] -> pick (attempts - 1)
+               | neighbors ->
+                 let port, _, _ =
+                   List.nth neighbors (Support.Rng.int flap_rng (List.length neighbors))
+                 in
+                 Some (sw, port)
+           in
+           Option.map
+             (fun (sw, port) -> (t, Flap { sw; port; down = profile.flap_down }))
+             (pick 16))
+  in
+  let attacks =
+    arrivals attack_rng ~per_min:profile.attacks_per_min ~start ~duration
+    |> List.map (fun t ->
+           let victim = hosts.(Support.Rng.int attack_rng (Array.length hosts)) in
+           let rec other () =
+             let h = hosts.(Support.Rng.int attack_rng (Array.length hosts)) in
+             if h <> victim then h else other ()
+           in
+           let attack =
+             match Support.Rng.int attack_rng 3 with
+             | 1 when Array.length hosts > 1 ->
+               Sdnctl.Attack.Exfiltrate { victim_host = victim; attacker_host = other () }
+             | 0 | 1 -> Sdnctl.Attack.Blackhole { victim_host = victim }
+             | _ -> Sdnctl.Attack.Meter_squeeze { victim_host = victim; rate_kbps = 64 }
+           in
+           (t, Attack_burst { attack; dwell = profile.attack_dwell }))
+  in
+  let storms =
+    arrivals storm_rng ~per_min:profile.storms_per_min ~start ~duration
+    |> List.map (fun t ->
+           let host = hosts.(Support.Rng.int storm_rng (Array.length hosts)) in
+           ( t,
+             Storm
+               { host; queries = profile.storm_queries; spread = profile.storm_spread } ))
+  in
+  let events =
+    List.concat [ upgrades; flaps; attacks; storms ]
+    |> List.stable_sort (fun (a, _) (b, _) -> compare a b)
+  in
+  { c_seed = seed; c_start = start; c_duration = duration; c_events = events }
+
+let delete_of (spec : Ofproto.Flow_entry.spec) =
+  Ofproto.Message.Flow_mod
+    (Ofproto.Message.Delete_flow
+       { match_ = spec.Ofproto.Flow_entry.match_; priority = Some spec.Ofproto.Flow_entry.priority })
+
+let schedule (s : Scenario.t) campaign =
+  let sim = Netsim.Net.sim s.net in
+  let conn = Sdnctl.Provider.conn s.provider in
+  let report = fresh_report () in
+  List.iter
+    (fun (time, event) ->
+      match event with
+      | Upgrade { sw; outage } ->
+        (* Rolling upgrade: the switch reboots with empty tables (only
+           the provider's rules — RVaaS intercepts carry their own
+           cookie and are re-installed by the monitor's own repair
+           path), then the provider re-pushes its slice. *)
+        Netsim.Sim.schedule_at sim ~time (fun () ->
+            report.upgrades <- report.upgrades + 1;
+            Netsim.Net.send s.net conn ~sw
+              (Ofproto.Message.Flow_mod
+                 (Ofproto.Message.Delete_by_cookie Sdnctl.Provider.cookie)));
+        Netsim.Sim.schedule_at sim ~time:(time +. outage) (fun () ->
+            Sdnctl.Provider.reinstall s.provider ~sw)
+      | Flap { sw; port; down } ->
+        (* Link flap: data plane drops everything on the link both
+           ways; the controller withdraws the routes using the port and
+           restores exactly those rules when the link returns. *)
+        let here = { Netsim.Topology.node = Netsim.Topology.Switch sw; port } in
+        let far = Netsim.Topology.peer (Netsim.Net.topology s.net) here in
+        let affected = Sdnctl.Provider.mods_via s.provider ~sw ~port in
+        Netsim.Sim.schedule_at sim ~time (fun () ->
+            report.flaps <- report.flaps + 1;
+            Netsim.Net.set_link_faults s.net here (Netsim.Faults.loss 1.0);
+            Option.iter
+              (fun far -> Netsim.Net.set_link_faults s.net far (Netsim.Faults.loss 1.0))
+              far;
+            List.iter
+              (fun (sw, msg) ->
+                match msg with
+                | Ofproto.Message.Flow_mod (Ofproto.Message.Add_flow spec) ->
+                  Netsim.Net.send s.net conn ~sw (delete_of spec)
+                | _ -> ())
+              affected);
+        Netsim.Sim.schedule_at sim ~time:(time +. down) (fun () ->
+            Netsim.Net.clear_link_faults s.net here;
+            Option.iter (fun far -> Netsim.Net.clear_link_faults s.net far) far;
+            List.iter (fun (sw, msg) -> Netsim.Net.send s.net conn ~sw msg) affected)
+      | Attack_burst { attack; dwell } ->
+        Netsim.Sim.schedule_at sim ~time (fun () ->
+            report.attacks <- report.attacks + 1);
+        Sdnctl.Attack.launch s.net s.addressing ~conn
+          (Sdnctl.Attack.Transient { attack; start = time; duration = dwell })
+      | Storm { host; queries; spread } ->
+        (* Flash crowd: one tenant fires a burst of queries through its
+           agent; answers and throttle verdicts are tallied. *)
+        Netsim.Sim.schedule_at sim ~time (fun () ->
+            report.storms <- report.storms + 1;
+            let agent = Scenario.agent s ~host in
+            Rvaas.Client_agent.set_answer_callback agent (fun outcome ->
+                report.storm_answers <- report.storm_answers + 1;
+                if outcome.Rvaas.Client_agent.answer.Rvaas.Query.throttled then
+                  report.storm_throttled <- report.storm_throttled + 1);
+            let gap = spread /. float_of_int (max 1 queries) in
+            for k = 0 to queries - 1 do
+              Netsim.Sim.schedule sim ~delay:(float_of_int k *. gap) (fun () ->
+                  report.storm_queries_sent <- report.storm_queries_sent + 1;
+                  ignore
+                    (Rvaas.Client_agent.send_query agent
+                       (Rvaas.Query.make Rvaas.Query.Reachable_endpoints)))
+            done))
+    campaign.c_events;
+  report
+
+let execute (s : Scenario.t) campaign =
+  let report = schedule s campaign in
+  Scenario.run s ~until:(campaign.c_start +. campaign.c_duration +. 5.0);
+  report

@@ -29,6 +29,7 @@ type spec = {
   persist : persist option;
   engine : Rvaas.Plumbing.engine;
   frontend : Rvaas.Frontend.config;
+  range_hosts : int;
 }
 
 let default_spec topo =
@@ -53,6 +54,7 @@ let default_spec topo =
     persist = None;
     engine = `Sweep;
     frontend = Rvaas.Frontend.default_config;
+    range_hosts = 0;
   }
 
 type t = {
@@ -76,9 +78,12 @@ let storage_key_of keypair = Cryptosim.Keys.derive keypair ~purpose:atrest_purpo
 
 let build spec =
   if spec.clients < 1 then invalid_arg "Scenario.build: need at least one client";
+  if spec.range_hosts < 0 then invalid_arg "Scenario.build: range_hosts must be >= 0";
   let rng = Support.Rng.create spec.seed in
   let net = Netsim.Net.create ~seed:spec.seed spec.topo in
-  (* Addressing: hosts round-robin over clients. *)
+  (* Addressing: hosts round-robin over clients.  In range mode every
+     topology host becomes the gateway of [range_hosts] addresses —
+     millions of addresses ride on a handful of attachment points. *)
   let addressing = Sdnctl.Addressing.create () in
   for c = 0 to spec.clients - 1 do
     Sdnctl.Addressing.add_client addressing ~client:c ~name:(Printf.sprintf "client-%d" c)
@@ -86,7 +91,10 @@ let build spec =
   let hosts = Netsim.Topology.hosts spec.topo in
   List.iteri
     (fun i host ->
-      ignore (Sdnctl.Addressing.add_host addressing ~host ~client:(i mod spec.clients)))
+      let client = i mod spec.clients in
+      if spec.range_hosts > 0 then
+        ignore (Sdnctl.Addressing.add_range addressing ~host ~client ~count:spec.range_hosts)
+      else ignore (Sdnctl.Addressing.add_host addressing ~host ~client))
     hosts;
   (* Provider control plane. *)
   let provider =
@@ -283,3 +291,11 @@ let query_and_wait t ~host query ~timeout =
   !result
 
 let actual_flows t sw = Ofproto.Flow_table.specs (Netsim.Net.table t.net ~sw)
+
+let range_scope t ~host =
+  Option.map
+    (fun (r : Sdnctl.Addressing.range_info) ->
+      Rvaas.Verifier.dst_prefix_hs ~value:r.r_base ~prefix_len:r.r_prefix_len)
+    (Sdnctl.Addressing.range t.addressing ~host)
+
+let address_count t = Sdnctl.Addressing.address_count t.addressing

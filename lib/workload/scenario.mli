@@ -54,6 +54,13 @@ type spec = {
       (** the service's multi-tenant front-end (admission, coalescing,
           subsumption, batching); {!Rvaas.Frontend.default_config} —
           everything off — by default *)
+  range_hosts : int;
+      (** 0 (default): every topology host is one individually
+          addressed endpoint.  [> 0]: range mode — every topology host
+          becomes the gateway of a {!Sdnctl.Addressing.add_range}
+          block of that many addresses, carried end-to-end as a single
+          prefix ([Hs] cube) through routing, snapshot, verifier and
+          plumbing; see {!range_scope} *)
 }
 
 (** [default_spec topo] — two clients, seed 42, randomized polling with
@@ -131,3 +138,13 @@ val query_and_wait :
 (** [actual_flows t sw] reads the switch's real table (ground truth for
     agreement tests). *)
 val actual_flows : t -> int -> Ofproto.Flow_entry.spec list
+
+(** [range_scope t ~host] is the header-space cube covering the whole
+    address range gatewayed by [host] (destination-IP prefix), or
+    [None] when the host is not a range gateway.  Use as a query
+    scope to verify millions of addresses in one cube. *)
+val range_scope : t -> host:int -> Hspace.Hs.t option
+
+(** [address_count t] is the total number of client addresses the
+    deployment speaks for (ranges counted by their size). *)
+val address_count : t -> int

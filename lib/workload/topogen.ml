@@ -1,6 +1,12 @@
-type params = { hosts_per_switch : int; link_delay : float }
+type params = { hosts_per_switch : int; link_delay : float; host_stride : int }
 
-let default_params = { hosts_per_switch = 1; link_delay = 1e-4 }
+let default_params = { hosts_per_switch = 1; link_delay = 1e-4; host_stride = 1 }
+
+let validate_params p =
+  if p.hosts_per_switch < 0 then invalid_arg "Topogen: hosts_per_switch must be >= 0";
+  if not (p.link_delay >= 0.0) (* also rejects nan *) then
+    invalid_arg "Topogen: link_delay must be >= 0";
+  if p.host_stride < 1 then invalid_arg "Topogen: host_stride must be >= 1"
 
 (* Builder state: next free structural port per switch and next host id. *)
 type builder = {
@@ -8,9 +14,18 @@ type builder = {
   params : params;
   next_port : (int, int) Hashtbl.t;
   mutable next_host : int;
+  mutable host_site : int; (* host-eligible switches seen, for striding *)
 }
 
-let start params = { topo = Netsim.Topology.create (); params; next_port = Hashtbl.create 32; next_host = 0 }
+let start params =
+  validate_params params;
+  {
+    topo = Netsim.Topology.create ();
+    params;
+    next_port = Hashtbl.create 32;
+    next_host = 0;
+    host_site = 0;
+  }
 
 let add_switch b sw =
   Netsim.Topology.add_switch b.topo sw;
@@ -28,16 +43,24 @@ let link_switches b a c =
     { Netsim.Topology.node = Netsim.Topology.Switch c; port = pc }
     ~delay:b.params.link_delay
 
+(* Hosts go on every [host_stride]-th eligible switch (counted across
+   the whole build), so internet-scale worlds can keep thousands of
+   switches but a bounded population of attachment points.  Skipped
+   switches still reserve ports 0..hosts_per_switch-1, keeping the
+   structural port numbering identical at every stride. *)
 let attach_hosts b sw =
-  for port = 0 to b.params.hosts_per_switch - 1 do
-    let host = b.next_host in
-    b.next_host <- host + 1;
-    Netsim.Topology.add_host b.topo host;
-    Netsim.Topology.connect b.topo
-      { Netsim.Topology.node = Netsim.Topology.Host host; port = 0 }
-      { Netsim.Topology.node = Netsim.Topology.Switch sw; port }
-      ~delay:b.params.link_delay
-  done
+  let site = b.host_site in
+  b.host_site <- site + 1;
+  if site mod b.params.host_stride = 0 then
+    for port = 0 to b.params.hosts_per_switch - 1 do
+      let host = b.next_host in
+      b.next_host <- host + 1;
+      Netsim.Topology.add_host b.topo host;
+      Netsim.Topology.connect b.topo
+        { Netsim.Topology.node = Netsim.Topology.Host host; port = 0 }
+        { Netsim.Topology.node = Netsim.Topology.Switch sw; port }
+        ~delay:b.params.link_delay
+    done
 
 let linear params n =
   if n < 1 then invalid_arg "Topogen.linear: need at least one switch";
@@ -130,8 +153,28 @@ let fat_tree params ~k =
   done;
   b.topo
 
+let leaf_spine params ~spines ~leaves =
+  if spines < 1 then invalid_arg "Topogen.leaf_spine: need at least one spine";
+  if leaves < 1 then invalid_arg "Topogen.leaf_spine: need at least one leaf";
+  (* Spines are [0, spines); leaves follow.  Every leaf links to every
+     spine (a full bipartite fabric); hosts attach to leaves only. *)
+  let b = start params in
+  for sw = 0 to spines + leaves - 1 do
+    add_switch b sw
+  done;
+  for leaf = spines to spines + leaves - 1 do
+    for spine = 0 to spines - 1 do
+      link_switches b spine leaf
+    done;
+    attach_hosts b leaf
+  done;
+  b.topo
+
 let waxman params rng ~n ~alpha ~beta =
   if n < 2 then invalid_arg "Topogen.waxman: need at least two switches";
+  if not (alpha > 0.0 && alpha <= 1.0) then
+    invalid_arg "Topogen.waxman: alpha must be in (0, 1]";
+  if not (beta > 0.0) then invalid_arg "Topogen.waxman: beta must be > 0";
   let b = start params in
   let xs = Array.init n (fun _ -> Support.Rng.float rng 1.0)
   and ys = Array.init n (fun _ -> Support.Rng.float rng 1.0) in
@@ -176,6 +219,157 @@ let isp params ~core ~pops_per_core =
     done
   done;
   b.topo
+
+let scale_free params rng ~n ~m =
+  if m < 1 then invalid_arg "Topogen.scale_free: m must be >= 1";
+  if n < m + 1 then invalid_arg "Topogen.scale_free: need n >= m + 1 switches";
+  (* Barabási–Albert preferential attachment: seed with an (m+1)-clique
+     so every early node has degree >= m, then each newcomer links to
+     [m] distinct existing switches chosen with probability
+     proportional to degree.  [stubs] holds one entry per link
+     endpoint, so a uniform pick over it IS the degree-weighted pick. *)
+  let b = start params in
+  for sw = 0 to n - 1 do
+    add_switch b sw
+  done;
+  let stubs = ref [] and stub_count = ref 0 in
+  let note_link i j =
+    link_switches b i j;
+    stubs := i :: j :: !stubs;
+    stub_count := !stub_count + 2
+  in
+  for i = 0 to m do
+    for j = i + 1 to m do
+      note_link i j
+    done
+  done;
+  let stub_array = ref [||] and stub_array_len = ref 0 in
+  for newcomer = m + 1 to n - 1 do
+    (* Refresh the sampling array lazily; inserts since the last
+       refresh only make high-degree nodes slightly under-weighted
+       within one newcomer's picks, which BA tolerates. *)
+    if !stub_array_len <> !stub_count then begin
+      stub_array := Array.of_list !stubs;
+      stub_array_len := !stub_count
+    end;
+    let chosen = Hashtbl.create m in
+    let attempts = ref 0 in
+    while Hashtbl.length chosen < m && !attempts < 50 * m do
+      incr attempts;
+      let pick = !stub_array.(Support.Rng.int rng !stub_array_len) in
+      if pick <> newcomer && not (Hashtbl.mem chosen pick) then
+        Hashtbl.replace chosen pick ()
+    done;
+    (* Degenerate corner (tiny graphs): fall back to the lowest ids
+       not yet chosen so the node still gets m links. *)
+    let next_fallback = ref 0 in
+    while Hashtbl.length chosen < m do
+      let c = !next_fallback in
+      incr next_fallback;
+      if c <> newcomer && not (Hashtbl.mem chosen c) then Hashtbl.replace chosen c ()
+    done;
+    Hashtbl.iter (fun target () -> note_link newcomer target) chosen
+  done;
+  for sw = 0 to n - 1 do
+    attach_hosts b sw
+  done;
+  b.topo
+
+type family =
+  | Linear of int
+  | Ring of int
+  | Star of int
+  | Grid of { rows : int; cols : int }
+  | Fat_tree of { k : int }
+  | Leaf_spine of { spines : int; leaves : int }
+  | Waxman of { n : int; alpha : float; beta : float }
+  | Isp of { core : int; pops_per_core : int }
+  | Scale_free of { n : int; m : int }
+
+let build params rng = function
+  | Linear n -> linear params n
+  | Ring n -> ring params n
+  | Star n -> star params n
+  | Grid { rows; cols } -> grid params ~rows ~cols
+  | Fat_tree { k } -> fat_tree params ~k
+  | Leaf_spine { spines; leaves } -> leaf_spine params ~spines ~leaves
+  | Waxman { n; alpha; beta } -> waxman params rng ~n ~alpha ~beta
+  | Isp { core; pops_per_core } -> isp params ~core ~pops_per_core
+  | Scale_free { n; m } -> scale_free params rng ~n ~m
+
+type multi = {
+  md_topo : Netsim.Topology.t;
+  md_domains : (int * int) array;
+  md_peerings : (int * int) list;
+}
+
+let domain_of_switch multi sw =
+  let found = ref None in
+  Array.iteri
+    (fun d (first, count) -> if !found = None && sw >= first && sw < first + count then found := Some d)
+    multi.md_domains;
+  !found
+
+(* Stitch independently generated domains into one topology by copying
+   nodes and links under id offsets, then wire [peering] links between
+   each consecutive domain pair at rng-chosen border switches.  Peering
+   ports are claimed above each switch's highest copied port. *)
+let multi_domain params rng ~peering families =
+  validate_params params;
+  if families = [] then invalid_arg "Topogen.multi_domain: need at least one domain";
+  if peering < 1 then invalid_arg "Topogen.multi_domain: need at least one peering link";
+  let topo = Netsim.Topology.create () in
+  let next_port = Hashtbl.create 64 in
+  let bump_port sw port =
+    let cur = Option.value ~default:0 (Hashtbl.find_opt next_port sw) in
+    if port + 1 > cur then Hashtbl.replace next_port sw (port + 1)
+  in
+  let sw_off = ref 0 and host_off = ref 0 in
+  let domains =
+    List.map
+      (fun family ->
+        let part = build params (Support.Rng.split rng) family in
+        let first = !sw_off in
+        let switches = Netsim.Topology.switches part in
+        List.iter (fun sw -> Netsim.Topology.add_switch topo (sw + first)) switches;
+        List.iter (fun h -> Netsim.Topology.add_host topo (h + !host_off)) (Netsim.Topology.hosts part);
+        let shift (e : Netsim.Topology.endpoint) =
+          match e.Netsim.Topology.node with
+          | Netsim.Topology.Switch sw ->
+            bump_port (sw + first) e.Netsim.Topology.port;
+            { Netsim.Topology.node = Netsim.Topology.Switch (sw + first); port = e.Netsim.Topology.port }
+          | Netsim.Topology.Host h ->
+            { Netsim.Topology.node = Netsim.Topology.Host (h + !host_off); port = e.Netsim.Topology.port }
+        in
+        List.iter
+          (fun { Netsim.Topology.a; b; delay } ->
+            Netsim.Topology.connect topo (shift a) (shift b) ~delay)
+          (Netsim.Topology.links part);
+        sw_off := first + List.length switches;
+        host_off := !host_off + List.length (Netsim.Topology.hosts part);
+        (first, List.length switches))
+      families
+  in
+  let domains = Array.of_list domains in
+  let claim sw =
+    let p = Option.value ~default:0 (Hashtbl.find_opt next_port sw) in
+    Hashtbl.replace next_port sw (p + 1);
+    p
+  in
+  let peerings = ref [] in
+  for d = 0 to Array.length domains - 2 do
+    let first_a, count_a = domains.(d) and first_b, count_b = domains.(d + 1) in
+    for _ = 1 to peering do
+      let a = first_a + Support.Rng.int rng count_a
+      and b = first_b + Support.Rng.int rng count_b in
+      Netsim.Topology.connect topo
+        { Netsim.Topology.node = Netsim.Topology.Switch a; port = claim a }
+        { Netsim.Topology.node = Netsim.Topology.Switch b; port = claim b }
+        ~delay:params.link_delay;
+      peerings := (a, b) :: !peerings
+    done
+  done;
+  { md_topo = topo; md_domains = domains; md_peerings = List.rev !peerings }
 
 let switch_count topo = List.length (Netsim.Topology.switches topo)
 

@@ -1,12 +1,25 @@
 (** Topology generators for tests and benchmarks.
 
     All generators number switches from 0 and hosts from 0, attach
-    [hosts_per_switch] hosts to every switch (beyond the structural
-    ports), and use [link_delay] on every link.  Port numbering: ports
-    0..[hosts_per_switch-1] face hosts; structural (switch-to-switch)
-    ports start at [hosts_per_switch]. *)
+    [hosts_per_switch] hosts to every [host_stride]-th host-eligible
+    switch (beyond the structural ports), and use [link_delay] on every
+    link.  Port numbering: ports 0..[hosts_per_switch-1] face hosts;
+    structural (switch-to-switch) ports start at [hosts_per_switch]
+    whether or not the switch actually received hosts.
 
-type params = { hosts_per_switch : int; link_delay : float }
+    Every generator validates its parameters and raises
+    [Invalid_argument] on combinations that would produce dangling
+    ports, disconnected graphs or degenerate strata. *)
+
+type params = {
+  hosts_per_switch : int;  (** hosts attached per host-eligible switch *)
+  link_delay : float;
+  host_stride : int;
+      (** attach hosts to every [host_stride]-th eligible switch
+          (default 1 = every one) — internet-scale worlds keep
+          thousands of switches but a bounded set of attachment
+          points *)
+}
 
 val default_params : params
 
@@ -28,9 +41,16 @@ val grid : params -> rows:int -> cols:int -> Netsim.Topology.t
     switches only.  [hosts_per_switch] hosts per edge switch. *)
 val fat_tree : params -> k:int -> Netsim.Topology.t
 
+(** [leaf_spine p ~spines ~leaves] is a two-tier data-center fabric:
+    spines [0, spines), leaves following, every leaf wired to every
+    spine.  Hosts attach to leaves only.  Scales to thousands of
+    switches with diameter 2. *)
+val leaf_spine : params -> spines:int -> leaves:int -> Netsim.Topology.t
+
 (** [waxman p rng ~n ~alpha ~beta] is a Waxman random graph over [n]
     switches placed uniformly in the unit square, made connected by
-    adding a spanning chain. *)
+    adding a spanning chain.  [alpha] must lie in (0, 1] and [beta]
+    be positive. *)
 val waxman : params -> Support.Rng.t -> n:int -> alpha:float -> beta:float -> Netsim.Topology.t
 
 (** [isp p ~core ~pops_per_core] is a two-level ISP-like topology: a
@@ -38,6 +58,52 @@ val waxman : params -> Support.Rng.t -> n:int -> alpha:float -> beta:float -> Ne
     [pops_per_core] point-of-presence switches where hosts attach.
     Core switches are numbered [0, core); PoPs follow. *)
 val isp : params -> core:int -> pops_per_core:int -> Netsim.Topology.t
+
+(** [scale_free p rng ~n ~m] is a Barabási–Albert preferential-
+    attachment graph ([n] switches, [m] links per newcomer, seeded
+    with an (m+1)-clique): the heavy-tailed degree distribution of an
+    ISP backbone.  Connected by construction.  Requires [m >= 1] and
+    [n >= m + 1]. *)
+val scale_free : params -> Support.Rng.t -> n:int -> m:int -> Netsim.Topology.t
+
+(** A generator family with its parameters — the declarative form
+    {!build} and {!multi_domain} consume. *)
+type family =
+  | Linear of int
+  | Ring of int
+  | Star of int
+  | Grid of { rows : int; cols : int }
+  | Fat_tree of { k : int }
+  | Leaf_spine of { spines : int; leaves : int }
+  | Waxman of { n : int; alpha : float; beta : float }
+  | Isp of { core : int; pops_per_core : int }
+  | Scale_free of { n : int; m : int }
+
+(** [build p rng family] dispatches to the matching generator
+    (deterministic families ignore [rng]). *)
+val build : params -> Support.Rng.t -> family -> Netsim.Topology.t
+
+(** A multi-domain composition: independently generated domains
+    stitched with peering links. *)
+type multi = {
+  md_topo : Netsim.Topology.t;
+  md_domains : (int * int) array;
+      (** per domain, (first switch id, switch count) — switch and
+          host ids are offset per domain in family-list order *)
+  md_peerings : (int * int) list;
+      (** switch pairs wired as peering points *)
+}
+
+(** [multi_domain p rng ~peering families] generates each family as
+    its own domain and stitches consecutive domains with [peering]
+    links at rng-chosen border switches.  Connected whenever every
+    domain is.  @raise Invalid_argument on an empty family list or
+    [peering < 1]. *)
+val multi_domain :
+  params -> Support.Rng.t -> peering:int -> family list -> multi
+
+(** [domain_of_switch multi sw] is the domain index owning [sw]. *)
+val domain_of_switch : multi -> int -> int option
 
 (** [switch_count topo] / [host_count topo]: convenience. *)
 val switch_count : Netsim.Topology.t -> int

@@ -182,6 +182,85 @@ let test_churn_recompile () =
   check Alcotest.int "settled deltas never recompile" 0
     (Rvaas.Plumbing.stats settled).Rvaas.Plumbing.recompiles
 
+(* ---- differential churn: a random event program (rolling upgrades,
+   link flaps, transient attacks) runs over a generated world while the
+   service's compiled engine answers; after every burst the live graph
+   must match the sweep oracle AND a recompile from scratch of the same
+   believed view ---- *)
+
+let differential_churn topo ~seed =
+  let s =
+    Workload.Scenario.build
+      {
+        (Workload.Scenario.default_spec topo) with
+        clients = 2;
+        seed;
+        engine = `Compiled;
+        polling = Rvaas.Monitor.Periodic 0.05;
+      }
+  in
+  let now () = Netsim.Sim.now (Netsim.Net.sim s.net) in
+  Workload.Scenario.run s ~until:(now () +. 0.3);
+  let profile =
+    {
+      Workload.Churn.default_profile with
+      upgrades_per_min = 12.0;
+      flaps_per_min = 18.0;
+      attacks_per_min = 12.0;
+      storms_per_min = 0.0;
+      upgrade_outage = 0.4;
+      flap_down = 0.3;
+      attack_dwell = 0.5;
+    }
+  in
+  let start = now () +. 0.2 in
+  let campaign = Workload.Churn.plan s profile ~seed ~start ~duration:12.0 in
+  check Alcotest.bool "campaign not empty" true
+    (Workload.Churn.event_count campaign > 0);
+  let _report = Workload.Churn.schedule s campaign in
+  let info = Option.get (Sdnctl.Addressing.host s.addressing ~host:0) in
+  let scopes = [ Rvaas.Verifier.ip_traffic_hs (); Rvaas.Verifier.dst_ip_hs info.ip ] in
+  let points = Rvaas.Verifier.access_points topo in
+  for burst = 1 to 8 do
+    Workload.Scenario.run s ~until:(start +. (float_of_int burst *. 1.5));
+    let snapshot = Rvaas.Monitor.snapshot (Workload.Scenario.monitor s) in
+    let flows_of sw = Rvaas.Snapshot.flows snapshot ~sw in
+    let fresh = Rvaas.Plumbing.compile ~flows_of topo in
+    List.iter
+      (fun (ep : Rvaas.Verifier.endpoint) ->
+        List.iter
+          (fun hs ->
+            let live =
+              Rvaas.Service.reach (Workload.Scenario.service s) ~src_sw:ep.sw
+                ~src_port:ep.port ~hs
+            in
+            let sweep =
+              Rvaas.Verifier.reach ~flows_of topo ~src_sw:ep.sw
+                ~src_port:ep.port ~hs
+            in
+            let recompiled =
+              Rvaas.Plumbing.reach fresh ~src_sw:ep.sw ~src_port:ep.port ~hs
+            in
+            check Alcotest.bool "compiled equals sweep under churn" true
+              (results_agree live sweep);
+            check Alcotest.bool "incremental equals recompile under churn" true
+              (results_agree live recompiled))
+          scopes)
+      points
+  done
+
+let test_differential_churn_leaf_spine () =
+  differential_churn
+    (Workload.Topogen.leaf_spine Workload.Topogen.default_params ~spines:2
+       ~leaves:4)
+    ~seed:41
+
+let test_differential_churn_backbone () =
+  differential_churn
+    (Workload.Topogen.scale_free Workload.Topogen.default_params
+       (Support.Rng.create 8) ~n:8 ~m:2)
+    ~seed:42
+
 (* ---- the core property: width-8 brute-force differential against
    the reference verifier over random topologies and random Flow-Mod
    sequences ---- *)
@@ -371,6 +450,10 @@ let () =
           Alcotest.test_case "rewriting sources fall back exactly" `Quick
             test_rewrite_fallback;
           QCheck_alcotest.to_alcotest prop_compiled_equals_reference;
+          Alcotest.test_case "churn over a leaf-spine fabric" `Quick
+            test_differential_churn_leaf_spine;
+          Alcotest.test_case "churn over a scale-free backbone" `Quick
+            test_differential_churn_backbone;
         ] );
       ( "maintenance",
         [

@@ -40,6 +40,107 @@ let test_addressing_validation () =
     (Invalid_argument "Addressing.add_host: duplicate host") (fun () ->
       ignore (Sdnctl.Addressing.add_host a ~host:1 ~client:0))
 
+(* ---- range-based addressing ---- *)
+
+let test_range_allocation () =
+  let a = Sdnctl.Addressing.create () in
+  Sdnctl.Addressing.add_client a ~client:0 ~name:"dc";
+  let r0 = Sdnctl.Addressing.add_range a ~host:0 ~client:0 ~count:1000 in
+  (* 1000 rounds up to a naturally aligned 1024 block carved from the
+     top of the /16. *)
+  check Alcotest.int "first block base" (0x0A000000 lor 0xFC00) r0.r_base;
+  check Alcotest.int "first block prefix" 22 r0.r_prefix_len;
+  check Alcotest.int "count recorded" 1000 r0.r_count;
+  let r1 = Sdnctl.Addressing.add_range a ~host:1 ~client:0 ~count:100 in
+  check Alcotest.int "second block below the first" (0x0A000000 lor 0xFB80) r1.r_base;
+  check Alcotest.int "second block prefix" 25 r1.r_prefix_len;
+  (* Gateways answer for the block base through the ordinary tables. *)
+  let g = Option.get (Sdnctl.Addressing.host a ~host:0) in
+  check Alcotest.int "gateway ip is the block base" r0.r_base g.ip;
+  check Alcotest.bool "gateway found by ip" true
+    (Sdnctl.Addressing.host_by_ip a ~ip:r0.r_base = Some g);
+  (* Individual hosts keep growing from the bottom of the subnet. *)
+  let h = Sdnctl.Addressing.add_host a ~host:2 ~client:0 in
+  check Alcotest.int "individual host below the ranges" 0x0A000001 h.ip;
+  check Alcotest.int "ranges of client" 2
+    (List.length (Sdnctl.Addressing.ranges_of_client a ~client:0));
+  check Alcotest.int "all ranges" 2 (List.length (Sdnctl.Addressing.all_ranges a));
+  check Alcotest.int "addresses = range sizes + individuals" (1000 + 100 + 1)
+    (Sdnctl.Addressing.address_count a)
+
+let test_range_lookup () =
+  let a = Sdnctl.Addressing.create () in
+  Sdnctl.Addressing.add_client a ~client:3 ~name:"c";
+  let r = Sdnctl.Addressing.add_range a ~host:7 ~client:3 ~count:256 in
+  check Alcotest.bool "range by gateway host" true
+    (Sdnctl.Addressing.range a ~host:7 = Some r);
+  check Alcotest.bool "no range on unknown host" true
+    (Sdnctl.Addressing.range a ~host:8 = None);
+  (* Interior addresses — never individually registered — resolve to
+     the range and its gateway. *)
+  check Alcotest.bool "interior ip in range" true
+    (Sdnctl.Addressing.range_of_ip a ~ip:(r.r_base + 200) = Some r);
+  check Alcotest.bool "interior ip resolves to gateway" true
+    (Sdnctl.Addressing.resolve_ip a ~ip:(r.r_base + 200)
+    = Sdnctl.Addressing.host a ~host:7);
+  check Alcotest.bool "below the block is outside" true
+    (Sdnctl.Addressing.range_of_ip a ~ip:(r.r_base - 1) = None);
+  check Alcotest.bool "other subnet is outside" true
+    (Sdnctl.Addressing.range_of_ip a ~ip:0x0A040010 = None);
+  check Alcotest.bool "unknown ip unresolved" true
+    (Sdnctl.Addressing.resolve_ip a ~ip:0x0A030001 = None)
+
+let test_range_validation () =
+  let a = Sdnctl.Addressing.create () in
+  Sdnctl.Addressing.add_client a ~client:0 ~name:"x";
+  ignore (Sdnctl.Addressing.add_range a ~host:0 ~client:0 ~count:16);
+  Alcotest.check_raises "duplicate host"
+    (Invalid_argument "Addressing.add_range: duplicate host") (fun () ->
+      ignore (Sdnctl.Addressing.add_range a ~host:0 ~client:0 ~count:16));
+  Alcotest.check_raises "unknown client"
+    (Invalid_argument "Addressing.add_range: unknown client") (fun () ->
+      ignore (Sdnctl.Addressing.add_range a ~host:1 ~client:9 ~count:16));
+  Alcotest.check_raises "zero count"
+    (Invalid_argument "Addressing.add_range: count out of range") (fun () ->
+      ignore (Sdnctl.Addressing.add_range a ~host:1 ~client:0 ~count:0));
+  Alcotest.check_raises "oversized count"
+    (Invalid_argument "Addressing.add_range: count out of range") (fun () ->
+      ignore (Sdnctl.Addressing.add_range a ~host:1 ~client:0 ~count:0x10001));
+  (* A pristine client may hand its whole /16 to one range... *)
+  Sdnctl.Addressing.add_client a ~client:1 ~name:"whole";
+  let w = Sdnctl.Addressing.add_range a ~host:10 ~client:1 ~count:0x10000 in
+  check Alcotest.int "whole-subnet prefix" 16 w.r_prefix_len;
+  check Alcotest.int "whole-subnet base" 0x0A010000 w.r_base;
+  Alcotest.check_raises "no room after the whole subnet"
+    (Invalid_argument "Addressing.add_range: client subnet exhausted") (fun () ->
+      ignore (Sdnctl.Addressing.add_range a ~host:11 ~client:1 ~count:1));
+  Alcotest.check_raises "no individual hosts either"
+    (Invalid_argument "Addressing.add_host: client subnet exhausted") (fun () ->
+      ignore (Sdnctl.Addressing.add_host a ~host:11 ~client:1));
+  (* ...but not once any individual host exists. *)
+  Sdnctl.Addressing.add_client a ~client:2 ~name:"mixed";
+  ignore (Sdnctl.Addressing.add_host a ~host:20 ~client:2);
+  Alcotest.check_raises "whole subnet collides with individuals"
+    (Invalid_argument "Addressing.add_range: client subnet exhausted") (fun () ->
+      ignore (Sdnctl.Addressing.add_range a ~host:21 ~client:2 ~count:0x10000))
+
+let test_range_meets_individuals () =
+  (* Ranges grow downward, individual hosts upward; the allocator
+     refuses the block that would cross the individuals. *)
+  let a = Sdnctl.Addressing.create () in
+  Sdnctl.Addressing.add_client a ~client:0 ~name:"x";
+  let top = Sdnctl.Addressing.add_range a ~host:0 ~client:0 ~count:0x8000 in
+  check Alcotest.int "top half" 0x0A008000 top.r_base;
+  let quarter = Sdnctl.Addressing.add_range a ~host:1 ~client:0 ~count:0x4000 in
+  check Alcotest.int "next quarter" 0x0A004000 quarter.r_base;
+  ignore (Sdnctl.Addressing.add_host a ~host:2 ~client:0);
+  Alcotest.check_raises "last quarter would cross the individuals"
+    (Invalid_argument "Addressing.add_range: client subnet exhausted") (fun () ->
+      ignore (Sdnctl.Addressing.add_range a ~host:3 ~client:0 ~count:0x4000));
+  (* A smaller block still fits above the individual space. *)
+  let small = Sdnctl.Addressing.add_range a ~host:3 ~client:0 ~count:0x1000 in
+  check Alcotest.int "smaller block placed" 0x0A003000 small.r_base
+
 (* ---- Provider + attacks over a real network ---- *)
 
 (* Linear topology, 3 switches, one host per switch, 2 clients:
@@ -118,6 +219,42 @@ let test_provider_rule_count () =
   (* 3 hosts x 3 switches routing + ACLs at 3 access points x 1 foreign
      client = 9 + 3 = 12. *)
   check Alcotest.int "expected rule count" 12 (Sdnctl.Provider.rule_count provider)
+
+let send_to net addressing ~from_host ~dst_ip =
+  let src = Option.get (Sdnctl.Addressing.host addressing ~host:from_host) in
+  let header =
+    Hspace.Header.udp ~src_ip:src.ip ~dst_ip ~src_port:1000 ~dst_port:80
+  in
+  Netsim.Net.host_send net ~host:from_host (Netsim.Packet.make ~header "probe")
+
+let test_provider_routes_range_prefix () =
+  (* Range blocks are routed by a single prefix rule: traffic to an
+     interior address that was never individually registered must reach
+     the range's gateway, and cross-client range traffic must still be
+     dropped by the ACL. *)
+  let topo = Workload.Topogen.linear Workload.Topogen.default_params 3 in
+  let net = Netsim.Net.create ~seed:11 topo in
+  let a = Sdnctl.Addressing.create () in
+  Sdnctl.Addressing.add_client a ~client:0 ~name:"dc";
+  Sdnctl.Addressing.add_client a ~client:1 ~name:"other";
+  let r0 = Sdnctl.Addressing.add_range a ~host:0 ~client:0 ~count:256 in
+  let r1 = Sdnctl.Addressing.add_range a ~host:1 ~client:1 ~count:256 in
+  ignore (Sdnctl.Addressing.add_host a ~host:2 ~client:0);
+  let provider =
+    Sdnctl.Provider.create net a
+      ~policy:{ Sdnctl.Provider.isolation = true; whitelist = [] }
+      ~conn_delay:1e-3
+  in
+  Sdnctl.Provider.install_all provider;
+  run net;
+  let got_range = count_delivered net ~host:0 (fun _ -> true) in
+  send_to net a ~from_host:2 ~dst_ip:(r0.r_base + 77);
+  run net;
+  check Alcotest.int "interior range address delivered to gateway" 1 !got_range;
+  let got_foreign = count_delivered net ~host:1 (fun _ -> true) in
+  send_to net a ~from_host:2 ~dst_ip:(r1.r_base + 9);
+  run net;
+  check Alcotest.int "foreign range traffic dropped" 0 !got_foreign
 
 (* ---- attacks ---- *)
 
@@ -248,6 +385,13 @@ let () =
           Alcotest.test_case "assignment" `Quick test_addressing_assignment;
           Alcotest.test_case "validation" `Quick test_addressing_validation;
         ] );
+      ( "ranges",
+        [
+          Alcotest.test_case "allocation" `Quick test_range_allocation;
+          Alcotest.test_case "lookup" `Quick test_range_lookup;
+          Alcotest.test_case "validation" `Quick test_range_validation;
+          Alcotest.test_case "meets individuals" `Quick test_range_meets_individuals;
+        ] );
       ( "provider",
         [
           Alcotest.test_case "routes same client" `Quick test_provider_routes_same_client;
@@ -255,6 +399,8 @@ let () =
           Alcotest.test_case "no isolation" `Quick test_provider_no_isolation;
           Alcotest.test_case "whitelist" `Quick test_provider_whitelist;
           Alcotest.test_case "rule count" `Quick test_provider_rule_count;
+          Alcotest.test_case "range prefix routing" `Quick
+            test_provider_routes_range_prefix;
         ] );
       ( "attack",
         [
